@@ -1,0 +1,22 @@
+"""§IV-D1 ablation — the buffer-occupancy state components.
+
+Paper: with only thread counts and throughputs "the agent may get confused
+because the same state can yield different rewards" — the unused-buffer
+inputs disambiguate the dynamics.  We train the same agent with and without
+those inputs on the same budget and assert the full state never loses.
+"""
+
+from conftest import run_once
+
+from repro.harness import experiment_state_ablation
+
+
+def test_buffer_states_matter(benchmark, fast_flag):
+    result = run_once(benchmark, experiment_state_ablation, fast=fast_flag, seed=0)
+    s = result.summary
+    benchmark.extra_info.update({k: str(v) for k, v in s.items()})
+
+    # The full state space trains at least as well as the masked one.
+    assert s["buffer_states_help"]
+    # And the full agent reaches the convergence criterion.
+    assert s["full_best_reward"] >= 8.5

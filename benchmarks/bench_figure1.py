@@ -1,0 +1,25 @@
+"""Fig. 1 — buffer-coupled stage throughputs.
+
+Regenerates the dynamics sketch: over-provisioned read runs at device speed
+until the sender buffer fills, then collapses to the network drain rate.
+"""
+
+from conftest import run_once
+
+from repro.harness import experiment_figure1
+
+
+def test_figure1_buffer_coupling(benchmark, fast_flag):
+    result = run_once(benchmark, experiment_figure1, fast=fast_flag, seed=0)
+    s = result.summary
+    benchmark.extra_info.update(s)
+
+    # Balanced triple saturates the 1 Gbps bottleneck.
+    assert s["balanced_read_mbps"] > 900.0
+    # Over-reading initially runs near device speed...
+    assert s["overread_initial_mbps"] > 800.0
+    # ...but once the buffer is full, read falls to the (throttled) drain rate.
+    assert s["coupling_demonstrated"]
+    assert s["overread_after_buffer_full_mbps"] < 0.8 * s["overread_initial_mbps"]
+    # And the sender buffer did fill.
+    assert s["sender_fill_at_60s"] > 0.9

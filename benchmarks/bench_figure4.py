@@ -1,0 +1,35 @@
+"""Fig. 4 — continuous vs discrete action spaces.
+
+The paper reports the discrete action space "failed miserably".  Our
+measurement (an honest divergence, see EXPERIMENTS.md): with batched,
+advantage-normalized PPO updates all three designs — continuous Gaussian,
+factorized categorical, and even the joint categorical over 20³ = 8,000
+triples — reach the sustained 90%-of-R_max criterion on the same budget.
+The assertions below pin down what *is* reproducible about the comparison:
+every variant trains, the continuous agent reaches a high sustained level,
+and the full measured numbers are attached as benchmark extra_info for the
+record.
+"""
+
+from conftest import run_once
+
+from repro.harness import experiment_figure4
+
+
+def test_figure4_action_space_comparison(benchmark, fast_flag):
+    result = run_once(benchmark, experiment_figure4, fast=fast_flag, seed=0)
+    s = result.summary
+    benchmark.extra_info.update({k: str(v) for k, v in s.items()})
+
+    r_max = s["max_episode_reward"]
+    # The continuous (paper's) design trains to a high sustained level.
+    assert s["continuous_tail_mean"] >= 0.8 * r_max
+    # All variants produce finite, sane learning outcomes.
+    for key in ("continuous", "joint_discrete", "factorized_discrete"):
+        assert 0.0 < s[f"{key}_tail_mean"] <= r_max * 1.01
+        assert s[f"{key}_best_reward"] <= r_max * 1.01
+    # Divergence record: under this training loop the discrete variants do
+    # NOT collapse (the paper's Fig. 4 shows them failing).  If this ever
+    # flips, EXPERIMENTS.md needs updating — hence asserted explicitly.
+    assert s["factorized_discrete_rolling_convergence"] is not None
+    assert s["joint_discrete_rolling_convergence"] is not None

@@ -1,0 +1,44 @@
+"""Fig. 5 — the three bottleneck scenarios, AutoMDT vs Marlin.
+
+Paper: AutoMDT locks onto the bottleneck stage's optimal concurrency within
+a few seconds (6 s / 3 s / fast), Marlin takes tens of seconds (29 s / 42 s)
+and keeps fluctuating; AutoMDT finishes 68 s / 15 s / 17 s earlier.
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.harness import experiment_figure5
+
+
+def _check_scenario(benchmark, scenario: str, fast: bool):
+    result = run_once(benchmark, experiment_figure5, scenario=scenario, fast=fast, seed=0)
+    s = result.summary
+    benchmark.extra_info.update({k: str(v) for k, v in s.items()})
+
+    target_key = next(k for k in s if k.startswith("automdt_reach_"))
+    marlin_key = next(k for k in s if k.startswith("marlin_reach_"))
+
+    # AutoMDT identifies the bottleneck within seconds.
+    assert s[target_key] is not None, "AutoMDT never reached the optimal level"
+    assert s[target_key] <= 12.0
+    # Marlin is several times slower to get near the same level (or never).
+    if s[marlin_key] is not None:
+        assert s[marlin_key] >= 2.0 * s[target_key]
+    # AutoMDT finishes earlier.
+    assert s["automdt_finishes_earlier_s"] > 0.0
+    # And its concurrency trace is more stable than Marlin's.
+    assert s["automdt_stability_std"] < s["marlin_stability_std"]
+    return s
+
+
+def test_read_bottleneck(benchmark, fast_flag):
+    _check_scenario(benchmark, "read", fast_flag)
+
+
+def test_network_bottleneck(benchmark, fast_flag):
+    _check_scenario(benchmark, "network", fast_flag)
+
+
+def test_write_bottleneck(benchmark, fast_flag):
+    _check_scenario(benchmark, "write", fast_flag)

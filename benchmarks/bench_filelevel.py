@@ -1,0 +1,22 @@
+"""Per-file latency on the chunk-granular data plane (beyond the paper).
+
+Checks the distributional claims that motivate the Mixed-dataset results:
+the mixed workload has heavier per-file overhead, and the monolithic Globus
+configuration underutilizes the link on both workloads.
+"""
+
+from conftest import run_once
+
+from repro.harness import experiment_filelevel
+
+
+def test_filelevel_latency_distributions(benchmark, fast_flag):
+    result = run_once(benchmark, experiment_filelevel, fast=fast_flag, seed=0)
+    s = result.summary
+    benchmark.extra_info.update({k: str(v) for k, v in s.items()})
+
+    # The modular optimum beats Globus's static config on both workloads.
+    assert s["large_modular_optimal_mbps"] > s["large_globus_mbps"]
+    assert s["mixed_modular_optimal_mbps"] > s["mixed_globus_mbps"]
+    # Aggregate ordering: mixed is slower than large for the same tool.
+    assert s["mixed_modular_optimal_mbps"] < s["large_modular_optimal_mbps"]

@@ -1,0 +1,28 @@
+"""§V-C — online fine-tuning is a negligible improvement.
+
+Paper: 120 online episodes of fine-tuning bought ~1% less concurrency at
+the same transfer speed, so fine-tuning was dropped from the pipeline.
+Shape assertions: reward change is small, concurrency change is small —
+the offline model is already deployment-quality.
+"""
+
+from conftest import run_once
+
+from repro.harness import experiment_finetune
+
+
+def test_finetune_gain_is_negligible(benchmark, fast_flag):
+    result = run_once(benchmark, experiment_finetune, fast=fast_flag, seed=0)
+    s = result.summary
+    benchmark.extra_info.update({k: str(v) for k, v in s.items()})
+
+    # Transfer speed is essentially unchanged (paper: "the same speed").
+    assert abs(s["reward_change_pct"]) < 12.0
+    # Fine-tuning never blows concurrency *up*; at the scaled training
+    # budget it may trim noticeably more than the paper's 1% (the offline
+    # policy starts further from optimal than a 30k-episode one), so the
+    # bound is loose in the trimming direction.
+    assert s["concurrency_reduction_pct"] > -10.0
+    assert s["concurrency_reduction_pct"] < 40.0
+    # The offline baseline was already good.
+    assert s["base_mean_reward"] > 0.7

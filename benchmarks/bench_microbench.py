@@ -1,0 +1,78 @@
+"""Microbenchmarks of the hot components (classic pytest-benchmark style).
+
+These are not paper results; they track the performance of the pieces the
+experiments are built from: the Algorithm-1 simulator step, the testbed
+fluid step, a PPO act+update cycle, and a full short transfer.
+"""
+
+import numpy as np
+
+from repro.baselines import StaticController
+from repro.core.env import SimulatorEnv
+from repro.core.ppo import PPOAgent, PPOConfig
+from repro.emulator import Testbed, fig5_read_bottleneck
+from repro.simulator import IONetworkSimulator, SimulatorConfig
+from repro.transfer import EngineConfig, ModularTransferEngine
+from repro.transfer.files import uniform_dataset
+
+
+def _sim_config():
+    return SimulatorConfig(
+        tpt_read=80, tpt_network=160, tpt_write=200,
+        bandwidth_read=1000, bandwidth_network=1000, bandwidth_write=1000,
+    )
+
+
+def test_simulator_step_second(benchmark):
+    sim = IONetworkSimulator(_sim_config())
+    benchmark(sim.step_second, (13, 7, 5))
+
+
+def test_simulator_step_blocked_retries(benchmark):
+    """Worst case: starved stages retry on the ε backoff."""
+    sim = IONetworkSimulator(_sim_config())
+    benchmark(sim.step_second, (1, 30, 30))
+
+
+def test_testbed_advance(benchmark):
+    testbed = Testbed(fig5_read_bottleneck(), rng=0)
+    benchmark(testbed.advance, (13, 7, 5))
+
+
+def test_policy_act(benchmark):
+    agent = PPOAgent(config=PPOConfig(), rng=0)
+    state = np.zeros(8)
+    benchmark(agent.act, state)
+
+
+def test_ppo_update_cycle(benchmark):
+    agent = PPOAgent(config=PPOConfig(), rng=0)
+    env = SimulatorEnv(_sim_config(), rng=0)
+
+    def episode_and_update():
+        agent.memory.clear()
+        state = env.reset()
+        for _ in range(10):
+            action, log_prob = agent.act(state)
+            state, reward, done, _ = env.step(action)
+            agent.memory.store(state, action, log_prob, reward)
+        agent.memory.end_episode(agent.config.gamma)
+        agent.update()
+
+    benchmark(episode_and_update)
+
+
+def test_short_transfer_end_to_end(benchmark):
+    dataset = uniform_dataset(5, 1e9)
+
+    def run():
+        engine = ModularTransferEngine(
+            Testbed(fig5_read_bottleneck(), rng=0),
+            dataset,
+            StaticController((13, 7, 5)),
+            EngineConfig(max_seconds=300),
+        )
+        return engine.run()
+
+    result = benchmark(run)
+    assert result.completed

@@ -1,0 +1,28 @@
+"""§III — monolithic over-subscription on a per-stream-throttled link.
+
+A 1 Gbps path throttled to 10 Mbps per stream needs ~100 network streams;
+a monolithic tool then also runs ~100 read/write threads where ~10 would
+do.  The modular engine matches (or beats) its throughput with a fraction
+of the threads.
+"""
+
+from conftest import run_once
+
+from repro.harness import experiment_monolithic
+
+
+def test_monolithic_oversubscription(benchmark, fast_flag):
+    result = run_once(benchmark, experiment_monolithic, fast=fast_flag, seed=0)
+    s = result.summary
+    benchmark.extra_info.update({k: str(v) for k, v in s.items()})
+
+    # The modular optimum needs ~100 network streams but ~10 I/O threads.
+    optimal = s["optimal_threads"]
+    assert optimal[1] >= 80
+    assert optimal[0] <= 15 and optimal[2] <= 15
+
+    # The monolithic run burns far more threads...
+    assert s["monolithic_mean_total_threads"] >= 2 * s["modular_mean_total_threads"]
+    # ...without going faster.
+    assert s["modular_throughput_mbps"] >= 0.95 * s["monolithic_throughput_mbps"]
+    assert s["modular_completion_s"] <= 1.1 * s["monolithic_completion_s"]

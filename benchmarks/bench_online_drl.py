@@ -1,0 +1,27 @@
+"""Offline-trained AutoMDT vs the online-learning DRL predecessor [17].
+
+The paper's abstract claim: AutoMDT "reaches the highest network bandwidth
+utilization up to 8X faster ... than state-of-the-art solutions" — the
+online DRL predecessor must burn transfer time exploring, the offline-
+trained policy does not.
+"""
+
+from conftest import run_once
+
+from repro.harness import experiment_online_drl
+
+
+def test_offline_beats_online_convergence(benchmark, fast_flag):
+    result = run_once(benchmark, experiment_online_drl, fast=fast_flag, seed=0)
+    s = result.summary
+    benchmark.extra_info.update({k: str(v) for k, v in s.items()})
+
+    # AutoMDT sustains 90% utilization almost immediately.
+    assert s["automdt_time_to_90pct_s"] is not None
+    assert s["automdt_time_to_90pct_s"] <= 15.0
+    # The online learner either takes several times longer or never
+    # sustains it within the transfer (paper: up to 8x).
+    if s["online_drl_time_to_90pct_s"] is not None:
+        assert s["utilization_speedup_x"] >= 3.0
+    # Either way, the transfer finishes later.
+    assert s["online_drl_completion_s"] > s["automdt_completion_s"]

@@ -1,0 +1,27 @@
+"""Intra-file parallelism vs the straggler tail (extension experiment).
+
+The related-work knob ([14], [45]): with files ≈ reader count, p=1 leaves
+the last files draining at single-stream speed; splitting files into p
+segments recovers the bandwidth.  Small files gain nothing (per-segment
+overhead dominates).
+"""
+
+from conftest import run_once
+
+from repro.harness import experiment_parallelism
+
+
+def test_parallelism_recovers_straggler_bandwidth(benchmark, fast_flag):
+    result = run_once(benchmark, experiment_parallelism, fast=fast_flag, seed=0)
+    s = result.summary
+    benchmark.extra_info.update({k: str(v) for k, v in s.items()})
+
+    by_p = {int(k): v for k, v in s["straggler_mbps_by_p"].items()}
+    # Monotone improvement with p on the straggler-prone set.
+    assert by_p[1] < by_p[2] < by_p[4] < by_p[8]
+    # Substantial recovery (measured ~1.8x).
+    assert s["p8_vs_p1_speedup"] >= 1.3
+    # Small files gain little or nothing.
+    assert not s["small_files_p8_helps"] or (
+        s["small_files_p8_mbps"] < s["small_files_p1_mbps"] * 1.15
+    )

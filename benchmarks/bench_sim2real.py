@@ -1,0 +1,23 @@
+"""Simulator-fidelity ablation — the offline-training premise.
+
+Not a paper figure, but the ablation DESIGN.md calls out: the whole
+pipeline rests on training in a simulator seeded by a 10-minute probe run.
+We train on the measured profile, a ±25% mis-measured one, and a ±60% one,
+and deploy all three on the true testbed.
+"""
+
+from conftest import run_once
+
+from repro.harness import experiment_sim2real
+
+
+def test_sim2real_tolerance(benchmark, fast_flag):
+    result = run_once(benchmark, experiment_sim2real, fast=fast_flag, seed=0)
+    s = result.summary
+    benchmark.extra_info.update({k: str(v) for k, v in s.items()})
+
+    # Mild probe error must not sink the deployment (paper premise):
+    # within 50% of the matched agent's completion time.
+    assert s["mild_overhead_pct"] < 50.0
+    # And mismatch cannot *systematically help*: matched is best or close.
+    assert s["mild_overhead_pct"] > -20.0

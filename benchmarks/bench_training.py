@@ -1,0 +1,30 @@
+"""§V-A — offline training cost vs hypothetical online training.
+
+Paper: ~45 min offline in the simulator vs ~7 days online (3 s per online
+iteration); convergence at ~20,150 episodes at paper scale; an online run
+would burn petabytes of bandwidth.  At the scaled-down profile we assert
+the same *structure*: convergence by the paper's criterion, and an
+offline/online cost ratio of several orders of magnitude.
+"""
+
+from conftest import run_once
+
+from repro.harness import experiment_training
+
+
+def test_training_offline_vs_online(benchmark, fast_flag):
+    result = run_once(benchmark, experiment_training, fast=fast_flag, seed=0)
+    s = result.summary
+    benchmark.extra_info.update({k: str(v) for k, v in s.items()})
+
+    # The agent converged by the 90%-of-R_max criterion.
+    assert s["converged"]
+    assert s["convergence_episode"] is not None
+    assert s["best_reward"] >= 0.9 * s["max_episode_reward"]
+
+    # Offline simulator training is orders of magnitude cheaper than the
+    # online equivalent (paper: 45 min vs 7 days ≈ 220x; require >= 50x).
+    assert s["offline_speedup_x"] >= 50
+
+    # An online run of the same budget would waste serious bandwidth.
+    assert s["online_wasted_bytes_tb"] > 10.0

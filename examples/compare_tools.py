@@ -1,0 +1,39 @@
+#!/usr/bin/env python3
+"""Table I reproduction: Globus vs Marlin vs AutoMDT end-to-end speed.
+
+Transfers the paper's two datasets (scaled to 100 GB by default so the
+example finishes quickly; pass --full for the full 1 TB) over the emulated
+NCSA→TACC FABRIC pair and prints the Table I rows plus the speedup ratios
+the paper quotes (AutoMDT 6.57x/1.33x over Globus/Marlin on the Large set,
+7.28x/1.23x on Mixed).
+
+Run:  python examples/compare_tools.py [--full]
+"""
+
+import argparse
+
+from repro.harness import experiment_table1
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true", help="full 1 TB datasets")
+    args = parser.parse_args()
+
+    result = experiment_table1(fast=not args.full, seed=0)
+    print(result.render())
+    print()
+    s = result.summary
+    print("speedups (AutoMDT vs Globus / vs Marlin):")
+    print(
+        f"  Large: {s['large_automdt_vs_globus']}x / {s['large_automdt_vs_marlin']}x"
+        f"   (paper: {s['paper_large_ratios'][0]}x / {s['paper_large_ratios'][1]}x)"
+    )
+    print(
+        f"  Mixed: {s['mixed_automdt_vs_globus']}x / {s['mixed_automdt_vs_marlin']}x"
+        f"   (paper: {s['paper_mixed_ratios'][0]}x / {s['paper_mixed_ratios'][1]}x)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""Build a custom testbed and stress it with a mid-transfer throttle.
+
+Constructs an asymmetric environment the presets don't cover — NVMe source,
+slow HDD-RAID destination, busy shared WAN with background traffic — trains
+an agent for it (with domain-randomized scenarios, so the policy hedges
+against probe error), and then *changes the read throttle mid-transfer* (as
+a sysadmin or a competing job would).  The comparison against a static
+configuration tuned for the original conditions shows the robustness win:
+the static optimum collapses to the throttled per-stream rate while the
+trained policy's allocation keeps most of the bandwidth.
+
+Run:  python examples/custom_testbed.py
+"""
+
+from repro.core import AutoMDT, TrainingConfig
+from repro.emulator import (
+    NetworkConfig,
+    StorageConfig,
+    Testbed,
+    TestbedConfig,
+)
+from repro.transfer import EngineConfig, ModularTransferEngine
+from repro.transfer.files import uniform_dataset
+from repro.utils.tables import render_kv
+from repro.utils.units import GiB
+
+
+def build_testbed_config() -> TestbedConfig:
+    return TestbedConfig(
+        source=StorageConfig(tpt=400.0, bandwidth=4000.0, label="nvme-src"),
+        destination=StorageConfig(
+            tpt=120.0, bandwidth=1800.0, per_file_cost=0.01, label="hdd-raid-dst"
+        ),
+        network=NetworkConfig(tpt=250.0, capacity=2000.0, ramp_time=2.0, label="shared-wan"),
+        sender_buffer_capacity=4.0 * GiB,
+        receiver_buffer_capacity=2.0 * GiB,
+        max_threads=30,
+        noise_sigma=0.02,
+        background_peak=200.0,
+        label="custom-asymmetric",
+    )
+
+
+class ThrottleInjector:
+    """Controller wrapper that throttles the source mid-transfer."""
+
+    def __init__(self, inner, testbed: Testbed, at_seconds: float, new_tpt: float):
+        self.inner = inner
+        self.testbed = testbed
+        self.at_seconds = at_seconds
+        self.new_tpt = new_tpt
+        self.fired = False
+
+    def propose(self, observation):
+        if not self.fired and observation.elapsed >= self.at_seconds:
+            self.testbed.set_stage_tpt("read", self.new_tpt)
+            self.fired = True
+            print(f"  [t={observation.elapsed:.0f}s] read throttled to {self.new_tpt} Mbps!")
+        return self.inner.propose(observation)
+
+    def reset(self):
+        self.inner.reset()
+
+
+def main() -> None:
+    config = build_testbed_config()
+    print(render_kv(
+        {
+            "bottleneck": f"{config.bottleneck_bandwidth} Mbps (destination HDD)",
+            "optimal threads": config.optimal_threads(),
+        },
+        title="-- custom testbed --",
+    ))
+
+    pipeline = AutoMDT(
+        seed=11,
+        training_config=TrainingConfig(max_episodes=3000, stagnation_episodes=700),
+    )
+    pipeline.explore(Testbed(config, rng=11), duration=120.0)
+    print("\ntraining for the custom environment (domain-randomized) ...")
+    from repro.simulator import sample_scenario
+    from repro.simulator.scenarios import scenario_from_profile
+
+    base_scenario = scenario_from_profile(
+        pipeline.profile.tpt,
+        pipeline.profile.bandwidth,
+        sender_buffer_capacity=pipeline.profile.sender_buffer_capacity,
+        receiver_buffer_capacity=pipeline.profile.receiver_buffer_capacity,
+        max_threads=pipeline.profile.max_threads,
+    )
+    env = pipeline.make_training_env(
+        scenario_sampler=lambda rng: sample_scenario(rng, base=base_scenario, jitter=0.4)
+    )
+    pipeline.train_offline(env)
+
+    def run_with_throttle(controller_factory, name):
+        testbed = Testbed(config, rng=12)
+        controller = ThrottleInjector(
+            controller_factory(), testbed, at_seconds=60.0, new_tpt=100.0
+        )
+        engine = ModularTransferEngine(
+            testbed,
+            uniform_dataset(30, 1e9, name="custom"),
+            controller,
+            EngineConfig(max_seconds=3600, probe_noise=0.02),
+            utility_fn=pipeline.utility,
+        )
+        print(f"\ntransferring 30 GB with {name}; read throttled at t=60s ...")
+        result = engine.run()
+        tput_after = result.metrics.throughput_write.mean(
+            t_start=80, t_end=result.completion_time
+        )
+        return result, tput_after
+
+    from repro.baselines import StaticController
+
+    auto, auto_after = run_with_throttle(pipeline.controller, "AutoMDT")
+    static, static_after = run_with_throttle(
+        lambda: StaticController(config.optimal_threads()), "a static tuned config"
+    )
+    print(render_kv(
+        {
+            "AutoMDT completion (s)": round(auto.completion_time, 1),
+            "static completion (s)": round(static.completion_time, 1),
+            "AutoMDT post-throttle Mbps": round(auto_after),
+            "static post-throttle Mbps": round(static_after),
+            "robustness speedup": f"{static.completion_time / auto.completion_time:.2f}x",
+        },
+        title="\n-- mid-transfer throttle: trained policy vs static optimum --",
+    ))
+    print(
+        "\nThe static config was optimal for the original conditions but its\n"
+        "5 read threads collapse to ~500 Mbps once each stream is throttled;\n"
+        "the trained policy's state-conditioned allocation keeps most of the\n"
+        "bandwidth without retraining."
+    )
+
+
+if __name__ == "__main__":
+    main()

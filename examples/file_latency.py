@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Per-file latency analysis on the chunk-granular data plane.
+
+The paper's Table I reports aggregate Mbps; this example uses the
+file-level engine (``repro.transfer.FileLevelEngine``) to look *inside* a
+transfer: when does each file actually land?  It shows three effects the
+fluid model cannot resolve:
+
+* the per-file completion CDF (half your files arrive long before the
+  transfer "finishes"),
+* the Mixed workload's heavier tail (small files queue behind large ones
+  and pay per-file overheads),
+* the straggler tail when file count barely exceeds reader concurrency —
+  the reason related work adds intra-file parallelism.
+
+Run:  python examples/file_latency.py
+"""
+
+import numpy as np
+
+from repro.baselines import GlobusController, StaticController
+from repro.emulator import fabric_ncsa_tacc
+from repro.transfer import FileLevelEngine
+from repro.transfer.files import uniform_dataset
+from repro.utils.tables import render_table
+from repro.workloads import large_dataset, mixed_dataset
+
+
+def cdf_row(result, label):
+    q = result.file_latency_quantiles((0.1, 0.5, 0.9, 0.99))
+    return [
+        label,
+        round(result.effective_throughput / 1000.0, 2),
+        round(q[0.1], 1),
+        round(q[0.5], 1),
+        round(q[0.9], 1),
+        round(q[0.99], 1),
+        round(result.completion_time, 1),
+    ]
+
+
+def main() -> None:
+    config = fabric_ncsa_tacc()
+    optimal = config.optimal_threads()
+    print(f"testbed: {config.label}; modular-optimal threads {optimal}\n")
+
+    rows = []
+    for name, dataset in (
+        ("large 50GB", large_dataset(total_bytes=5e10)),
+        ("mixed 50GB", mixed_dataset(total_bytes=5e10, rng=0)),
+    ):
+        for tool, controller in (
+            ("modular", StaticController(optimal)),
+            ("globus", GlobusController()),
+        ):
+            result = FileLevelEngine(config, dataset, controller).run()
+            rows.append(cdf_row(result, f"{name} / {tool}"))
+    print(
+        render_table(
+            ["workload / tool", "Gbps", "p10 (s)", "p50 (s)", "p90 (s)", "p99 (s)", "total (s)"],
+            rows,
+            title="per-file completion latency",
+        )
+    )
+
+    print("\nstraggler tail: same 28 GB, different file counts (modular optimum)")
+    for count, size in ((14, 2e9), (56, 5e8), (280, 1e8)):
+        result = FileLevelEngine(
+            config, uniform_dataset(count, size), StaticController(optimal)
+        ).run()
+        print(
+            f"  {count:>4} files x {size/1e9:.1f} GB -> "
+            f"{result.effective_throughput/1000:.2f} Gbps "
+            f"(completion {result.completion_time:.1f}s)"
+        )
+    print(
+        "\nFewer files than read threads leaves workers idle and the last\n"
+        "files drain at single-stream speed — why tools add per-file TCP\n"
+        "parallelism on top of concurrency."
+    )
+
+
+if __name__ == "__main__":
+    main()

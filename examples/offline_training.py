@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Deep-dive into the offline training pipeline (§IV, Fig. 2 + Fig. 4).
+
+Shows what the quickstart hides:
+
+* the exploration log statistics and derived simulator parameters;
+* the training reward curve (ASCII) and the convergence criterion firing;
+* the offline-vs-online cost accounting the paper argues from;
+* the continuous-vs-discrete action-space comparison of Fig. 4;
+* checkpoint save/load for production deployment.
+
+Run:  python examples/offline_training.py
+"""
+
+import numpy as np
+
+from repro.core import AutoMDT, TrainingConfig
+from repro.core.discrete import DiscreteActionAdapter, DiscretePPOAgent
+from repro.core.env import SimulatorEnv
+from repro.core.training import train
+from repro.emulator import Testbed, fabric_ncsa_tacc
+from repro.utils.tables import render_kv, render_series_ascii
+
+
+def main() -> None:
+    config = fabric_ncsa_tacc()
+    pipeline = AutoMDT(
+        seed=3,
+        training_config=TrainingConfig(max_episodes=2500, stagnation_episodes=600),
+    )
+
+    profile = pipeline.explore(Testbed(config, rng=3), duration=120.0)
+    print(
+        render_kv(
+            {
+                "stage ceilings B (Mbps)": tuple(round(b) for b in profile.bandwidth),
+                "per-thread TPT (Mbps)": tuple(round(t) for t in profile.tpt),
+                "bottleneck b": round(profile.bottleneck),
+                "ideal threads n*": profile.optimal_threads(),
+                "R_max (per step)": round(profile.max_reward(pipeline.utility), 1),
+            },
+            title="-- exploration & logging (§IV-A) --",
+        )
+    )
+
+    print("\ntraining the continuous (Gaussian) agent ...")
+    result = pipeline.train_offline()
+    window = max(1, len(result.episode_rewards) // 100)
+    smooth = np.convolve(result.episode_rewards, np.ones(window) / window, mode="valid")
+    print(render_series_ascii(np.arange(len(smooth)), smooth, label="episode reward (smoothed)"))
+    print(
+        render_kv(
+            {
+                "episodes run": result.episodes_run,
+                "first hit 90% R_max at episode": result.convergence_episode,
+                "best reward": round(result.best_reward, 2),
+                "offline wall seconds": round(result.wall_seconds, 1),
+                "online equivalent (paper: 3 s/step)": f"{result.online_training_estimate() / 86400:.2f} days",
+                "bandwidth an online run would burn": f"{result.online_training_estimate() * profile.bottleneck * 1e6 / 8 / 1e12:.1f} TB",
+            },
+            title="-- Algorithm 2 outcome --",
+        )
+    )
+
+    print("\ntraining the factorized discrete-action variant on the same budget ...")
+    disc_env = DiscreteActionAdapter(SimulatorEnv.from_profile(profile, rng=3))
+    disc_agent = DiscretePPOAgent(max_threads=profile.max_threads, rng=3)
+    disc = train(
+        disc_agent,
+        disc_env,
+        TrainingConfig(max_episodes=1500, stagnation_episodes=1500),
+    )
+    print(
+        render_kv(
+            {
+                "continuous best reward": round(result.best_reward, 2),
+                "factorized discrete best reward": round(disc.best_reward, 2),
+                "factorized discrete converged": disc.convergence_episode is not None,
+            },
+            title="-- discrete vs continuous (see EXPERIMENTS.md on Fig. 4) --",
+        )
+    )
+    print(
+        "Note: the paper reports discrete actions 'failed miserably'; under\n"
+        "this repo's batched training loop the factorized categorical\n"
+        "converges — an honest reproduction divergence analysed in\n"
+        "EXPERIMENTS.md (the joint n_max^3 space is compared in figure4)."
+    )
+
+    path = ".artifacts/example-offline-training"
+    pipeline.save(path)
+    fresh = AutoMDT(seed=99)
+    fresh.load(path)
+    print(f"\ncheckpoint saved to {path}.npz and reloaded; "
+          f"controller ready: {type(fresh.controller()).__name__}")
+
+
+if __name__ == "__main__":
+    main()

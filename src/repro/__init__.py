@@ -1,0 +1,44 @@
+"""Reproduction of AutoMDT — "Modular Architecture for High-Performance and
+Low Overhead Data Transfers" (SC 2025).
+
+Subpackages
+-----------
+``repro.core``
+    The paper's contribution: utility function, exploration phase, PPO agent
+    and offline training (Algorithms 1–2 consumers), production controller.
+``repro.simulator``
+    Algorithm 1 — the I/O–network dynamics simulator used for offline
+    training.
+``repro.emulator``
+    The evaluation testbed emulator standing in for CloudLab/FABRIC
+    hardware (see DESIGN.md §2).
+``repro.transfer``
+    Datasets, the modular transfer engine, the chunk-granular file-level
+    engine, probing and metrics.
+``repro.baselines``
+    Marlin, joint gradient descent, Globus-static, probe heuristics, and
+    the online single-parameter DRL baseline.
+``repro.workloads``
+    The paper's Large / Mixed datasets.
+``repro.harness``
+    Per-table/figure experiments, artifact cache, CLI
+    (``python -m repro.harness``).
+
+Quick start::
+
+    from repro.core import AutoMDT
+    from repro.emulator import Testbed, fig5_read_bottleneck
+    from repro.transfer import ModularTransferEngine
+    from repro.transfer.files import uniform_dataset
+
+    pipeline = AutoMDT(seed=7)
+    pipeline.explore(Testbed(fig5_read_bottleneck(), rng=7), duration=120)
+    pipeline.train_offline()
+    result = ModularTransferEngine(
+        Testbed(fig5_read_bottleneck(), rng=8),
+        uniform_dataset(25, 1e9),
+        pipeline.controller(),
+    ).run()
+"""
+
+__version__ = "0.1.0"

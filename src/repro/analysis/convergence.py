@@ -1,0 +1,78 @@
+"""Convergence analysis for training curves and throughput series."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+
+def rolling_mean(values: Sequence[float], window: int) -> np.ndarray:
+    """Simple moving average; output length ``len(values) - window + 1``."""
+    data = np.asarray(values, dtype=float)
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    if data.size < window:
+        return np.empty(0)
+    return np.convolve(data, np.ones(window) / window, mode="valid")
+
+
+def rolling_convergence_episode(
+    rewards: Sequence[float],
+    target: float,
+    *,
+    window: int = 100,
+) -> int | None:
+    """First episode index where the rolling-mean reward reaches ``target``.
+
+    The sustained-level notion of convergence used for Fig. 4: single
+    episode maxima are a noisy max statistic, the rolling mean is not.
+    Returns the index of the *last* episode in the qualifying window.
+    """
+    roll = rolling_mean(rewards, window)
+    hits = np.nonzero(roll >= target)[0]
+    if len(hits) == 0:
+        return None
+    return int(hits[0]) + window - 1
+
+
+def time_to_sustained(
+    times: Sequence[float],
+    values: Sequence[float],
+    threshold: float,
+    *,
+    sustain: int = 5,
+) -> float | None:
+    """First time ``values`` reaches ``threshold`` for ``sustain`` samples."""
+    t = np.asarray(times, dtype=float)
+    v = np.asarray(values, dtype=float)
+    ok = v >= threshold
+    run = 0
+    for i, flag in enumerate(ok):
+        run = run + 1 if flag else 0
+        if run >= sustain:
+            return float(t[i - sustain + 1])
+    return None
+
+
+def detect_plateau(
+    values: Sequence[float],
+    *,
+    window: int = 100,
+    tolerance: float = 0.02,
+) -> int | None:
+    """Earliest index after which the rolling mean changes < ``tolerance``
+    (relative) to the final level.  ``None`` if the curve never settles."""
+    roll = rolling_mean(values, window)
+    if roll.size == 0:
+        return None
+    final = roll[-1]
+    scale = max(abs(final), 1e-12)
+    within = np.abs(roll - final) / scale <= tolerance
+    outside = np.nonzero(~within)[0]
+    if len(outside) == 0:
+        return window - 1
+    idx = outside[-1] + 1
+    if idx >= roll.size:
+        return None
+    return int(idx) + window - 1

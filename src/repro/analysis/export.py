@@ -1,0 +1,69 @@
+"""Exporters: get experiment data out of this repo for external plotting."""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from repro.harness.result import ExperimentResult
+from repro.utils.timeseries import TimeSeries
+
+
+def series_to_csv(series: dict[str, TimeSeries], path: str | Path) -> Path:
+    """Write a dict of time series to one CSV (outer-joined on time).
+
+    Columns: ``time`` plus one column per series; rows are the union of all
+    sample times, zero-order-hold interpolated per series.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    if not series:
+        path.write_text("time\n")
+        return path
+
+    import numpy as np
+
+    all_times = np.unique(np.concatenate([s.times for s in series.values() if len(s)]))
+    names = list(series)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["time", *names])
+        for t in all_times:
+            row: list[object] = [t]
+            for name in names:
+                s = series[name]
+                if len(s) == 0 or t < s.times[0]:
+                    row.append("")
+                    continue
+                idx = int(np.searchsorted(s.times, t, side="right")) - 1
+                row.append(s.values[max(0, idx)])
+            writer.writerow(row)
+    return path
+
+
+def summary_to_markdown(result: ExperimentResult) -> str:
+    """Render an experiment summary as a markdown section."""
+    lines = [f"## {result.name}", ""]
+    if result.summary:
+        lines.append("| metric | value |")
+        lines.append("|---|---|")
+        lines.extend(f"| {k} | {v} |" for k, v in result.summary.items())
+        lines.append("")
+    lines.extend(result.tables)
+    if result.notes:
+        lines.append("")
+        lines.extend(f"> {note}" for note in result.notes)
+    return "\n".join(lines)
+
+
+def export_experiment(result: ExperimentResult, directory: str | Path) -> list[Path]:
+    """Write JSON + CSV + markdown for one experiment; returns the paths."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    paths = [result.save(directory)]
+    if result.series:
+        paths.append(series_to_csv(result.series, directory / f"{result.name}.csv"))
+    md = directory / f"{result.name}.md"
+    md.write_text(summary_to_markdown(result))
+    paths.append(md)
+    return paths

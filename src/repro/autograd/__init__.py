@@ -1,0 +1,50 @@
+"""A small reverse-mode automatic differentiation engine over numpy arrays.
+
+The paper trains its PPO agent with PyTorch; this environment has no deep
+learning framework, so we implement the required subset from scratch:
+broadcast-aware elementwise ops, matmul, reductions, activations, and a
+topological-order backward pass. :mod:`repro.nn` builds the network layers
+and optimizers on top of this.
+
+The engine is eager and define-by-run, like PyTorch: every op records its
+parents and a closure that propagates gradients.
+"""
+
+from repro.autograd.tensor import (
+    Tensor,
+    clip,
+    concat,
+    exp,
+    log,
+    maximum,
+    minimum,
+    no_grad,
+    relu,
+    sqrt,
+    stack,
+    tanh,
+    tensor,
+    where,
+)
+from repro.autograd.functional import gaussian_entropy, gaussian_log_prob, mse_loss, softmax
+
+__all__ = [
+    "Tensor",
+    "tensor",
+    "no_grad",
+    "tanh",
+    "relu",
+    "exp",
+    "log",
+    "sqrt",
+    "clip",
+    "minimum",
+    "maximum",
+    "where",
+    "stack",
+    "concat",
+    "mse_loss",
+    "softmax",
+    "gaussian_log_prob",
+    "gaussian_entropy",
+]

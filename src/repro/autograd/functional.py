@@ -1,0 +1,63 @@
+"""Composite differentiable functions built from the primitive ops."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor, clip, exp, log
+
+_LOG_2PI = math.log(2.0 * math.pi)
+
+
+def mse_loss(prediction: Tensor, target: Tensor | np.ndarray) -> Tensor:
+    """Mean squared error, as used for the PPO critic loss."""
+    target = target if isinstance(target, Tensor) else Tensor(target)
+    diff = prediction - target
+    return (diff * diff).mean()
+
+
+def softmax(logits: Tensor, axis: int = -1) -> Tensor:
+    """Numerically-stable softmax along ``axis``."""
+    shifted = logits - Tensor(logits.data.max(axis=axis, keepdims=True))
+    exps = exp(shifted)
+    return exps / exps.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(logits: Tensor, axis: int = -1) -> Tensor:
+    """Numerically-stable log-softmax along ``axis``."""
+    shifted = logits - Tensor(logits.data.max(axis=axis, keepdims=True))
+    return shifted - log(exp(shifted).sum(axis=axis, keepdims=True))
+
+
+def gaussian_log_prob(actions: np.ndarray | Tensor, mean: Tensor, log_std: Tensor) -> Tensor:
+    """Log density of ``actions`` under a diagonal Gaussian, summed over dims.
+
+    ``actions`` may be a plain array (it carries no gradient in PPO).
+    Returns a tensor of shape ``mean.shape[:-1]``.
+    """
+    actions = actions if isinstance(actions, Tensor) else Tensor(actions)
+    std = exp(log_std)
+    z = (actions - mean) / std
+    per_dim = (z * z) * -0.5 - log_std - 0.5 * _LOG_2PI
+    return per_dim.sum(axis=-1)
+
+
+def gaussian_entropy(log_std: Tensor) -> Tensor:
+    """Entropy of a diagonal Gaussian, summed over action dimensions.
+
+    ``H = Σ_d (0.5 + 0.5 log 2π + log σ_d)``.  For a batch, the per-sample
+    entropy is identical (the std is state-independent), so callers may sum
+    or average as they wish.
+    """
+    return (log_std + (0.5 + 0.5 * _LOG_2PI)).sum(axis=-1)
+
+
+def clipped_ratio(log_prob_new: Tensor, log_prob_old: np.ndarray, epsilon: float) -> tuple[Tensor, Tensor]:
+    """PPO probability ratio and its clipped version.
+
+    Returns ``(ratio, clip(ratio, 1-eps, 1+eps))``.
+    """
+    ratio = exp(log_prob_new - Tensor(log_prob_old))
+    return ratio, clip(ratio, 1.0 - epsilon, 1.0 + epsilon)

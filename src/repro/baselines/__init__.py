@@ -1,0 +1,33 @@
+"""Baseline optimizers the paper compares against (or motivates with).
+
+* :class:`MarlinController` — Marlin's three *independent* single-variable
+  gradient-descent optimizers (the primary state-of-the-art comparator).
+* :class:`MultivariateGDController` — joint three-variable gradient
+  descent, the approach §III shows getting stuck in local optima.
+* :class:`GlobusController` — globus-url-copy's static monolithic
+  configuration (concurrency 4, parallelism 8 in the paper's runs).
+* :class:`StaticController` — arbitrary fixed triple (oracle or naive).
+* :class:`ProbeHeuristicController` — active-probing hill climber on a
+  single monolithic concurrency (the heuristic family of related work).
+* :class:`OnlineDRLController` — Hasibul et al. [17]: one monolithic
+  concurrency learned by DRL *online* during the transfer (the training-cost
+  comparator behind the paper's "8× faster convergence").
+"""
+
+from repro.baselines.globus import GlobusController
+from repro.baselines.heuristic import ProbeHeuristicController
+from repro.baselines.marlin import MarlinConfig, MarlinController
+from repro.baselines.multivariate_gd import MultivariateGDConfig, MultivariateGDController
+from repro.baselines.online_drl import OnlineDRLController
+from repro.baselines.static import StaticController
+
+__all__ = [
+    "GlobusController",
+    "ProbeHeuristicController",
+    "MarlinConfig",
+    "MarlinController",
+    "MultivariateGDConfig",
+    "MultivariateGDController",
+    "OnlineDRLController",
+    "StaticController",
+]

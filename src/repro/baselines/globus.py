@@ -1,0 +1,25 @@
+"""Globus (globus-url-copy) baseline: static monolithic configuration.
+
+The paper uses globus-url-copy from the Grid Community Toolkit with
+concurrency 4 and parallelism 8 — values "system administrators typically
+avoid [setting] aggressive[ly]".  The tool is monolithic: the same
+concurrency drives read and write threads, and the network opens
+``concurrency × parallelism`` TCP streams.  It never adapts during the
+transfer.
+"""
+
+from __future__ import annotations
+
+from repro.transfer.monolithic import MonolithicController
+
+
+class GlobusController(MonolithicController):
+    """globus-url-copy's fixed ``-cc``/``-p`` configuration."""
+
+    def __init__(self, concurrency: int = 4, parallelism: int = 8) -> None:
+        super().__init__(concurrency=int(concurrency), parallelism=int(parallelism))
+
+    @property
+    def concurrency(self) -> int:
+        """The fixed ``-cc`` value."""
+        return self._policy  # type: ignore[return-value]

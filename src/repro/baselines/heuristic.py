@@ -1,0 +1,61 @@
+"""Active-probing heuristic baseline (monolithic AIMD-style hill climber).
+
+Represents the heuristic family of related work ([7], [8], [27]): probe a
+higher monolithic concurrency; keep climbing while measured throughput
+improves by more than a tolerance, back off multiplicatively when it stops
+paying.  Adaptive but monolithic — it cannot give read/network/write
+different levels, so it inherits the over-subscription problem of §III.
+"""
+
+from __future__ import annotations
+
+from repro.transfer.engine import Observation
+from repro.utils.config import require_in_range, require_positive
+
+
+class ProbeHeuristicController:
+    """Additive-increase / multiplicative-decrease on one concurrency knob."""
+
+    def __init__(
+        self,
+        *,
+        parallelism: int = 1,
+        increase_step: int = 2,
+        backoff: float = 0.75,
+        improvement_tolerance: float = 0.03,
+        max_threads: int = 30,
+    ) -> None:
+        require_positive(increase_step, "increase_step")
+        require_in_range(backoff, 0.1, 1.0, "backoff")
+        require_positive(max_threads, "max_threads")
+        self.parallelism = int(parallelism)
+        self.increase_step = int(increase_step)
+        self.backoff = backoff
+        self.improvement_tolerance = improvement_tolerance
+        self.max_threads = int(max_threads)
+        self._cc = 1.0
+        self._prev_throughput: float | None = None
+        self._prev_cc = 1.0
+
+    def reset(self) -> None:
+        """Restart the climb from concurrency 1."""
+        self._cc = 1.0
+        self._prev_throughput = None
+        self._prev_cc = 1.0
+
+    def propose(self, observation: Observation) -> tuple[int, int, int]:
+        """AIMD step on the single concurrency, expanded monolithically."""
+        throughput = observation.throughputs[2] or observation.throughputs[1]
+        if self._prev_throughput is None:
+            self._cc = min(self._cc + self.increase_step, self.max_threads)
+        else:
+            improving = throughput > self._prev_throughput * (1.0 + self.improvement_tolerance)
+            if improving or self._cc <= self._prev_cc:
+                self._prev_cc = self._cc
+                self._cc = min(self._cc + self.increase_step, self.max_threads)
+            else:
+                self._prev_cc = self._cc
+                self._cc = max(1.0, self._cc * self.backoff)
+        self._prev_throughput = throughput
+        cc = int(round(self._cc))
+        return (cc, min(cc * self.parallelism, self.max_threads), cc)

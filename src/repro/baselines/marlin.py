@@ -1,0 +1,116 @@
+"""Marlin baseline: three independent single-variable online optimizers.
+
+Marlin (Arifuzzaman & Arslan, ICS '23) decouples read, network and write
+concurrency but tunes each with its *own* gradient-descent optimizer over
+the same throughput-vs-thread-penalty utility.  Each stage estimates a
+finite-difference gradient of its utility ``U_i = t_i / k^{n_i}`` from the
+last two (concurrency, utility) observations and moves along it.
+
+Because the three optimizers ignore the buffer coupling (Fig. 1), each sees
+a *non-stationary* objective that shifts whenever its neighbours move —
+the root cause of the instability and slow convergence the paper reports
+(§III, §V-B).  No artificial handicap is injected here: the behaviour
+emerges from running the honest algorithm on the coupled system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.utility import DEFAULT_K, UtilityFunction
+from repro.transfer.engine import Observation
+from repro.utils.config import require_positive
+from repro.utils.rng import as_generator
+
+
+@dataclass(frozen=True)
+class MarlinConfig:
+    """Hyper-parameters of each per-stage optimizer."""
+
+    k: float = DEFAULT_K
+    learning_rate: float = 2.0
+    max_step: int = 2
+    probe_step: int = 1
+    initial_threads: int = 1
+    max_threads: int = 30
+
+    def __post_init__(self) -> None:
+        require_positive(self.learning_rate, "learning_rate")
+        require_positive(self.max_step, "max_step")
+        require_positive(self.max_threads, "max_threads")
+
+
+class _SingleVariableGD:
+    """One stage's gradient-descent loop over ``U(n) = t / k^n``."""
+
+    def __init__(self, config: MarlinConfig, rng: np.random.Generator) -> None:
+        self.config = config
+        self.rng = rng
+        self.n = float(config.initial_threads)
+        self._prev_n: float | None = None
+        self._prev_utility: float | None = None
+        self._utility_scale = 1.0
+
+    def reset(self) -> None:
+        self.n = float(self.config.initial_threads)
+        self._prev_n = None
+        self._prev_utility = None
+        self._utility_scale = 1.0
+
+    def propose(self, utility: float) -> int:
+        """Observe the utility of the current ``n`` and move it."""
+        cfg = self.config
+        # Track the running utility scale so the step size is unit-free.
+        self._utility_scale = max(self._utility_scale, abs(utility), 1e-9)
+
+        if self._prev_n is None or self._prev_utility is None or self._prev_n == self.n:
+            # No gradient information yet: probe upward.
+            step = float(cfg.probe_step)
+        else:
+            grad = (utility - self._prev_utility) / (self.n - self._prev_n)
+            grad /= self._utility_scale  # normalize to ~O(1)
+            step = cfg.learning_rate * grad * cfg.max_threads
+            step = float(np.clip(step, -cfg.max_step, cfg.max_step))
+            if abs(step) < 0.5:
+                # Flat gradient: keep a small dither so the optimizer never
+                # stops probing (Marlin's continued fluctuation).
+                step = float(self.rng.choice((-1.0, 1.0)))
+
+        self._prev_n = self.n
+        self._prev_utility = utility
+        self.n = float(np.clip(self.n + step, 1, cfg.max_threads))
+        return int(round(self.n))
+
+
+class MarlinController:
+    """Marlin's decoupled per-stage optimizers as an engine controller."""
+
+    def __init__(
+        self,
+        config: MarlinConfig | None = None,
+        rng: int | np.random.Generator | None = None,
+    ) -> None:
+        self.config = config or MarlinConfig()
+        rng = as_generator(rng)
+        self.utility = UtilityFunction(self.config.k)
+        self._stages = [
+            _SingleVariableGD(self.config, np.random.default_rng(rng.integers(2**63)))
+            for _ in range(3)
+        ]
+
+    def propose(self, observation: Observation) -> tuple[int, int, int]:
+        """Each stage independently observes its utility and moves its knob."""
+        throughputs = observation.throughputs
+        threads = observation.threads
+        new = tuple(
+            stage.propose(self.utility.stage_utility(throughputs[i], threads[i]))
+            for i, stage in enumerate(self._stages)
+        )
+        return new  # type: ignore[return-value]
+
+    def reset(self) -> None:
+        """Restart all three optimizers from their initial concurrency."""
+        for stage in self._stages:
+            stage.reset()

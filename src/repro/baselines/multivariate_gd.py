@@ -1,0 +1,89 @@
+"""Joint multivariate gradient descent — the failure case of §III.
+
+Marlin's authors first tried optimizing all three concurrency values with a
+single multivariate gradient-descent loop over the joint utility
+``U = Σ_i t_i / k^{n_i}`` and found it never converges: starting with empty
+buffers, raising network/write concurrency yields zero utility gain (no
+data to move), while raising read concurrency pays off immediately — so
+the optimizer climbs the read axis, stalls when the buffer fills, and has
+no gradient signal pointing anywhere useful.  "Multivariate gradient
+descent gets stuck to local optima at the beginning ... and never recovers"
+(§III).
+
+This controller reproduces that honest algorithm so the pathology can be
+demonstrated (see ``benchmarks/bench_figure1.py`` and the motivation
+example).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.utility import DEFAULT_K, UtilityFunction
+from repro.transfer.engine import Observation
+from repro.utils.config import require_positive
+from repro.utils.rng import as_generator
+
+
+@dataclass(frozen=True)
+class MultivariateGDConfig:
+    """Hyper-parameters of the joint gradient-descent optimizer."""
+
+    k: float = DEFAULT_K
+    learning_rate: float = 3.0
+    max_step: int = 3
+    initial_threads: int = 1
+    max_threads: int = 30
+
+    def __post_init__(self) -> None:
+        require_positive(self.learning_rate, "learning_rate")
+        require_positive(self.max_threads, "max_threads")
+
+
+class MultivariateGDController:
+    """Finite-difference joint gradient ascent on the total utility."""
+
+    def __init__(
+        self,
+        config: MultivariateGDConfig | None = None,
+        rng: int | np.random.Generator | None = None,
+    ) -> None:
+        self.config = config or MultivariateGDConfig()
+        self.utility = UtilityFunction(self.config.k)
+        self.rng = as_generator(rng)
+        self._n = np.full(3, float(self.config.initial_threads))
+        self._prev_n: np.ndarray | None = None
+        self._prev_utility: float | None = None
+        self._scale = 1.0
+
+    def reset(self) -> None:
+        """Restart from the initial concurrency."""
+        self._n = np.full(3, float(self.config.initial_threads))
+        self._prev_n = None
+        self._prev_utility = None
+        self._scale = 1.0
+
+    def propose(self, observation: Observation) -> tuple[int, int, int]:
+        """One joint finite-difference step on ``U(n_r, n_n, n_w)``."""
+        cfg = self.config
+        value = self.utility(observation.throughputs, observation.threads)
+        self._scale = max(self._scale, abs(value), 1e-9)
+
+        if self._prev_n is None or self._prev_utility is None:
+            step = np.ones(3)  # initial upward probe on every axis
+        else:
+            delta_n = self._n - self._prev_n
+            delta_u = (value - self._prev_utility) / self._scale
+            # Per-axis finite-difference estimate; axes that did not move
+            # get zero gradient — exactly the blind spot that strands the
+            # optimizer once one axis stops paying off.
+            grad = np.where(delta_n != 0.0, delta_u / np.where(delta_n == 0, 1.0, delta_n), 0.0)
+            step = np.clip(cfg.learning_rate * grad * cfg.max_threads, -cfg.max_step, cfg.max_step)
+
+        self._prev_n = self._n.copy()
+        self._prev_utility = value
+        self._n = np.clip(self._n + step, 1, cfg.max_threads)
+        rounded = np.round(self._n).astype(int)
+        return (int(rounded[0]), int(rounded[1]), int(rounded[2]))

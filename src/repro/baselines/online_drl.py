@@ -1,0 +1,110 @@
+"""Online single-parameter DRL baseline (Hasibul et al. [17]).
+
+The predecessor approach the paper cites for training cost: a DRL agent
+that tunes ONE monolithic concurrency value and learns *online, during the
+transfer* — no simulator, no decoupling.  Their reported cost: ~28 hours of
+online training (5,000 iterations) for a single link.
+
+As a controller it therefore spends the early part of every deployment
+exploring: the agent treats each block of ``steps_per_episode`` probe
+intervals as an episode, rewards itself with the monolithic utility
+``t_w / k^cc``, and updates after every episode.  AutoMDT's offline
+training is what removes exactly this warm-up, which is where the paper's
+"up to 8× faster convergence" headline comes from.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.ppo import PPOAgent, PPOConfig
+from repro.core.utility import DEFAULT_K, UtilityFunction
+from repro.transfer.engine import Observation
+from repro.utils.config import require_positive
+from repro.utils.rng import as_generator
+
+
+class OnlineDRLController:
+    """Monolithic concurrency tuned by an online PPO agent.
+
+    State: ``(cc/n_max, t_w/scale, sender_free_frac, receiver_free_frac)``.
+    Action: one normalized value mapped to ``cc ∈ [1, n_max]``; the engine
+    gets the triple ``(cc, cc·parallelism, cc)``.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_threads: int = 30,
+        throughput_scale: float = 1000.0,
+        parallelism: int = 1,
+        k: float = DEFAULT_K,
+        steps_per_episode: int = 10,
+        ppo_config: PPOConfig | None = None,
+        rng: int | np.random.Generator | None = None,
+    ) -> None:
+        require_positive(max_threads, "max_threads")
+        require_positive(throughput_scale, "throughput_scale")
+        self.max_threads = int(max_threads)
+        self.throughput_scale = float(throughput_scale)
+        self.parallelism = int(parallelism)
+        self.utility = UtilityFunction(k)
+        self.steps_per_episode = int(steps_per_episode)
+        self.rng = as_generator(rng)
+        self._ppo_config = ppo_config or PPOConfig(
+            hidden_dim=64, policy_blocks=1, value_blocks=1
+        )
+        self._build()
+
+    def _build(self) -> None:
+        self.agent = PPOAgent(
+            state_dim=4, action_dim=1, config=self._ppo_config, rng=self.rng
+        )
+        self._episode_step = 0
+        self._pending: tuple[np.ndarray, np.ndarray, float] | None = None
+        self._cc = 1
+        self.episodes_completed = 0
+
+    def reset(self) -> None:
+        """A fresh transfer restarts the *deployment*, not the learning."""
+        self._episode_step = 0
+        self._pending = None
+        self._cc = 1
+
+    def _state(self, obs: Observation) -> np.ndarray:
+        return np.array(
+            [
+                self._cc / self.max_threads,
+                obs.throughputs[2] / self.throughput_scale,
+                obs.sender_free / obs.sender_capacity,
+                obs.receiver_free / obs.receiver_capacity,
+            ]
+        )
+
+    def _action_to_cc(self, action: np.ndarray) -> int:
+        raw = 1.0 + float(action.reshape(-1)[0]) * (self.max_threads - 1)
+        return int(np.clip(round(raw), 1, self.max_threads))
+
+    def propose(self, observation: Observation) -> tuple[int, int, int]:
+        """One online-RL step: credit the last action, sample the next."""
+        state = self._state(observation)
+        if self._pending is not None:
+            prev_state, prev_action, prev_log_prob = self._pending
+            # Monolithic utility: end-to-end throughput, paying for cc
+            # threads on every stage.
+            reward = self.utility.stage_utility(observation.throughputs[2], 3 * self._cc)
+            reward /= self.throughput_scale  # keep O(1) like the envs
+            self.agent.memory.store(prev_state, prev_action, prev_log_prob, reward)
+            self._episode_step += 1
+            if self._episode_step >= self.steps_per_episode:
+                self.agent.memory.end_episode(self.agent.config.gamma)
+                self.agent.update()
+                self.agent.memory.clear()
+                self._episode_step = 0
+                self.episodes_completed += 1
+
+        action, log_prob = self.agent.act(state)
+        self._pending = (state, action, log_prob)
+        self._cc = self._action_to_cc(action)
+        net = min(self._cc * self.parallelism, self.max_threads * self.parallelism)
+        return (self._cc, net, self._cc)

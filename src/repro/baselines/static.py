@@ -1,0 +1,26 @@
+"""Static controller: an arbitrary fixed concurrency triple.
+
+Used both as the "oracle" upper bound (the ideal triple from the testbed
+config) and as a naive fixed configuration in ablations.
+"""
+
+from __future__ import annotations
+
+from repro.transfer.engine import Observation
+from repro.utils.errors import ConfigError
+
+
+class StaticController:
+    """Always proposes the same (read, network, write) triple."""
+
+    def __init__(self, threads: tuple[int, int, int]) -> None:
+        if len(threads) != 3 or any(int(n) < 1 for n in threads):
+            raise ConfigError(f"threads must be three positive ints, got {threads!r}")
+        self.threads = (int(threads[0]), int(threads[1]), int(threads[2]))
+
+    def propose(self, observation: Observation) -> tuple[int, int, int]:
+        """The fixed triple, regardless of observation."""
+        return self.threads
+
+    def reset(self) -> None:
+        """Nothing to reset."""

@@ -1,0 +1,67 @@
+"""Agent checkpointing: parameters + the metadata needed to redeploy them.
+
+A checkpoint bundles the policy/value parameters with the exploration
+profile quantities (``n_max``, throughput scale, action mode) that the
+production controller must reuse to reconstruct states identically.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.ppo import PPOAgent, PPOConfig
+
+
+@dataclass(frozen=True)
+class CheckpointMeta:
+    """Deployment metadata stored alongside the weights."""
+
+    max_threads: int
+    throughput_scale: float
+    action_mode: str
+    utility_k: float
+    state_dim: int = 8
+    action_dim: int = 3
+
+
+def save_checkpoint(path: str | Path, agent: PPOAgent, meta: CheckpointMeta) -> None:
+    """Write ``<path>.npz`` (weights) and ``<path>.json`` (meta + PPO config)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    state = agent.state_dict()
+    flat: dict[str, np.ndarray] = {}
+    for net_name, net_state in state.items():
+        for key, value in net_state.items():
+            flat[f"{net_name}/{key}"] = value
+    np.savez(path.with_suffix(".npz"), **flat)
+    meta_blob = {
+        "meta": meta.__dict__,
+        "ppo_config": {
+            k: (list(v) if isinstance(v, tuple) else v)
+            for k, v in agent.config.__dict__.items()
+        },
+    }
+    path.with_suffix(".json").write_text(json.dumps(meta_blob, indent=2))
+
+
+def load_checkpoint(path: str | Path, rng=None) -> tuple[PPOAgent, CheckpointMeta]:
+    """Rebuild an agent (and its metadata) from :func:`save_checkpoint` files."""
+    path = Path(path)
+    blob = json.loads(path.with_suffix(".json").read_text())
+    raw_cfg = dict(blob["ppo_config"])
+    raw_cfg.pop("seed", None)
+    if "log_std_range" in raw_cfg:
+        raw_cfg["log_std_range"] = tuple(raw_cfg["log_std_range"])
+    meta = CheckpointMeta(**blob["meta"])
+    agent = PPOAgent(meta.state_dim, meta.action_dim, PPOConfig(**raw_cfg), rng=rng)
+    with np.load(path.with_suffix(".npz")) as archive:
+        nets: dict[str, dict[str, np.ndarray]] = {"policy": {}, "value": {}}
+        for key in archive.files:
+            net_name, param_name = key.split("/", 1)
+            nets[net_name][param_name] = archive[key]
+    agent.load_state_dict(nets)
+    return agent, meta

@@ -1,0 +1,133 @@
+"""The exploration-and-logging phase, §IV-A.
+
+A 10-minute "random-threads" run: every second the engine applies a random
+concurrency triple and logs thread counts and per-stage throughputs.  From
+the log we keep the per-stage bandwidth ceilings
+
+``B_i = max T_i``
+
+and per-thread throughputs
+
+``TPT_i = max T_i / n_i``,
+
+define the end-to-end bottleneck ``b = min(B_r, B_n, B_w)``, and — assuming
+near-linear scaling up to the bottleneck — derive the thread counts needed
+to hit it, ``n_i* = b / TPT_i``.  The resulting
+:class:`ExplorationProfile` seeds the offline-training simulator and the
+convergence criterion's ``R_max``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.utility import UtilityFunction
+from repro.emulator.testbed import Testbed
+from repro.utils.config import require_positive
+from repro.utils.errors import SimulationError
+from repro.utils.rng import as_generator
+
+
+@dataclass(frozen=True)
+class ExplorationProfile:
+    """What the logging phase learned about the environment.
+
+    Rates in Mbps; ``samples`` is the number of one-second probes.
+    """
+
+    bandwidth: tuple[float, float, float]
+    tpt: tuple[float, float, float]
+    sender_buffer_capacity: float
+    receiver_buffer_capacity: float
+    max_threads: int
+    samples: int
+
+    @property
+    def bottleneck(self) -> float:
+        """End-to-end bottleneck ``b = min(B_r, B_n, B_w)``."""
+        return min(self.bandwidth)
+
+    def optimal_threads(self) -> tuple[int, int, int]:
+        """``n_i* = ceil(b / TPT_i)``, clamped to ``[1, max_threads]``."""
+        b = self.bottleneck
+        return tuple(
+            int(min(self.max_threads, max(1, math.ceil(b / tpt)))) for tpt in self.tpt
+        )  # type: ignore[return-value]
+
+    def max_reward(self, utility: UtilityFunction) -> float:
+        """``R_max`` for the convergence criterion (§IV-E)."""
+        return utility.max_reward(self.bottleneck, self.optimal_threads())
+
+    def to_dict(self) -> dict:
+        """JSON-friendly form."""
+        return {
+            "bandwidth": list(self.bandwidth),
+            "tpt": list(self.tpt),
+            "sender_buffer_capacity": self.sender_buffer_capacity,
+            "receiver_buffer_capacity": self.receiver_buffer_capacity,
+            "max_threads": self.max_threads,
+            "samples": self.samples,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExplorationProfile":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            bandwidth=tuple(data["bandwidth"]),
+            tpt=tuple(data["tpt"]),
+            sender_buffer_capacity=data["sender_buffer_capacity"],
+            receiver_buffer_capacity=data["receiver_buffer_capacity"],
+            max_threads=data["max_threads"],
+            samples=data["samples"],
+        )
+
+
+def run_exploration(
+    testbed: Testbed,
+    *,
+    duration: float = 600.0,
+    rng: int | np.random.Generator | None = None,
+    probe_interval: float = 1.0,
+) -> ExplorationProfile:
+    """Run the random-threads logging phase on ``testbed``.
+
+    The testbed is reset first and left dirty afterwards (callers reset
+    before the production transfer, as the real pipeline would restart its
+    data plane).  The default ``duration`` of 600 s is the paper's
+    10-minute run; tests use much shorter windows.
+    """
+    require_positive(duration, "duration")
+    rng = as_generator(rng)
+    testbed.reset()
+    n_max = testbed.config.max_threads
+
+    best_bandwidth = np.zeros(3)
+    best_tpt = np.zeros(3)
+    steps = int(round(duration / probe_interval))
+    if steps <= 0:
+        raise SimulationError(f"duration {duration} too short for probe interval {probe_interval}")
+
+    for _ in range(steps):
+        threads = tuple(int(v) for v in rng.integers(1, n_max + 1, size=3))
+        flows = testbed.advance(threads, probe_interval)
+        observed = np.asarray(flows.throughputs)
+        np.maximum(best_bandwidth, observed, out=best_bandwidth)
+        np.maximum(best_tpt, observed / np.asarray(threads, dtype=float), out=best_tpt)
+
+    if (best_bandwidth <= 0).any():
+        raise SimulationError(
+            "exploration observed zero throughput on some stage; "
+            "run longer or check the testbed configuration"
+        )
+
+    return ExplorationProfile(
+        bandwidth=tuple(float(v) for v in best_bandwidth),
+        tpt=tuple(float(v) for v in best_tpt),
+        sender_buffer_capacity=testbed.sender_buffer.capacity,
+        receiver_buffer_capacity=testbed.receiver_buffer.capacity,
+        max_threads=n_max,
+        samples=steps,
+    )

@@ -1,0 +1,267 @@
+"""The PPO agent (Algorithm 2's actor-critic update).
+
+Faithful to the paper's loss:
+
+* discounted returns ``G_t = r_t + γ G_{t+1}``;
+* advantages ``A_t = G_t − V_φ(s_t)`` (no GAE);
+* clipped surrogate ``−min(r_t A_t, clip(r_t, 1−ε, 1+ε) A_t)``;
+* critic term ``0.5 · MSE(G_t, V_φ(s_t))``;
+* entropy bonus ``−0.1 · entropy``;
+* a single Adam optimizer over both networks; old policy synced after the
+  update.
+
+Deviations exposed as configuration (see EXPERIMENTS.md for the study):
+
+* ``update_epochs`` (default 4): the paper does one gradient pass per
+  episode, where the ratio against the just-synced old policy starts at 1
+  and the clip is inert; re-walking the batch makes the clip active and
+  converges in fewer episodes.  Set 1 for the literal behaviour.
+* ``entropy_coef`` (default 1e-3): the paper's 0.1 applies to *raw-utility*
+  rewards in the thousands of Mbps; our environments normalize rewards by
+  ``R_max`` to O(1), so the equivalent relative weight is ~1e-3.  Using 0.1
+  at normalized scale freezes σ near its init and stalls convergence.
+* ``gamma`` (default 0.5): Algorithm 2 leaves γ unspecified.  The 8-dim
+  state carries no time-to-go, so with γ near 1 the finite-horizon returns
+  alias states and swamp advantages with time-structured noise; moderate
+  discounting matches the mostly-immediate reward structure of the task.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor, clip, minimum, no_grad
+from repro.core.networks import PolicyNetwork, ValueNetwork
+from repro.nn.optim import Adam, clip_grad_norm
+from repro.utils.config import require_in_range, require_positive
+from repro.utils.rng import as_generator
+
+
+@dataclass(frozen=True)
+class PPOConfig:
+    """Hyper-parameters of Algorithm 2."""
+
+    learning_rate: float = 2e-3
+    final_learning_rate: float = 1e-4  # linear decay target; set equal to learning_rate to disable
+    gamma: float = 0.5
+    clip_epsilon: float = 0.2
+    entropy_coef: float = 1e-3
+    critic_coef: float = 1.0  # multiplies the 0.5·MSE critic term
+    update_epochs: int = 4
+    max_grad_norm: float = 0.5
+    hidden_dim: int = 256
+    policy_blocks: int = 3
+    value_blocks: int = 2
+    log_std_init: float = -1.0
+    log_std_range: tuple[float, float] = (-4.0, 0.5)
+    normalize_advantages: bool = True
+
+    def __post_init__(self) -> None:
+        require_positive(self.learning_rate, "learning_rate")
+        require_in_range(self.gamma, 0.0, 1.0, "gamma")
+        require_in_range(self.clip_epsilon, 0.0, 1.0, "clip_epsilon")
+        require_positive(self.update_epochs, "update_epochs")
+        require_positive(self.hidden_dim, "hidden_dim")
+
+
+class RolloutMemory:
+    """Episode storage ``M`` of (state, action, log-prob, reward).
+
+    Holds one *or more* complete episodes between updates; call
+    :meth:`end_episode` at each episode boundary so discounted returns never
+    bleed across episodes.
+    """
+
+    def __init__(self) -> None:
+        self.states: list[np.ndarray] = []
+        self.actions: list[np.ndarray] = []
+        self.log_probs: list[float] = []
+        self.rewards: list[float] = []
+        self.returns: list[float] = []
+        self._episode_start = 0
+
+    def store(self, state: np.ndarray, action: np.ndarray, log_prob: float, reward: float) -> None:
+        """Append one transition."""
+        self.states.append(np.asarray(state, dtype=float))
+        self.actions.append(np.asarray(action, dtype=float))
+        self.log_probs.append(float(log_prob))
+        self.rewards.append(float(reward))
+
+    def end_episode(self, gamma: float) -> None:
+        """Convert the rewards of the just-finished episode into returns."""
+        segment = np.asarray(self.rewards[self._episode_start:])
+        self.returns.extend(discounted_returns(segment, gamma).tolist())
+        self._episode_start = len(self.rewards)
+
+    def clear(self) -> None:
+        """Drop all stored transitions (after an update)."""
+        self.states.clear()
+        self.actions.clear()
+        self.log_probs.clear()
+        self.rewards.clear()
+        self.returns.clear()
+        self._episode_start = 0
+
+    def __len__(self) -> int:
+        return len(self.states)
+
+    def arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Batched ``(states, actions, old_log_probs, returns)``.
+
+        Any trailing episode without an :meth:`end_episode` call is closed
+        implicitly with ``gamma`` unavailable — callers must end episodes
+        first; a mismatch raises.
+        """
+        if len(self.returns) != len(self.rewards):
+            raise RuntimeError(
+                "end_episode() must be called after every episode before update()"
+            )
+        return (
+            np.stack(self.states),
+            np.stack(self.actions),
+            np.asarray(self.log_probs),
+            np.asarray(self.returns),
+        )
+
+
+def discounted_returns(rewards: np.ndarray, gamma: float) -> np.ndarray:
+    """``G_t = r_t + γ G_{t+1}`` computed right-to-left (vectorized tail)."""
+    returns = np.empty_like(rewards, dtype=float)
+    running = 0.0
+    for t in range(len(rewards) - 1, -1, -1):
+        running = rewards[t] + gamma * running
+        returns[t] = running
+    return returns
+
+
+class PPOAgent:
+    """Actor-critic PPO over the 8-dim concurrency state space."""
+
+    def __init__(
+        self,
+        state_dim: int = 8,
+        action_dim: int = 3,
+        config: PPOConfig | None = None,
+        rng: int | np.random.Generator | None = None,
+    ) -> None:
+        self.config = config or PPOConfig()
+        self.rng = as_generator(rng)
+        cfg = self.config
+        self.policy = PolicyNetwork(
+            state_dim,
+            action_dim,
+            cfg.hidden_dim,
+            cfg.policy_blocks,
+            log_std_init=cfg.log_std_init,
+            log_std_range=cfg.log_std_range,
+            rng=self.rng,
+        )
+        self.policy_old = PolicyNetwork(
+            state_dim,
+            action_dim,
+            cfg.hidden_dim,
+            cfg.policy_blocks,
+            log_std_init=cfg.log_std_init,
+            log_std_range=cfg.log_std_range,
+            rng=self.rng,
+        )
+        self.policy_old.copy_from(self.policy)
+        self.value = ValueNetwork(state_dim, cfg.hidden_dim, cfg.value_blocks, rng=self.rng)
+        self.optimizer = Adam(
+            self.policy.parameters() + self.value.parameters(), lr=cfg.learning_rate
+        )
+        self.memory = RolloutMemory()
+
+    def set_lr_progress(self, fraction: float) -> None:
+        """Linearly anneal the learning rate; ``fraction`` in [0, 1]."""
+        fraction = min(1.0, max(0.0, fraction))
+        cfg = self.config
+        self.optimizer.lr = cfg.learning_rate + fraction * (
+            cfg.final_learning_rate - cfg.learning_rate
+        )
+
+    # ----------------------------------------------------------------- acting
+    def act(self, state: np.ndarray, *, deterministic: bool = False) -> tuple[np.ndarray, float]:
+        """Sample an action (Algorithm 2 lines 8–9); returns ``(action, log_prob)``."""
+        with no_grad():
+            dist = self.policy(np.asarray(state, dtype=float))
+            if deterministic:
+                action = dist.mode()
+            else:
+                action = dist.sample(self.rng)
+            log_prob = float(dist.log_prob(action).data)
+        return action, log_prob
+
+    def value_of(self, state: np.ndarray) -> float:
+        """Critic estimate for one state."""
+        with no_grad():
+            return float(self.value(np.asarray(state, dtype=float)).data)
+
+    # ----------------------------------------------------------------- update
+    def update(self) -> dict[str, float]:
+        """One Algorithm-2 update over the episode stored in ``self.memory``.
+
+        Returns diagnostics (losses, entropy, mean ratio).  The memory is
+        left intact; callers clear it when starting the next episode.
+        """
+        cfg = self.config
+        states, actions, old_log_probs, returns = self.memory.arrays()
+        returns_t = Tensor(returns)
+
+        stats: dict[str, float] = {}
+        for _ in range(cfg.update_epochs):
+            dist = self.policy(states)
+            log_probs = dist.log_prob(actions)
+            entropy = dist.entropy()  # scalar (state-independent std)
+
+            values = self.value(states)
+            advantages = returns - values.data  # A_t = G_t - V(s_t), no grad into actor
+            if cfg.normalize_advantages and len(advantages) > 1:
+                advantages = (advantages - advantages.mean()) / (advantages.std() + 1e-8)
+            advantages_t = Tensor(advantages)
+
+            from repro.autograd.tensor import exp as _exp
+
+            ratio = _exp(log_probs - Tensor(old_log_probs))
+            surr1 = ratio * advantages_t
+            surr2 = clip(ratio, 1.0 - cfg.clip_epsilon, 1.0 + cfg.clip_epsilon) * advantages_t
+            actor_loss = -minimum(surr1, surr2).mean()
+
+            diff = values - returns_t
+            critic_loss = (diff * diff).mean() * 0.5
+
+            loss = actor_loss + critic_loss * cfg.critic_coef - entropy * cfg.entropy_coef
+
+            self.optimizer.zero_grad()
+            loss.backward()
+            clip_grad_norm(self.optimizer.parameters, cfg.max_grad_norm)
+            self.optimizer.step()
+
+            stats = {
+                "loss": loss.item(),
+                "actor_loss": actor_loss.item(),
+                "critic_loss": critic_loss.item(),
+                "entropy": float(entropy.data),
+                "mean_ratio": float(ratio.data.mean()),
+                "mean_return": float(returns.mean()),
+            }
+
+        # π_old ← π (Algorithm 2, line 28).
+        self.policy_old.copy_from(self.policy)
+        return stats
+
+    # ------------------------------------------------------------- persistence
+    def state_dict(self) -> dict:
+        """All learnable state (policy + value)."""
+        return {
+            "policy": self.policy.state_dict(),
+            "value": self.value.state_dict(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore from :meth:`state_dict` output."""
+        self.policy.load_state_dict(state["policy"])
+        self.policy_old.copy_from(self.policy)
+        self.value.load_state_dict(state["value"])

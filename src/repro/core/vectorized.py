@@ -1,0 +1,219 @@
+"""Batched training: N simulator environments per policy forward.
+
+Serial Algorithm-2 training spends most of its wall-clock in per-step
+single-state policy forwards.  Batching ``B`` environments turns ``B``
+small matmuls into one ``(B, 8) @ (8, 256)`` — the vectorization lever the
+hpc-parallel guides point at — and collects ``B`` episodes per PPO update
+(the batched-update configuration the serial trainer uses anyway).
+
+Outputs are statistically equivalent to serial training with
+``episodes_per_update = B``; see ``benchmarks/bench_vectorized.py`` for the
+measured speedup and the training-quality check.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.autograd.tensor import no_grad
+from repro.core.ppo import PPOAgent
+from repro.core.training import TrainingConfig, TrainingResult
+from repro.core.utility import UtilityFunction
+from repro.simulator.config import SimulatorConfig
+from repro.simulator.fluid import FluidBatchSimulator
+from repro.utils.config import require_positive
+from repro.utils.rng import as_generator
+
+
+class VectorizedSimulatorEnv:
+    """``B`` synchronized copies of the offline-training environment.
+
+    All environments share one scenario (like :class:`SimulatorEnv` without
+    a sampler) and reset together — episodes are naturally aligned, which
+    keeps return computation a reshape instead of bookkeeping.
+    """
+
+    state_dim = 8
+    action_dim = 3
+
+    def __init__(
+        self,
+        config: SimulatorConfig,
+        batch_size: int = 8,
+        *,
+        utility: UtilityFunction | None = None,
+        episode_steps: int = 10,
+        randomize_initial_buffers: bool = True,
+        rng: int | np.random.Generator | None = None,
+    ) -> None:
+        require_positive(batch_size, "batch_size")
+        self.config = config
+        self.batch_size = int(batch_size)
+        self.utility = utility or UtilityFunction()
+        self.episode_steps = int(episode_steps)
+        self.randomize_initial_buffers = randomize_initial_buffers
+        self.rng = as_generator(rng)
+        self.max_threads = config.max_threads
+        self.throughput_scale = config.bottleneck
+        self.max_reward = self.utility.max_reward(config.bottleneck, config.optimal_threads())
+        self.simulator = FluidBatchSimulator(config, self.batch_size)
+        self._step_count = 0
+        self._k_pow = None  # cached k**-n table for the reward
+
+    # ------------------------------------------------------------ mechanics
+    def _make_states(self, out: dict[str, np.ndarray]) -> np.ndarray:
+        n = out["threads"] / self.max_threads
+        t = out["throughputs"] / self.throughput_scale
+        buffers = np.stack(
+            [
+                out["sender_free"] / self.config.sender_buffer_capacity,
+                out["receiver_free"] / self.config.receiver_buffer_capacity,
+            ],
+            axis=-1,
+        )
+        return np.concatenate([n, t, buffers], axis=-1)
+
+    def _rewards(self, out: dict[str, np.ndarray]) -> np.ndarray:
+        penal = self.utility.k ** -out["threads"].astype(float)
+        utilities = (out["throughputs"] * penal).sum(axis=-1)
+        return utilities / self.max_reward
+
+    def actions_to_threads(self, actions: np.ndarray) -> np.ndarray:
+        """Normalized (B, 3) actions → integer thread counts."""
+        raw = 1.0 + np.asarray(actions, dtype=float) * (self.max_threads - 1)
+        return np.clip(np.round(raw), 1, self.max_threads)
+
+    def reset(self) -> np.ndarray:
+        """Start a batch of fresh episodes; returns (B, 8) states."""
+        self._step_count = 0
+        if self.randomize_initial_buffers:
+            self.simulator.reset(
+                sender_usage=self.rng.uniform(
+                    0.0, 0.5 * self.config.sender_buffer_capacity, self.batch_size
+                ),
+                receiver_usage=self.rng.uniform(
+                    0.0, 0.5 * self.config.receiver_buffer_capacity, self.batch_size
+                ),
+            )
+        else:
+            self.simulator.reset()
+        threads = self.rng.integers(1, self.max_threads + 1, size=(self.batch_size, 3))
+        out = self.simulator.step_second(threads.astype(float))
+        return self._make_states(out)
+
+    def step(self, actions: np.ndarray) -> tuple[np.ndarray, np.ndarray, bool, dict]:
+        """Apply (B, 3) actions for one simulated second everywhere."""
+        threads = self.actions_to_threads(actions)
+        out = self.simulator.step_second(threads)
+        rewards = self._rewards(out)
+        self._step_count += 1
+        done = self._step_count >= self.episode_steps
+        return self._make_states(out), rewards, done, out
+
+
+def train_vectorized(
+    agent: PPOAgent,
+    env: VectorizedSimulatorEnv,
+    config: TrainingConfig | None = None,
+    *,
+    max_episode_reward: float | None = None,
+) -> TrainingResult:
+    """Algorithm 2 with batched rollouts: one update per ``B`` episodes.
+
+    Convergence bookkeeping matches :func:`repro.core.training.train`
+    (best-episode tracking, 90%·R_max + stagnation early stop); episode
+    counts include every environment in the batch.
+    """
+    cfg = config or TrainingConfig()
+    r_max = (
+        float(max_episode_reward)
+        if max_episode_reward is not None
+        else float(cfg.steps_per_episode)
+    )
+    target = cfg.convergence_threshold * r_max
+    B = env.batch_size
+
+    rewards_log: list[float] = []
+    best_reward = -np.inf
+    best_episode = -1
+    best_state = agent.state_dict()
+    stagnant = 0
+    converged = False
+    convergence_episode: int | None = None
+    started = time.perf_counter()
+
+    episode = 0
+    while episode < cfg.max_episodes:
+        states = env.reset()
+        batch_states: list[np.ndarray] = []
+        batch_actions: list[np.ndarray] = []
+        batch_log_probs: list[np.ndarray] = []
+        batch_rewards: list[np.ndarray] = []
+        for _ in range(cfg.steps_per_episode):
+            with no_grad():
+                dist = agent.policy(states)
+                actions = dist.sample(agent.rng)
+                log_probs = dist.log_prob(actions).data
+            next_states, step_rewards, done, _ = env.step(actions)
+            batch_states.append(states)
+            batch_actions.append(actions)
+            batch_log_probs.append(np.asarray(log_probs))
+            batch_rewards.append(step_rewards)
+            states = next_states
+            if done:
+                break
+
+        # Store as B consecutive episodes (time-major -> env-major).
+        steps = len(batch_rewards)
+        states_arr = np.stack(batch_states)  # (T, B, 8)
+        actions_arr = np.stack(batch_actions)
+        lps_arr = np.stack(batch_log_probs)
+        rewards_arr = np.stack(batch_rewards)  # (T, B)
+        agent.memory.clear()
+        for b in range(B):
+            for t_i in range(steps):
+                agent.memory.store(
+                    states_arr[t_i, b], actions_arr[t_i, b],
+                    float(lps_arr[t_i, b]), float(rewards_arr[t_i, b]),
+                )
+            agent.memory.end_episode(agent.config.gamma)
+        agent.set_lr_progress(episode / cfg.max_episodes)
+        agent.update()
+        agent.memory.clear()
+
+        episode_rewards = rewards_arr.sum(axis=0)  # (B,)
+        for value in episode_rewards:
+            rewards_log.append(float(value))
+        batch_best = float(episode_rewards.max())
+        if batch_best > best_reward:
+            best_reward = batch_best
+            best_episode = episode + int(episode_rewards.argmax())
+            best_state = agent.state_dict()
+            stagnant = 0
+        else:
+            stagnant += B
+        if convergence_episode is None and best_reward >= target:
+            convergence_episode = episode
+        if best_reward >= target and stagnant >= cfg.stagnation_episodes:
+            converged = True
+            episode += B
+            break
+        episode += B
+
+    if best_reward >= target and not converged:
+        converged = True
+
+    return TrainingResult(
+        episode_rewards=np.asarray(rewards_log),
+        best_reward=float(best_reward),
+        best_episode=best_episode,
+        converged=converged,
+        convergence_episode=convergence_episode,
+        episodes_run=episode,
+        wall_seconds=time.perf_counter() - started,
+        best_state=best_state,
+        max_episode_reward=r_max,
+        steps_per_episode=cfg.steps_per_episode,
+    )

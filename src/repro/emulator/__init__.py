@@ -1,0 +1,49 @@
+"""The evaluation testbed emulator — stand-in for the paper's real testbeds.
+
+The paper evaluates on CloudLab and FABRIC hardware; this package provides a
+fluid-flow discrete-time emulation of that environment (see DESIGN.md §2 for
+the substitution argument): storage devices with per-thread speeds,
+contention knees and over-concurrency degradation; a network path with
+per-connection throttles, finite capacity, slow-start ramp and background
+traffic; finite staging buffers; and measurement noise.  Unlike the
+Algorithm-1 training simulator (:mod:`repro.simulator`), the emulator is
+richer than what the agent was trained on — preserving the paper's
+sim-to-real gap.
+"""
+
+from repro.emulator.buffers import StagingBuffer
+from repro.emulator.calibration import testbed_for_optimal
+from repro.emulator.network import NetworkConfig, NetworkPath
+from repro.emulator.noise import BackgroundTraffic, MultiplicativeNoise
+from repro.emulator.presets import (
+    cloudlab_1g,
+    fabric_brist_indi,
+    fabric_ncsa_tacc,
+    fig3_scenario,
+    fig5_network_bottleneck,
+    fig5_read_bottleneck,
+    fig5_write_bottleneck,
+)
+from repro.emulator.storage import StorageConfig, StorageDevice
+from repro.emulator.testbed import StageFlows, Testbed, TestbedConfig
+
+__all__ = [
+    "StagingBuffer",
+    "NetworkConfig",
+    "NetworkPath",
+    "BackgroundTraffic",
+    "MultiplicativeNoise",
+    "StorageConfig",
+    "StorageDevice",
+    "StageFlows",
+    "Testbed",
+    "TestbedConfig",
+    "cloudlab_1g",
+    "fabric_brist_indi",
+    "fabric_ncsa_tacc",
+    "fig3_scenario",
+    "fig5_read_bottleneck",
+    "fig5_network_bottleneck",
+    "fig5_write_bottleneck",
+    "testbed_for_optimal",
+]

@@ -1,0 +1,69 @@
+"""Staging buffer model (the application-level tmpfs directory on each DTN).
+
+Throughout the paper "buffer" means the staging directory (e.g. /dev/shm)
+where file chunks rest between stages — not kernel TCP buffers.  The model
+is a simple bounded byte store with deposit/withdraw; boundedness is what
+couples the three stages (Fig. 1).
+"""
+
+from __future__ import annotations
+
+from repro.utils.config import require_non_negative, require_positive
+from repro.utils.errors import SimulationError
+
+
+class StagingBuffer:
+    """Bounded byte store with conservation checks."""
+
+    def __init__(self, capacity: float, usage: float = 0.0, name: str = "") -> None:
+        require_positive(capacity, "capacity")
+        require_non_negative(usage, "usage")
+        if usage > capacity:
+            raise SimulationError(f"initial usage {usage} exceeds capacity {capacity}")
+        self.capacity = float(capacity)
+        self._usage = float(usage)
+        self.name = name
+
+    @property
+    def usage(self) -> float:
+        """Bytes currently stored."""
+        return self._usage
+
+    @property
+    def free(self) -> float:
+        """Remaining capacity in bytes."""
+        return self.capacity - self._usage
+
+    @property
+    def fill_fraction(self) -> float:
+        """Occupancy as a fraction of capacity."""
+        return self._usage / self.capacity
+
+    def deposit(self, n_bytes: float) -> float:
+        """Add up to ``n_bytes``; returns the amount actually stored.
+
+        Sub-byte negative dust from float accumulation upstream is treated
+        as zero; anything materially negative is a logic error.
+        """
+        if n_bytes < -1e-3:
+            raise SimulationError(f"cannot deposit negative bytes: {n_bytes}")
+        amount = min(max(n_bytes, 0.0), self.free)
+        self._usage += amount
+        return amount
+
+    def withdraw(self, n_bytes: float) -> float:
+        """Remove up to ``n_bytes``; returns the amount actually removed."""
+        if n_bytes < -1e-3:
+            raise SimulationError(f"cannot withdraw negative bytes: {n_bytes}")
+        amount = min(max(n_bytes, 0.0), self._usage)
+        self._usage -= amount
+        return amount
+
+    def reset(self, usage: float = 0.0) -> None:
+        """Set the occupancy directly (start of a run)."""
+        if not (0.0 <= usage <= self.capacity):
+            raise SimulationError(f"usage {usage} out of [0, {self.capacity}]")
+        self._usage = float(usage)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"StagingBuffer({self.name!r}, {self._usage:.0f}/{self.capacity:.0f} B)"

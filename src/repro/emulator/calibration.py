@@ -1,0 +1,61 @@
+"""Scenario calibration: build testbeds from the quantities papers report.
+
+Evaluation sections describe scenarios by their *solution* — "optimal
+stream counts of (13, 7, 5) on a 1 Gbps path" — not by device parameters.
+:func:`testbed_for_optimal` inverts our models: given the desired optimal
+concurrency triple and the bottleneck bandwidth, it derives the per-thread
+throttles and ceilings that make that triple optimal, which is exactly how
+the ``fig5_*`` presets were constructed.
+"""
+
+from __future__ import annotations
+
+from repro.emulator.network import NetworkConfig
+from repro.emulator.storage import StorageConfig
+from repro.emulator.testbed import TestbedConfig
+from repro.utils.config import require_positive
+from repro.utils.errors import ConfigError
+from repro.utils.units import GiB
+
+
+def testbed_for_optimal(
+    optimal_threads: tuple[int, int, int],
+    bottleneck_mbps: float,
+    *,
+    headroom: float = 1.0,
+    buffer_capacity: float = 2.0 * GiB,
+    max_threads: int | None = None,
+    label: str = "calibrated",
+) -> TestbedConfig:
+    """Build a testbed whose utility-optimal triple is ``optimal_threads``.
+
+    Each stage's per-thread throughput is set to ``bottleneck / n_i*`` so
+    that exactly ``n_i*`` threads saturate the bottleneck; stage ceilings
+    are ``bottleneck × headroom`` (``headroom > 1`` leaves the network the
+    sole end-to-end limit).
+
+    >>> cfg = testbed_for_optimal((13, 7, 5), 1000.0)
+    >>> cfg.optimal_threads()
+    (13, 7, 5)
+    """
+    require_positive(bottleneck_mbps, "bottleneck_mbps")
+    if len(optimal_threads) != 3 or any(int(n) < 1 for n in optimal_threads):
+        raise ConfigError(f"optimal_threads must be three positive ints, got {optimal_threads!r}")
+    n_r, n_n, n_w = (int(n) for n in optimal_threads)
+    n_max = max_threads or max(30, 2 * max(n_r, n_n, n_w))
+    ceiling = bottleneck_mbps * max(1.0, headroom)
+    return TestbedConfig(
+        source=StorageConfig(
+            tpt=bottleneck_mbps / n_r, bandwidth=ceiling, label=f"{label}-src"
+        ),
+        destination=StorageConfig(
+            tpt=bottleneck_mbps / n_w, bandwidth=ceiling, label=f"{label}-dst"
+        ),
+        network=NetworkConfig(
+            tpt=bottleneck_mbps / n_n, capacity=bottleneck_mbps, label=f"{label}-net"
+        ),
+        sender_buffer_capacity=buffer_capacity,
+        receiver_buffer_capacity=buffer_capacity,
+        max_threads=n_max,
+        label=label,
+    )

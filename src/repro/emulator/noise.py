@@ -1,0 +1,96 @@
+"""Stochastic processes used by the emulator.
+
+* :class:`MultiplicativeNoise` — mean-reverting (AR(1)/Ornstein–Uhlenbeck
+  style) multiplicative jitter applied to stage rates, modelling the
+  second-to-second variation of real throughput probes.
+* :class:`BackgroundTraffic` — piecewise-constant competing load on the
+  network path, modelling the "background network traffic" the paper lists
+  among the dynamic factors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.config import require_in_range, require_non_negative
+from repro.utils.rng import as_generator
+
+
+class MultiplicativeNoise:
+    """AR(1) mean-reverting factor around 1.0, clipped to stay positive.
+
+    ``x_{t+1} = 1 + rho (x_t - 1) + sigma * N(0,1)``, clipped to
+    ``[1 - 3 sigma_stat, 1 + 3 sigma_stat]``.  ``sigma = 0`` yields the
+    constant 1.0 (deterministic runs).
+    """
+
+    def __init__(
+        self,
+        sigma: float = 0.0,
+        rho: float = 0.7,
+        rng: int | np.random.Generator | None = None,
+    ) -> None:
+        require_non_negative(sigma, "sigma")
+        require_in_range(rho, 0.0, 0.999, "rho")
+        self.sigma = sigma
+        self.rho = rho
+        self._rng = as_generator(rng)
+        self._value = 1.0
+        # Stationary std of the AR(1) process, for clipping bounds.
+        self._stat = sigma / max(np.sqrt(1.0 - rho**2), 1e-9) if sigma > 0 else 0.0
+
+    @property
+    def value(self) -> float:
+        """Current noise factor."""
+        return self._value
+
+    def step(self) -> float:
+        """Advance one tick and return the new factor."""
+        if self.sigma == 0.0:
+            return 1.0
+        innovation = self._rng.normal(0.0, self.sigma)
+        self._value = 1.0 + self.rho * (self._value - 1.0) + innovation
+        lo = max(0.05, 1.0 - 3.0 * self._stat)
+        hi = 1.0 + 3.0 * self._stat
+        self._value = float(np.clip(self._value, lo, hi))
+        return self._value
+
+    def reset(self) -> None:
+        """Return the factor to 1.0."""
+        self._value = 1.0
+
+
+class BackgroundTraffic:
+    """Piecewise-constant competing traffic in Mbps.
+
+    Holds a level for an exponentially-distributed duration, then jumps to
+    a new level uniform in ``[0, peak]``.  ``peak = 0`` disables it.
+    """
+
+    def __init__(
+        self,
+        peak: float = 0.0,
+        mean_holding_time: float = 30.0,
+        rng: int | np.random.Generator | None = None,
+    ) -> None:
+        require_non_negative(peak, "peak")
+        require_non_negative(mean_holding_time, "mean_holding_time")
+        self.peak = peak
+        self.mean_holding_time = max(mean_holding_time, 1e-6)
+        self._rng = as_generator(rng)
+        self._level = 0.0
+        self._until = 0.0
+
+    def level_at(self, t: float) -> float:
+        """Competing traffic level (Mbps) at virtual time ``t``."""
+        if self.peak == 0.0:
+            return 0.0
+        while t >= self._until:
+            self._level = float(self._rng.uniform(0.0, self.peak))
+            self._until += float(self._rng.exponential(self.mean_holding_time))
+        return self._level
+
+    def reset(self) -> None:
+        """Restart the process."""
+        self._level = 0.0
+        self._until = 0.0

@@ -1,0 +1,127 @@
+"""Testbed presets mirroring the paper's evaluation environments.
+
+Numbers are chosen so each preset's *optimization problem* matches what the
+paper reports (optimal thread triples, bottleneck location, achievable
+end-to-end rate), not to model the physical hardware byte-for-byte:
+
+* :func:`cloudlab_1g` — CloudLab Wisconsin c240g5 pair, 1 Gbps NIC, 8 GiB
+  RAM (small staging buffers).
+* :func:`fabric_brist_indi` — FABRIC BRIST↔INDI, ConnectX-5, P4510 NVMe.
+* :func:`fabric_ncsa_tacc` — FABRIC NCSA↔TACC, ConnectX-6: the Table I /
+  Fig. 3 environment.  Optimal network concurrency = 20 (Fig. 3), end-to-end
+  ceiling 25 Gbps, AutoMDT ≈ 24 Gbps achievable.
+* :func:`fig5_*_bottleneck` — the three §V-B throttle scenarios on a 1 Gbps
+  path: per-stream (read, net, write) throttles of (80, 160, 200),
+  (205, 75, 195) and (200, 150, 70) Mbps, yielding optimal triples
+  ≈ (13, 7, 5), (5, 14, 6) and (5, 7, 15).
+"""
+
+from __future__ import annotations
+
+from repro.emulator.network import NetworkConfig
+from repro.emulator.storage import StorageConfig
+from repro.emulator.testbed import TestbedConfig
+from repro.utils.units import GiB
+
+
+def cloudlab_1g(*, noise_sigma: float = 0.0) -> TestbedConfig:
+    """CloudLab c240g5 pair: 1 Gbps NIC, 8 GiB RAM, SATA-class storage."""
+    return TestbedConfig(
+        source=StorageConfig(tpt=150.0, bandwidth=1200.0, label="c240g5-src"),
+        destination=StorageConfig(tpt=120.0, bandwidth=1100.0, label="c240g5-dst"),
+        network=NetworkConfig(tpt=250.0, capacity=1000.0, label="cloudlab-1g"),
+        sender_buffer_capacity=2.0 * GiB,
+        receiver_buffer_capacity=2.0 * GiB,
+        max_threads=30,
+        noise_sigma=noise_sigma,
+        label="cloudlab-1g",
+    )
+
+
+def fabric_brist_indi(*, noise_sigma: float = 0.0) -> TestbedConfig:
+    """FABRIC BRIST↔INDI: ConnectX-5 (25 Gbps), P4510 NVMe, 64 GB RAM."""
+    return TestbedConfig(
+        source=StorageConfig(tpt=2200.0, bandwidth=22000.0, label="p4510-read"),
+        destination=StorageConfig(tpt=1400.0, bandwidth=9000.0, label="p4510-write"),
+        network=NetworkConfig(tpt=1800.0, capacity=20000.0, label="brist-indi"),
+        sender_buffer_capacity=16.0 * GiB,
+        receiver_buffer_capacity=16.0 * GiB,
+        max_threads=40,
+        noise_sigma=noise_sigma,
+        label="fabric-brist-indi",
+    )
+
+
+def fabric_ncsa_tacc(*, noise_sigma: float = 0.0, background_peak: float = 0.0) -> TestbedConfig:
+    """FABRIC NCSA↔TACC with ConnectX-6: the Table I / Fig. 3 environment.
+
+    Optimal triple ≈ (25, 20, 23); end-to-end ceiling 25 Gbps.  Per-file
+    costs are calibrated so the Mixed dataset lands at ~0.7–0.85x of the
+    Large one (Table I measures 0.71x): the dominant term is the per-file
+    pipeline stall on the WAN (a few round trips of control traffic at
+    ~40 ms RTT before a stream is saturated again), with small open/close
+    costs on the filesystems.
+    """
+    return TestbedConfig(
+        source=StorageConfig(
+            tpt=1000.0, bandwidth=26000.0, per_file_cost=0.02, label="ncsa-nvme"
+        ),
+        destination=StorageConfig(
+            tpt=1100.0, bandwidth=25500.0, per_file_cost=0.02, label="tacc-nvme"
+        ),
+        network=NetworkConfig(
+            tpt=1250.0, capacity=25000.0, per_file_cost=0.18, label="ncsa-tacc-cx6"
+        ),
+        sender_buffer_capacity=16.0 * GiB,
+        receiver_buffer_capacity=16.0 * GiB,
+        max_threads=40,
+        noise_sigma=noise_sigma,
+        background_peak=background_peak,
+        label="fabric-ncsa-tacc",
+    )
+
+
+def fig3_scenario(*, noise_sigma: float = 0.02) -> TestbedConfig:
+    """The Fig. 3 comparison scenario (NCSA→TACC, 100×1GB)."""
+    return fabric_ncsa_tacc(noise_sigma=noise_sigma)
+
+
+def _one_gbps_throttled(
+    read_tpt: float, net_tpt: float, write_tpt: float, label: str
+) -> TestbedConfig:
+    """A 1 Gbps FABRIC pair with per-stream throttles on every stage."""
+    return TestbedConfig(
+        source=StorageConfig(tpt=read_tpt, bandwidth=1000.0, label=f"{label}-src"),
+        destination=StorageConfig(tpt=write_tpt, bandwidth=1000.0, label=f"{label}-dst"),
+        network=NetworkConfig(tpt=net_tpt, capacity=1000.0, label=f"{label}-net"),
+        sender_buffer_capacity=1.0 * GiB,
+        receiver_buffer_capacity=1.0 * GiB,
+        max_threads=30,
+        label=label,
+    )
+
+
+def fig5_read_bottleneck() -> TestbedConfig:
+    """§V-B1 column 1: throttles (80, 160, 200) Mbps → optimal ≈ (13, 7, 5)."""
+    return _one_gbps_throttled(80.0, 160.0, 200.0, "fig5-read-bottleneck")
+
+
+def fig5_network_bottleneck() -> TestbedConfig:
+    """§V-B1 column 2: throttles (205, 75, 195) Mbps → optimal ≈ (5, 14, 6)."""
+    return _one_gbps_throttled(205.0, 75.0, 195.0, "fig5-network-bottleneck")
+
+
+def fig5_write_bottleneck() -> TestbedConfig:
+    """§V-B1 column 3: throttles (200, 150, 70) Mbps → optimal ≈ (5, 7, 15)."""
+    return _one_gbps_throttled(200.0, 150.0, 70.0, "fig5-write-bottleneck")
+
+
+#: Name → factory registry used by the CLI (``automdt train --preset ...``).
+PRESETS = {
+    "cloudlab-1g": cloudlab_1g,
+    "fabric-brist-indi": fabric_brist_indi,
+    "fabric-ncsa-tacc": fabric_ncsa_tacc,
+    "fig5-read": fig5_read_bottleneck,
+    "fig5-network": fig5_network_bottleneck,
+    "fig5-write": fig5_write_bottleneck,
+}

@@ -1,0 +1,95 @@
+"""Storage device model: per-thread speeds, contention knee, over-concurrency
+degradation.
+
+The motivation section of the paper stresses that "unnecessary concurrency
+massively degrades the performance": real storage scales near-linearly in
+thread count up to a knee (the point where the device or its CPU budget
+saturates), then *loses* aggregate throughput as extra threads add seek
+thrash, context switches and lock contention.  :meth:`StorageDevice.aggregate_rate`
+captures exactly that shape:
+
+``rate(n) = min(n · tpt, bandwidth) · efficiency(n)`` with
+``efficiency(n) = 1 / (1 + alpha · max(0, n - knee)^1.5)``.
+
+The knee defaults to the smallest n that saturates the device, so a
+well-chosen concurrency loses nothing.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.utils.config import require_non_negative, require_positive
+
+
+@dataclass(frozen=True)
+class StorageConfig:
+    """Static description of one storage endpoint (source or destination).
+
+    Attributes
+    ----------
+    tpt:
+        Per-thread throughput in Mbps (possibly sysadmin-throttled).
+    bandwidth:
+        Aggregate device ceiling in Mbps (NVMe vs HDD etc.).
+    degradation_alpha:
+        Strength of the over-concurrency penalty; 0 disables it.
+    degradation_knee:
+        Thread count where degradation starts.  ``None`` → the saturation
+        point ``ceil(bandwidth / tpt)`` plus a small margin.
+    per_file_cost:
+        Seconds of fixed per-file work (open/close/metadata).  Small files
+        make this dominate — the reason the paper's Mixed dataset is slower
+        than the Large dataset in Table I.
+    """
+
+    tpt: float = 200.0
+    bandwidth: float = 2000.0
+    degradation_alpha: float = 0.002
+    degradation_knee: int | None = None
+    per_file_cost: float = 0.005
+    label: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        require_positive(self.tpt, "tpt")
+        require_positive(self.bandwidth, "bandwidth")
+        require_non_negative(self.degradation_alpha, "degradation_alpha")
+        require_non_negative(self.per_file_cost, "per_file_cost")
+
+    @property
+    def knee(self) -> int:
+        """Effective degradation knee (threads)."""
+        if self.degradation_knee is not None:
+            return self.degradation_knee
+        return int(math.ceil(self.bandwidth / self.tpt)) + 2
+
+    @property
+    def saturation_threads(self) -> int:
+        """Smallest thread count that saturates the device ceiling."""
+        return int(math.ceil(self.bandwidth / self.tpt))
+
+
+class StorageDevice:
+    """Fluid-rate model of a storage endpoint."""
+
+    def __init__(self, config: StorageConfig) -> None:
+        self.config = config
+
+    def efficiency(self, threads: int) -> float:
+        """Multiplicative over-concurrency efficiency in ``(0, 1]``."""
+        excess = max(0, threads - self.config.knee)
+        if excess == 0 or self.config.degradation_alpha == 0.0:
+            return 1.0
+        return 1.0 / (1.0 + self.config.degradation_alpha * excess**1.5)
+
+    def aggregate_rate(self, threads: int, *, file_efficiency: float = 1.0) -> float:
+        """Aggregate Mbps achieved by ``threads`` concurrent I/O threads.
+
+        ``file_efficiency`` folds in the per-file-cost factor computed by the
+        dataset (see :meth:`repro.transfer.files.Dataset.stage_efficiency`).
+        """
+        if threads <= 0:
+            return 0.0
+        raw = min(threads * self.config.tpt, self.config.bandwidth)
+        return raw * self.efficiency(threads) * file_efficiency

@@ -1,0 +1,271 @@
+"""The Testbed: two DTNs and a network path, advanced on a virtual clock.
+
+This is the evaluation-side "real environment" (Fig. 2 of the paper).  A
+:class:`Testbed` composes a source storage device, a sender staging buffer,
+a network path, a receiver staging buffer and a destination storage device.
+:meth:`Testbed.advance` integrates the coupled fluid flows over a window
+(default one second, the paper's probe interval) with small substeps so the
+buffer coupling of Fig. 1 is resolved faithfully:
+
+* read fills the sender buffer, but only while it has space (and while the
+  dataset still has unread bytes);
+* the network drains the sender buffer into the receiver buffer, limited by
+  path goodput, connection ramp-up and background traffic;
+* write drains the receiver buffer to the destination filesystem.
+
+Compared to the Algorithm-1 training simulator, the emulator adds slow-start
+ramping, over-concurrency degradation, per-file costs, background traffic
+and measurement noise — the sim-to-real gap the trained policy must survive.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.emulator.buffers import StagingBuffer
+from repro.emulator.network import NetworkConfig, NetworkPath
+from repro.emulator.noise import BackgroundTraffic, MultiplicativeNoise
+from repro.emulator.storage import StorageConfig, StorageDevice
+from repro.utils.config import require_non_negative, require_positive
+from repro.utils.errors import SimulationError
+from repro.utils.rng import as_generator
+from repro.utils.units import GiB, bytes_per_sec_to_mbps, mbps_to_bytes_per_sec
+
+
+@dataclass(frozen=True)
+class TestbedConfig:
+    """Full description of an emulated testbed pair.
+
+    ``noise_sigma`` controls per-stage AR(1) throughput jitter;
+    ``background_peak`` enables competing traffic on the path.  Both default
+    to 0 so figure-style experiments are deterministic.
+    """
+
+    __test__ = False  # not a pytest test class despite the name
+
+    source: StorageConfig = field(default_factory=StorageConfig)
+    destination: StorageConfig = field(default_factory=StorageConfig)
+    network: NetworkConfig = field(default_factory=NetworkConfig)
+    sender_buffer_capacity: float = 4.0 * GiB
+    receiver_buffer_capacity: float = 4.0 * GiB
+    max_threads: int = 30
+    substep: float = 0.05
+    noise_sigma: float = 0.0
+    background_peak: float = 0.0
+    background_holding: float = 30.0
+    label: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        require_positive(self.sender_buffer_capacity, "sender_buffer_capacity")
+        require_positive(self.receiver_buffer_capacity, "receiver_buffer_capacity")
+        require_positive(self.substep, "substep")
+        require_positive(self.max_threads, "max_threads")
+        require_non_negative(self.noise_sigma, "noise_sigma")
+        require_non_negative(self.background_peak, "background_peak")
+
+    def optimal_threads(self) -> tuple[int, int, int]:
+        """Ideal ``(n_r*, n_n*, n_w*)`` for the configured bottleneck."""
+        import math
+
+        bottleneck = min(self.source.bandwidth, self.network.capacity, self.destination.bandwidth)
+        triple = (
+            math.ceil(bottleneck / self.source.tpt),
+            math.ceil(bottleneck / self.network.tpt),
+            math.ceil(bottleneck / self.destination.tpt),
+        )
+        return tuple(min(self.max_threads, max(1, n)) for n in triple)  # type: ignore[return-value]
+
+    @property
+    def bottleneck_bandwidth(self) -> float:
+        """End-to-end ceiling in Mbps."""
+        return min(self.source.bandwidth, self.network.capacity, self.destination.bandwidth)
+
+
+@dataclass(frozen=True)
+class StageFlows:
+    """What happened on the testbed during one :meth:`Testbed.advance` window."""
+
+    duration: float
+    bytes_read: float
+    bytes_networked: float
+    bytes_written: float
+    throughput_read: float
+    throughput_network: float
+    throughput_write: float
+    sender_usage: float
+    receiver_usage: float
+    sender_free: float
+    receiver_free: float
+    threads: tuple[int, int, int]
+    effective_streams: float
+
+    @property
+    def throughputs(self) -> tuple[float, float, float]:
+        """``(t_r, t_n, t_w)`` in Mbps."""
+        return (self.throughput_read, self.throughput_network, self.throughput_write)
+
+
+class Testbed:
+    """Mutable emulator state over a :class:`TestbedConfig`."""
+
+    __test__ = False  # not a pytest test class despite the name
+
+    def __init__(self, config: TestbedConfig, rng: int | np.random.Generator | None = None) -> None:
+        self.config = config
+        rng = as_generator(rng)
+        self._source = StorageDevice(config.source)
+        self._destination = StorageDevice(config.destination)
+        background = BackgroundTraffic(
+            config.background_peak,
+            config.background_holding,
+            rng=np.random.default_rng(rng.integers(2**63)),
+        )
+        self._network = NetworkPath(config.network, background)
+        self.sender_buffer = StagingBuffer(config.sender_buffer_capacity, name="sender")
+        self.receiver_buffer = StagingBuffer(config.receiver_buffer_capacity, name="receiver")
+        self._noise = [
+            MultiplicativeNoise(config.noise_sigma, rng=np.random.default_rng(rng.integers(2**63)))
+            for _ in range(3)
+        ]
+        self._now = 0.0
+        self.total_read = 0.0
+        self.total_networked = 0.0
+        self.total_written = 0.0
+
+    # ------------------------------------------------------------- properties
+    @property
+    def now(self) -> float:
+        """Virtual time in seconds."""
+        return self._now
+
+    @property
+    def source(self) -> StorageDevice:
+        """Source storage device."""
+        return self._source
+
+    @property
+    def destination(self) -> StorageDevice:
+        """Destination storage device."""
+        return self._destination
+
+    @property
+    def network(self) -> NetworkPath:
+        """The wide-area path."""
+        return self._network
+
+    # -------------------------------------------------------- dynamic changes
+    def set_stage_tpt(self, stage: str, tpt: float) -> None:
+        """Change a per-thread throttle mid-run (sysadmin action / contention).
+
+        ``stage`` is ``"read"``, ``"network"`` or ``"write"``.
+        """
+        require_positive(tpt, "tpt")
+        if stage == "read":
+            self._source = StorageDevice(dataclasses.replace(self.config.source, tpt=tpt))
+        elif stage == "write":
+            self._destination = StorageDevice(dataclasses.replace(self.config.destination, tpt=tpt))
+        elif stage == "network":
+            cfg = dataclasses.replace(self.config.network, tpt=tpt)
+            path = NetworkPath(cfg, self._network.background)
+            path._effective_streams = self._network.effective_streams
+            self._network = path
+        else:
+            raise SimulationError(f"unknown stage {stage!r}")
+
+    def reset(self) -> None:
+        """Return the testbed to time zero with empty buffers."""
+        self.sender_buffer.reset()
+        self.receiver_buffer.reset()
+        self._network.reset()
+        for noise in self._noise:
+            noise.reset()
+        self._now = 0.0
+        self.total_read = 0.0
+        self.total_networked = 0.0
+        self.total_written = 0.0
+
+    # ------------------------------------------------------------------- step
+    def _clamp_threads(self, threads) -> tuple[int, int, int]:
+        n_max = self.config.max_threads
+        clamped = tuple(int(min(n_max, max(1, round(float(n))))) for n in threads)
+        if len(clamped) != 3:
+            raise SimulationError(f"expected 3 thread counts, got {threads!r}")
+        return clamped  # type: ignore[return-value]
+
+    def advance(
+        self,
+        threads,
+        duration: float = 1.0,
+        *,
+        read_available: float = float("inf"),
+        file_efficiency: tuple[float, float, float] = (1.0, 1.0, 1.0),
+    ) -> StageFlows:
+        """Advance the testbed by ``duration`` seconds under ``threads``.
+
+        ``read_available`` caps how many more bytes the read stage may pull
+        from the source dataset (the transfer engine passes the unread
+        remainder).  ``file_efficiency`` is the per-stage dataset factor for
+        per-file overheads.
+        """
+        require_positive(duration, "duration")
+        n = self._clamp_threads(threads)
+        noise = [proc.step() for proc in self._noise]
+
+        dt = min(self.config.substep, duration)
+        steps = max(1, int(round(duration / dt)))
+        dt = duration / steps
+
+        read_bytes = networked_bytes = written_bytes = 0.0
+        remaining_read = max(0.0, read_available)
+
+        read_rate = self._source.aggregate_rate(n[0], file_efficiency=file_efficiency[0])
+        read_rate = mbps_to_bytes_per_sec(read_rate * noise[0])
+        write_rate = self._destination.aggregate_rate(n[2], file_efficiency=file_efficiency[2])
+        write_rate = mbps_to_bytes_per_sec(write_rate * noise[2])
+
+        for _ in range(steps):
+            streams = self._network.advance_ramp(n[1], dt)
+            net_rate = self._network.aggregate_rate(
+                streams, self._now, file_efficiency=file_efficiency[1]
+            )
+            net_rate = mbps_to_bytes_per_sec(net_rate * noise[1])
+
+            # Desired amounts from the state at substep start (no in-substep
+            # pass-through: a byte must rest in the buffer at least one step).
+            want_read = min(read_rate * dt, remaining_read, self.sender_buffer.free)
+            want_net = min(net_rate * dt, self.sender_buffer.usage, self.receiver_buffer.free)
+            want_write = min(write_rate * dt, self.receiver_buffer.usage)
+
+            moved_write = self.receiver_buffer.withdraw(want_write)
+            moved_net = self.sender_buffer.withdraw(want_net)
+            self.receiver_buffer.deposit(moved_net)
+            moved_read = self.sender_buffer.deposit(want_read)
+
+            read_bytes += moved_read
+            networked_bytes += moved_net
+            written_bytes += moved_write
+            remaining_read = max(0.0, remaining_read - moved_read)
+            self._now += dt
+
+        self.total_read += read_bytes
+        self.total_networked += networked_bytes
+        self.total_written += written_bytes
+
+        return StageFlows(
+            duration=duration,
+            bytes_read=read_bytes,
+            bytes_networked=networked_bytes,
+            bytes_written=written_bytes,
+            throughput_read=bytes_per_sec_to_mbps(read_bytes / duration),
+            throughput_network=bytes_per_sec_to_mbps(networked_bytes / duration),
+            throughput_write=bytes_per_sec_to_mbps(written_bytes / duration),
+            sender_usage=self.sender_buffer.usage,
+            receiver_usage=self.receiver_buffer.usage,
+            sender_free=self.sender_buffer.free,
+            receiver_free=self.receiver_buffer.free,
+            threads=n,
+            effective_streams=self._network.effective_streams,
+        )

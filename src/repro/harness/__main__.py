@@ -1,0 +1,5 @@
+"""``python -m repro.harness`` entry point."""
+
+from repro.harness.cli import main
+
+raise SystemExit(main())

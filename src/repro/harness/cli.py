@@ -1,0 +1,222 @@
+"""Command-line interface: ``python -m repro.harness`` / ``automdt``.
+
+Commands::
+
+    automdt list                                   # experiments + presets
+    automdt run figure3 [--full] [--seed N] [--seeds 0,1,2] [--out DIR]
+    automdt run all [--full]                       # everything, in order
+    automdt explore --preset fig5-read [--duration 120] [--out profile.json]
+    automdt train --preset fig5-read [--episodes 4000] --out ckpt
+    automdt transfer --preset fig5-read --checkpoint ckpt [--gb 25] [--mixed]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.harness.experiments import EXPERIMENTS
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse CLI definition."""
+    parser = argparse.ArgumentParser(
+        prog="automdt",
+        description="AutoMDT reproduction: experiments and pipeline tools",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments and presets")
+
+    run = sub.add_parser("run", help="run one experiment (or 'all')")
+    run.add_argument("experiment", help="experiment name from 'list', or 'all'")
+    run.add_argument("--full", action="store_true", help="paper-scale budgets (slow)")
+    run.add_argument("--seed", type=int, default=0, help="root RNG seed")
+    run.add_argument(
+        "--seeds", default=None,
+        help="comma-separated seeds; aggregates mean/std over runs",
+    )
+    run.add_argument("--out", default=None, help="directory for JSON result dumps")
+
+    explore = sub.add_parser("explore", help="run the §IV-A logging phase on a preset")
+    explore.add_argument("--preset", required=True)
+    explore.add_argument("--duration", type=float, default=120.0)
+    explore.add_argument("--seed", type=int, default=0)
+    explore.add_argument("--out", default=None, help="write the profile JSON here")
+
+    trainp = sub.add_parser("train", help="explore + offline-train for a preset")
+    trainp.add_argument("--preset", required=True)
+    trainp.add_argument("--episodes", type=int, default=4000)
+    trainp.add_argument("--exploration", type=float, default=120.0)
+    trainp.add_argument("--seed", type=int, default=0)
+    trainp.add_argument("--out", required=True, help="checkpoint path (no extension)")
+
+    transfer = sub.add_parser("transfer", help="run a transfer with a trained checkpoint")
+    transfer.add_argument("--preset", required=True)
+    transfer.add_argument("--checkpoint", required=True)
+    transfer.add_argument("--gb", type=float, default=25.0, help="dataset size in GB")
+    transfer.add_argument("--mixed", action="store_true", help="mixed file sizes")
+    transfer.add_argument("--seed", type=int, default=1)
+    transfer.add_argument("--deterministic", action="store_true")
+    return parser
+
+
+def _resolve_preset(name: str):
+    from repro.emulator.presets import PRESETS
+
+    if name not in PRESETS:
+        print(f"unknown preset {name!r}; available: {sorted(PRESETS)}", file=sys.stderr)
+        return None
+    return PRESETS[name]()
+
+
+def _cmd_list() -> int:
+    from repro.emulator.presets import PRESETS
+
+    print("experiments:")
+    for name in EXPERIMENTS:
+        print(f"  {name}")
+    print("presets:")
+    for name in PRESETS:
+        print(f"  {name}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {unknown}; try 'automdt list'", file=sys.stderr)
+        return 2
+
+    for name in names:
+        started = time.perf_counter()
+        if args.seeds:
+            from repro.harness.multirun import run_seeded
+
+            seeds = [int(s) for s in args.seeds.split(",") if s.strip()]
+            aggregate = run_seeded(EXPERIMENTS[name], seeds, fast=not args.full)
+            print(aggregate.table())
+            if args.out:
+                for run in aggregate.runs:
+                    run.name = f"{run.name}_seed{run.summary.get('seed', '')}"
+        else:
+            result = EXPERIMENTS[name](fast=not args.full, seed=args.seed)
+            print(result.render())
+            if args.out:
+                print(f"saved {result.save(args.out)}")
+        print(f"[{name} finished in {time.perf_counter() - started:.1f}s]\n")
+    return 0
+
+
+def _cmd_explore(args) -> int:
+    from repro.core.exploration import run_exploration
+    from repro.emulator.testbed import Testbed
+    from repro.utils.tables import render_kv
+
+    config = _resolve_preset(args.preset)
+    if config is None:
+        return 2
+    profile = run_exploration(
+        Testbed(config, rng=args.seed), duration=args.duration, rng=args.seed
+    )
+    print(
+        render_kv(
+            {
+                "bandwidth (r,n,w) Mbps": tuple(round(b, 1) for b in profile.bandwidth),
+                "TPT (r,n,w) Mbps": tuple(round(t, 1) for t in profile.tpt),
+                "bottleneck": round(profile.bottleneck, 1),
+                "optimal threads": profile.optimal_threads(),
+            },
+            title=f"exploration profile for {args.preset}",
+        )
+    )
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(profile.to_dict(), fh, indent=2)
+        print(f"saved {args.out}")
+    return 0
+
+
+def _cmd_train(args) -> int:
+    from repro.core.agent import AutoMDT
+    from repro.core.training import TrainingConfig
+    from repro.emulator.testbed import Testbed
+
+    config = _resolve_preset(args.preset)
+    if config is None:
+        return 2
+    pipeline = AutoMDT(
+        seed=args.seed,
+        training_config=TrainingConfig(
+            max_episodes=args.episodes,
+            stagnation_episodes=max(100, args.episodes // 5),
+        ),
+    )
+    pipeline.explore(Testbed(config, rng=args.seed), duration=args.exploration)
+    print(f"profile: optimal threads {pipeline.profile.optimal_threads()}; training...")
+    result = pipeline.train_offline()
+    print(
+        f"episodes={result.episodes_run} best={result.best_reward:.2f}/"
+        f"{result.max_episode_reward} converged={result.converged} "
+        f"wall={result.wall_seconds:.0f}s"
+    )
+    pipeline.save(args.out)
+    print(f"checkpoint saved to {args.out}.npz")
+    return 0
+
+
+def _cmd_transfer(args) -> int:
+    from repro.core.agent import AutoMDT
+    from repro.emulator.testbed import Testbed
+    from repro.transfer.engine import EngineConfig, ModularTransferEngine
+    from repro.utils.units import format_rate
+    from repro.workloads import large_dataset, mixed_dataset
+
+    config = _resolve_preset(args.preset)
+    if config is None:
+        return 2
+    pipeline = AutoMDT(seed=args.seed)
+    pipeline.load(args.checkpoint)
+    total_bytes = args.gb * 1e9
+    dataset = (
+        mixed_dataset(total_bytes=total_bytes, rng=args.seed)
+        if args.mixed
+        else large_dataset(total_bytes=total_bytes)
+    )
+    engine = ModularTransferEngine(
+        Testbed(config, rng=args.seed),
+        dataset,
+        pipeline.controller(deterministic=args.deterministic),
+        EngineConfig(max_seconds=86400.0, probe_noise=0.02, seed=args.seed),
+        utility_fn=pipeline.utility,
+    )
+    result = engine.run()
+    print(
+        f"completed={result.completed} time={result.completion_time:.1f}s "
+        f"throughput={format_rate(result.effective_throughput)} "
+        f"mean threads={result.metrics.concurrency_cost():.1f}"
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "explore":
+        return _cmd_explore(args)
+    if args.command == "train":
+        return _cmd_train(args)
+    if args.command == "transfer":
+        return _cmd_transfer(args)
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

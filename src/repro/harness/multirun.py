@@ -1,0 +1,101 @@
+"""Multi-seed experiment aggregation.
+
+The paper's Table I numbers are "averages of those runs" repeated over a
+week; this module reproduces that protocol: run an experiment across
+several seeds and aggregate every numeric summary field into
+mean/std/min/max.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.harness.result import ExperimentResult
+from repro.utils.tables import render_table
+
+
+def _flatten(prefix: str, value, out: dict[str, float]) -> None:
+    if isinstance(value, bool):
+        out[prefix] = float(value)
+    elif isinstance(value, (int, float)) and np.isfinite(value):
+        out[prefix] = float(value)
+    elif isinstance(value, dict):
+        for key, sub in value.items():
+            _flatten(f"{prefix}.{key}", sub, out)
+    elif isinstance(value, (tuple, list)) and all(
+        isinstance(v, (int, float, bool)) for v in value
+    ):
+        for i, sub in enumerate(value):
+            _flatten(f"{prefix}[{i}]", sub, out)
+    # everything else (strings, None) is skipped
+
+
+def flatten_summary(summary: dict) -> dict[str, float]:
+    """Dotted-key flattening of the numeric parts of a summary dict."""
+    out: dict[str, float] = {}
+    for key, value in summary.items():
+        _flatten(key, value, out)
+    return out
+
+
+@dataclass
+class AggregateResult:
+    """Per-metric statistics over several seeded runs of one experiment."""
+
+    name: str
+    seeds: tuple[int, ...]
+    runs: list[ExperimentResult]
+    stats: dict[str, dict[str, float]] = field(default_factory=dict)
+
+    def table(self) -> str:
+        """Render the aggregated metrics as a text table."""
+        rows = [
+            [key, round(s["mean"], 3), round(s["std"], 3), round(s["min"], 3),
+             round(s["max"], 3), int(s["n"])]
+            for key, s in sorted(self.stats.items())
+        ]
+        return render_table(
+            ["metric", "mean", "std", "min", "max", "n"],
+            rows,
+            title=f"{self.name} over seeds {list(self.seeds)}",
+        )
+
+    def mean(self, metric: str) -> float:
+        """Mean of one aggregated metric (KeyError if never numeric)."""
+        return self.stats[metric]["mean"]
+
+
+def run_seeded(
+    experiment: Callable[..., ExperimentResult],
+    seeds: Sequence[int],
+    **kwargs,
+) -> AggregateResult:
+    """Run ``experiment(seed=s, **kwargs)`` for each seed and aggregate.
+
+    Metrics that are missing (e.g. a "time to reach" that is None for some
+    seed) are aggregated over the runs where they exist; ``n`` records how
+    many runs contributed.
+    """
+    if not seeds:
+        raise ValueError("need at least one seed")
+    runs = [experiment(seed=int(s), **kwargs) for s in seeds]
+    samples: dict[str, list[float]] = {}
+    for run in runs:
+        for key, value in flatten_summary(run.summary).items():
+            samples.setdefault(key, []).append(value)
+    stats = {
+        key: {
+            "mean": float(np.mean(vals)),
+            "std": float(np.std(vals)),
+            "min": float(np.min(vals)),
+            "max": float(np.max(vals)),
+            "n": float(len(vals)),
+        }
+        for key, vals in samples.items()
+    }
+    return AggregateResult(
+        name=runs[0].name, seeds=tuple(int(s) for s in seeds), runs=runs, stats=stats
+    )

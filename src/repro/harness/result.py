@@ -1,0 +1,53 @@
+"""Experiment result container shared by all harness experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.utils.config import dump_json
+from repro.utils.timeseries import TimeSeries
+
+
+@dataclass
+class ExperimentResult:
+    """Everything one experiment produced.
+
+    ``summary`` holds the headline numbers (what EXPERIMENTS.md records),
+    ``tables`` pre-rendered text tables, ``series`` the raw curves for
+    anyone who wants to re-plot a figure.
+    """
+
+    name: str
+    summary: dict = field(default_factory=dict)
+    tables: list[str] = field(default_factory=list)
+    series: dict[str, TimeSeries] = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        """Human-readable report block."""
+        parts = [f"=== {self.name} ==="]
+        if self.summary:
+            width = max(len(k) for k in self.summary)
+            parts.extend(
+                f"{k.ljust(width)} : {v}" for k, v in self.summary.items()
+            )
+        parts.extend(self.tables)
+        parts.extend(f"note: {n}" for n in self.notes)
+        return "\n".join(parts)
+
+    def save(self, directory: str | Path) -> Path:
+        """Dump summary + series to ``<directory>/<name>.json``."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / f"{self.name}.json"
+        dump_json(
+            {
+                "name": self.name,
+                "summary": self.summary,
+                "notes": self.notes,
+                "series": {k: s.to_dict() for k, s in self.series.items()},
+            },
+            path,
+        )
+        return path

@@ -1,0 +1,34 @@
+"""Neural-network building blocks over :mod:`repro.autograd`.
+
+Provides exactly what the AutoMDT networks need (and nothing exotic):
+linear layers, layer normalization, the two residual-block variants the
+paper describes, Adam/SGD optimizers, parameter (de)serialization, and the
+diagonal-Gaussian / categorical policy distributions.
+"""
+
+from repro.nn.distributions import Categorical, DiagonalGaussian
+from repro.nn.layers import Identity, Linear, LayerNorm, ReLU, Sequential, Tanh
+from repro.nn.module import Module, Parameter
+from repro.nn.optim import SGD, Adam, Optimizer, clip_grad_norm
+from repro.nn.residual import ResidualBlock
+from repro.nn.serialization import load_state, save_state
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Linear",
+    "LayerNorm",
+    "Tanh",
+    "ReLU",
+    "Identity",
+    "Sequential",
+    "ResidualBlock",
+    "Optimizer",
+    "Adam",
+    "SGD",
+    "clip_grad_norm",
+    "DiagonalGaussian",
+    "Categorical",
+    "save_state",
+    "load_state",
+]

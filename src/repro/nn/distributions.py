@@ -1,0 +1,103 @@
+"""Policy distributions: diagonal Gaussian (continuous) and Categorical.
+
+The paper's production policy samples a continuous action from a diagonal
+Gaussian and rounds it to integer thread counts (§IV-F); the discrete
+variant (evaluated in Fig. 4 and shown to fail) uses independent Categorical
+heads.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.autograd.functional import log_softmax
+from repro.autograd.tensor import Tensor, exp
+
+_LOG_2PI = math.log(2.0 * math.pi)
+
+
+class DiagonalGaussian:
+    """Independent normal distribution per action dimension.
+
+    ``mean`` has shape ``(..., d)``; ``log_std`` has shape ``(d,)`` or
+    broadcastable to mean.  Both may be differentiable tensors.
+    """
+
+    def __init__(self, mean: Tensor, log_std: Tensor) -> None:
+        self.mean = mean if isinstance(mean, Tensor) else Tensor(mean)
+        self.log_std = log_std if isinstance(log_std, Tensor) else Tensor(log_std)
+
+    @property
+    def std(self) -> np.ndarray:
+        """Standard deviation as a plain array."""
+        return np.exp(self.log_std.data)
+
+    def sample(self, rng: np.random.Generator) -> np.ndarray:
+        """Draw a reparameterization-free sample (plain array, no gradient)."""
+        noise = rng.standard_normal(self.mean.shape)
+        return self.mean.data + np.broadcast_to(self.std, self.mean.shape) * noise
+
+    def mode(self) -> np.ndarray:
+        """The distribution mode (= mean), used for deterministic rollouts."""
+        return self.mean.data.copy()
+
+    def log_prob(self, actions: np.ndarray) -> Tensor:
+        """Differentiable log density of ``actions``, summed over dims."""
+        actions_t = Tensor(np.asarray(actions, dtype=np.float64))
+        std = exp(self.log_std)
+        z = (actions_t - self.mean) / std
+        per_dim = (z * z) * -0.5 - self.log_std - 0.5 * _LOG_2PI
+        return per_dim.sum(axis=-1)
+
+    def entropy(self) -> Tensor:
+        """Differentiable entropy summed over action dimensions.
+
+        Independent of the mean; shape follows ``log_std``.
+        """
+        return (self.log_std + (0.5 + 0.5 * _LOG_2PI)).sum(axis=-1)
+
+
+class Categorical:
+    """Categorical distribution parameterized by unnormalized logits.
+
+    ``logits`` has shape ``(..., n)``.
+    """
+
+    def __init__(self, logits: Tensor) -> None:
+        self.logits = logits if isinstance(logits, Tensor) else Tensor(logits)
+
+    def probs(self) -> np.ndarray:
+        """Normalized probabilities as a plain array."""
+        shifted = self.logits.data - self.logits.data.max(axis=-1, keepdims=True)
+        exps = np.exp(shifted)
+        return exps / exps.sum(axis=-1, keepdims=True)
+
+    def sample(self, rng: np.random.Generator) -> np.ndarray:
+        """Draw integer category indices (plain array)."""
+        p = self.probs()
+        flat = p.reshape(-1, p.shape[-1])
+        cumulative = np.cumsum(flat, axis=-1)
+        draws = rng.random((flat.shape[0], 1))
+        idx = (draws > cumulative).sum(axis=-1)
+        return idx.reshape(p.shape[:-1])
+
+    def mode(self) -> np.ndarray:
+        """Most likely category per batch element."""
+        return self.probs().argmax(axis=-1)
+
+    def log_prob(self, actions: np.ndarray) -> Tensor:
+        """Differentiable log probability of integer ``actions``."""
+        logp = log_softmax(self.logits, axis=-1)
+        actions = np.asarray(actions, dtype=int)
+        if logp.ndim == 1:
+            return logp[int(actions)]
+        batch_index = np.arange(logp.shape[0])
+        return logp[batch_index, actions.reshape(-1)]
+
+    def entropy(self) -> Tensor:
+        """Differentiable entropy per batch element."""
+        logp = log_softmax(self.logits, axis=-1)
+        p = Tensor(self.probs())
+        return -(p * logp).sum(axis=-1)

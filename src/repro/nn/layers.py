@@ -1,0 +1,99 @@
+"""Core layers: Linear, LayerNorm, activations, Sequential."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor, layernorm, relu, tanh
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+from repro.utils.rng import as_generator
+
+
+class Linear(Module):
+    """Affine map ``y = x W + b`` with orthogonal weight init."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        *,
+        rng: int | np.random.Generator | None = None,
+        gain: float = np.sqrt(2.0),
+        bias: bool = True,
+    ) -> None:
+        super().__init__()
+        rng = as_generator(rng)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.orthogonal((in_features, out_features), rng, gain=gain))
+        self.bias = Parameter(init.zeros((out_features,))) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Linear({self.in_features}, {self.out_features})"
+
+
+class LayerNorm(Module):
+    """Layer normalization over the last dimension with learnable scale/shift."""
+
+    def __init__(self, dim: int, eps: float = 1e-5) -> None:
+        super().__init__()
+        self.dim = dim
+        self.eps = eps
+        self.scale = Parameter(np.ones(dim))
+        self.shift = Parameter(np.zeros(dim))
+
+    def forward(self, x: Tensor) -> Tensor:
+        return layernorm(x, self.scale, self.shift, eps=self.eps)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"LayerNorm({self.dim})"
+
+
+class Tanh(Module):
+    """Tanh activation as a module."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return tanh(x)
+
+
+class ReLU(Module):
+    """ReLU activation as a module."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return relu(x)
+
+
+class Identity(Module):
+    """No-op module."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x
+
+
+class Sequential(Module):
+    """Chain of modules applied in order."""
+
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        self._items: list[Module] = []
+        for i, module in enumerate(modules):
+            self.add_module(str(i), module)
+            self._items.append(module)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for module in self._items:
+            x = module(x)
+        return x
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __getitem__(self, idx: int) -> Module:
+        return self._items[idx]

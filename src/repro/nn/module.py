@@ -1,0 +1,95 @@
+"""Module base class: parameter registration, traversal, state dicts."""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+
+
+class Parameter(Tensor):
+    """A tensor that is a trainable parameter of a module."""
+
+    def __init__(self, data, name: str = "") -> None:
+        super().__init__(data, requires_grad=True, name=name)
+
+
+class Module:
+    """Base class for layers and models.
+
+    Submodules and parameters are discovered by attribute scan (assign them
+    as attributes, as in PyTorch).  Lists of submodules should be wrapped in
+    :class:`repro.nn.layers.Sequential` or assigned via :meth:`add_module`.
+    """
+
+    def __init__(self) -> None:
+        self._modules: dict[str, Module] = {}
+        self._parameters: dict[str, Parameter] = {}
+
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self.__dict__.setdefault("_parameters", {})[name] = value
+        elif isinstance(value, Module):
+            self.__dict__.setdefault("_modules", {})[name] = value
+        object.__setattr__(self, name, value)
+
+    def add_module(self, name: str, module: "Module") -> None:
+        """Register a submodule under an explicit name."""
+        self._modules[name] = module
+        object.__setattr__(self, name, module)
+
+    # ------------------------------------------------------------- traversal
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        """Yield ``(dotted_name, parameter)`` pairs, depth-first."""
+        for name, param in self._parameters.items():
+            yield (f"{prefix}{name}", param)
+        for name, module in self._modules.items():
+            yield from module.named_parameters(prefix=f"{prefix}{name}.")
+
+    def parameters(self) -> list[Parameter]:
+        """All trainable parameters, depth-first."""
+        return [p for _, p in self.named_parameters()]
+
+    def num_parameters(self) -> int:
+        """Total scalar parameter count."""
+        return sum(p.size for p in self.parameters())
+
+    def zero_grad(self) -> None:
+        """Clear gradients on every parameter."""
+        for p in self.parameters():
+            p.zero_grad()
+
+    # ------------------------------------------------------------ state dict
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Copy of all parameter arrays keyed by dotted name."""
+        return {name: p.data.copy() for name, p in self.named_parameters()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Load parameter arrays saved by :meth:`state_dict` (strict)."""
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if missing or unexpected:
+            raise KeyError(
+                f"state dict mismatch: missing={sorted(missing)}, unexpected={sorted(unexpected)}"
+            )
+        for name, param in own.items():
+            value = np.asarray(state[name], dtype=np.float64)
+            if value.shape != param.data.shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: saved {value.shape}, model {param.data.shape}"
+                )
+            param.data[...] = value
+
+    def copy_from(self, other: "Module") -> None:
+        """In-place copy of another module's parameters (e.g. old policy sync)."""
+        self.load_state_dict(other.state_dict())
+
+    # ---------------------------------------------------------------- calling
+    def forward(self, *args, **kwargs):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)

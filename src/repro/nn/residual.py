@@ -1,0 +1,74 @@
+"""Residual blocks, in the two variants the AutoMDT paper describes.
+
+Policy network (§IV-D3): "Each residual block comprises two linear
+transformations interleaved with layer normalization and ReLU activations,
+along with a skip connection that adds the input directly to the output."
+
+Value network (§IV-D4): "a custom residual block structure with Tanh
+activations ... two sequential linear layers and ... a skip connection."
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor, relu, tanh
+from repro.nn.layers import LayerNorm, Linear
+from repro.nn.module import Module
+from repro.utils.errors import ConfigError
+from repro.utils.rng import as_generator
+
+
+class ResidualBlock(Module):
+    """``x + f(x)`` where ``f`` = Linear → [LayerNorm] → act → Linear → [LayerNorm].
+
+    Parameters
+    ----------
+    dim:
+        Feature dimension (input and output are the same width — required
+        for the additive skip).
+    activation:
+        ``"relu"`` (policy variant) or ``"tanh"`` (value variant).
+    layer_norm:
+        Whether to interleave layer normalization (the policy variant uses
+        it; the value variant uses plain linear layers).
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        *,
+        activation: str = "relu",
+        layer_norm: bool = True,
+        rng: int | np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        if activation not in ("relu", "tanh"):
+            raise ConfigError(f"activation must be 'relu' or 'tanh', got {activation!r}")
+        rng = as_generator(rng)
+        self.dim = dim
+        self.activation = activation
+        self.fc1 = Linear(dim, dim, rng=rng)
+        self.fc2 = Linear(dim, dim, rng=rng)
+        if layer_norm:
+            self.norm1 = LayerNorm(dim)
+            self.norm2 = LayerNorm(dim)
+        else:
+            self.norm1 = None
+            self.norm2 = None
+
+    def _act(self, x: Tensor) -> Tensor:
+        return relu(x) if self.activation == "relu" else tanh(x)
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.fc1(x)
+        if self.norm1 is not None:
+            out = self.norm1(out)
+        out = self._act(out)
+        out = self.fc2(out)
+        if self.norm2 is not None:
+            out = self.norm2(out)
+        return x + out
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ResidualBlock(dim={self.dim}, activation={self.activation!r})"

@@ -1,0 +1,27 @@
+"""Save and load module parameters as ``.npz`` archives."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.nn.module import Module
+
+
+def save_state(module: Module, path: str | Path) -> None:
+    """Write all parameters of ``module`` to ``path`` (numpy ``.npz``).
+
+    Dotted parameter names are preserved as archive keys.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    state = module.state_dict()
+    np.savez(path, **state)
+
+
+def load_state(module: Module, path: str | Path) -> None:
+    """Load parameters saved by :func:`save_state` into ``module`` (strict)."""
+    with np.load(Path(path)) as archive:
+        state = {key: archive[key] for key in archive.files}
+    module.load_state_dict(state)

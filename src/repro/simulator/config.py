@@ -1,0 +1,110 @@
+"""Configuration for the I/O–network dynamics simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.utils.config import require_in_range, require_positive
+from repro.utils.units import GiB
+
+
+@dataclass(frozen=True)
+class SimulatorConfig:
+    """Parameters of the Algorithm-1 simulator.
+
+    The simulator is "initialized with the buffer capacities at both ends,
+    throughput per thread, bandwidth, and current concurrency values"
+    (paper §IV-C).  All rates are Mbps, sizes are bytes, times are seconds.
+
+    Attributes
+    ----------
+    tpt_read, tpt_network, tpt_write:
+        Per-thread throughputs ``TPT_i`` — what one thread of each stage
+        achieves when nothing else limits it (e.g. a sysadmin throttle).
+    bandwidth_read, bandwidth_network, bandwidth_write:
+        Aggregate stage ceilings ``B_i`` (storage device speed / NIC or
+        path capacity).  Stage throughput never exceeds these no matter
+        how many threads run.
+    sender_buffer_capacity, receiver_buffer_capacity:
+        Staging (tmpfs) capacity at each DTN.
+    max_threads:
+        Upper bound ``n_max`` for any concurrency value.
+    duration:
+        Virtual seconds simulated per :meth:`step_second` call (the paper
+        simulates exactly one second per utility evaluation).
+    chunk_seconds:
+        Granularity of one task: each scheduled task moves roughly this
+        many seconds' worth of one thread's data.  Smaller values cost
+        more events but resolve buffer dynamics more finely.
+    min_chunk_bytes:
+        Floor on the task chunk size.
+    epsilon:
+        Retry delay added when a task finds no data / no buffer space
+        (Algorithm 1 line 24's ε — "so it can retry after a short delay").
+    task_overhead:
+        Small scheduling overhead added after every *executed* task so time
+        strictly advances; kept well below ``chunk_seconds`` so it costs a
+        fraction of a percent of throughput.
+    """
+
+    tpt_read: float = 100.0
+    tpt_network: float = 100.0
+    tpt_write: float = 100.0
+    bandwidth_read: float = 1000.0
+    bandwidth_network: float = 1000.0
+    bandwidth_write: float = 1000.0
+    sender_buffer_capacity: float = 4.0 * GiB
+    receiver_buffer_capacity: float = 4.0 * GiB
+    max_threads: int = 30
+    duration: float = 1.0
+    chunk_seconds: float = 0.05
+    min_chunk_bytes: float = 256.0 * 1024
+    epsilon: float = 0.01
+    task_overhead: float = 5e-4
+    label: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        for name in (
+            "tpt_read",
+            "tpt_network",
+            "tpt_write",
+            "bandwidth_read",
+            "bandwidth_network",
+            "bandwidth_write",
+            "sender_buffer_capacity",
+            "receiver_buffer_capacity",
+            "duration",
+            "chunk_seconds",
+            "min_chunk_bytes",
+            "epsilon",
+            "task_overhead",
+        ):
+            require_positive(getattr(self, name), name)
+        require_in_range(self.max_threads, 1, 10_000, "max_threads")
+
+    @property
+    def tpt(self) -> tuple[float, float, float]:
+        """Per-thread throughputs ``(TPT_r, TPT_n, TPT_w)``."""
+        return (self.tpt_read, self.tpt_network, self.tpt_write)
+
+    @property
+    def bandwidth(self) -> tuple[float, float, float]:
+        """Stage ceilings ``(B_r, B_n, B_w)``."""
+        return (self.bandwidth_read, self.bandwidth_network, self.bandwidth_write)
+
+    @property
+    def bottleneck(self) -> float:
+        """End-to-end bottleneck ``b = min(B_r, B_n, B_w)`` in Mbps."""
+        return min(self.bandwidth)
+
+    def optimal_threads(self) -> tuple[int, int, int]:
+        """Ideal thread counts ``n_i* = ceil(b / TPT_i)`` capped at ``max_threads``.
+
+        These are the targets the agent should discover (§IV-A).
+        """
+        import math
+
+        b = self.bottleneck
+        return tuple(
+            min(self.max_threads, max(1, math.ceil(b / tpt))) for tpt in self.tpt
+        )  # type: ignore[return-value]

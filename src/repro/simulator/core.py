@@ -1,0 +1,214 @@
+"""Algorithm 1: the priority-queue I/O–network dynamics simulator.
+
+Faithful to the paper's pseudocode:
+
+* tasks (one per scheduled thread slot) live in a time-ordered priority
+  queue; popping a task checks its buffer precondition, moves a chunk if it
+  can, and re-enqueues itself at ``t + d_task + ε`` while that lands before
+  the horizon;
+* a read task needs free sender-buffer space, a network task needs data at
+  the sender *and* free receiver space, a write task needs data at the
+  receiver;
+* after the queue drains, per-stage byte counters are normalized by their
+  finish times to produce throughputs;
+* the buffer occupancies persist across calls ("update the internal
+  simulator state"), which is exactly what gives the environment its
+  non-trivial dynamics (Fig. 1).
+
+Aggregate stage ceilings ``B_i`` are enforced by capping the effective
+per-thread rate at ``B_i / n_i`` — with ``n_i`` threads running the stage
+can never exceed its bandwidth.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+from repro.simulator.config import SimulatorConfig
+from repro.utils.errors import SimulationError
+from repro.utils.units import bytes_per_sec_to_mbps, mbps_to_bytes_per_sec
+
+_READ, _NETWORK, _WRITE = 0, 1, 2
+STAGE_NAMES = ("read", "network", "write")
+
+
+@dataclass(frozen=True)
+class StageMetrics:
+    """Per-second observation returned by :meth:`IONetworkSimulator.step_second`.
+
+    Throughputs are Mbps achieved over the simulated second; buffer values
+    are bytes at the end of the second.
+    """
+
+    throughput_read: float
+    throughput_network: float
+    throughput_write: float
+    sender_usage: float
+    receiver_usage: float
+    sender_free: float
+    receiver_free: float
+    threads: tuple[int, int, int]
+
+    @property
+    def throughputs(self) -> tuple[float, float, float]:
+        """``(t_r, t_n, t_w)`` in Mbps."""
+        return (self.throughput_read, self.throughput_network, self.throughput_write)
+
+
+class IONetworkSimulator:
+    """Event-queue simulator of coupled read/network/write stages.
+
+    The simulator is deterministic: identical call sequences produce
+    identical metrics, which keeps offline PPO training reproducible.
+
+    Parameters
+    ----------
+    config:
+        Static scenario description (per-thread speeds, ceilings, buffers).
+    sender_usage, receiver_usage:
+        Initial staging-buffer occupancy in bytes (default empty).
+    """
+
+    def __init__(
+        self,
+        config: SimulatorConfig,
+        *,
+        sender_usage: float = 0.0,
+        receiver_usage: float = 0.0,
+    ) -> None:
+        self.config = config
+        self._validate_usage(sender_usage, receiver_usage)
+        self._sender_usage = float(sender_usage)
+        self._receiver_usage = float(receiver_usage)
+        self._elapsed = 0.0
+
+    def _validate_usage(self, sender: float, receiver: float) -> None:
+        if not (0.0 <= sender <= self.config.sender_buffer_capacity):
+            raise SimulationError(f"sender usage {sender} out of range")
+        if not (0.0 <= receiver <= self.config.receiver_buffer_capacity):
+            raise SimulationError(f"receiver usage {receiver} out of range")
+
+    # --------------------------------------------------------------- state
+    @property
+    def sender_usage(self) -> float:
+        """Bytes currently staged at the sender."""
+        return self._sender_usage
+
+    @property
+    def receiver_usage(self) -> float:
+        """Bytes currently staged at the receiver."""
+        return self._receiver_usage
+
+    @property
+    def elapsed(self) -> float:
+        """Total simulated seconds so far."""
+        return self._elapsed
+
+    def reset(self, *, sender_usage: float = 0.0, receiver_usage: float = 0.0) -> None:
+        """Reset buffers (and the clock) to start a fresh episode."""
+        self._validate_usage(sender_usage, receiver_usage)
+        self._sender_usage = float(sender_usage)
+        self._receiver_usage = float(receiver_usage)
+        self._elapsed = 0.0
+
+    # ----------------------------------------------------------------- step
+    def _clamp_threads(self, threads) -> tuple[int, int, int]:
+        n_max = self.config.max_threads
+        clamped = tuple(int(min(n_max, max(1, round(float(n))))) for n in threads)
+        if len(clamped) != 3:
+            raise SimulationError(f"expected 3 thread counts, got {threads!r}")
+        return clamped  # type: ignore[return-value]
+
+    def step_second(self, threads) -> StageMetrics:
+        """Simulate ``config.duration`` seconds under concurrency ``threads``.
+
+        ``threads`` is any length-3 sequence ``(n_r, n_n, n_w)``; values are
+        rounded and clamped to ``[1, max_threads]`` exactly as the
+        production loop does (§IV-F).
+        """
+        cfg = self.config
+        n = self._clamp_threads(threads)
+
+        # Effective per-thread byte rates with the aggregate ceiling applied.
+        rates = [
+            mbps_to_bytes_per_sec(min(tpt, bw / n_i))
+            for tpt, bw, n_i in zip(cfg.tpt, cfg.bandwidth, n)
+        ]
+        chunks = [max(cfg.min_chunk_bytes, rate * cfg.chunk_seconds) for rate in rates]
+
+        horizon = cfg.duration
+        eps = cfg.epsilon
+        overhead = cfg.task_overhead
+        sender_cap = cfg.sender_buffer_capacity
+        receiver_cap = cfg.receiver_buffer_capacity
+        sender = self._sender_usage
+        receiver = self._receiver_usage
+
+        bytes_moved = [0.0, 0.0, 0.0]
+        last_finish = [0.0, 0.0, 0.0]
+
+        # Schedule the initial task for every thread at t = 0 (Algorithm 1,
+        # line 29).  The sequence number breaks ties deterministically.
+        queue: list[tuple[float, int, int]] = []
+        seq = 0
+        for stage in (_READ, _NETWORK, _WRITE):
+            for _ in range(n[stage]):
+                queue.append((0.0, seq, stage))
+                seq += 1
+        heapq.heapify(queue)
+
+        while queue:
+            t, _, stage = heapq.heappop(queue)
+            amount = 0.0
+            if stage == _READ:
+                free = sender_cap - sender
+                if free > 0.0:
+                    amount = min(chunks[_READ], free)
+                    sender += amount
+            elif stage == _NETWORK:
+                free = receiver_cap - receiver
+                if sender > 0.0 and free > 0.0:
+                    amount = min(chunks[_NETWORK], sender, free)
+                    sender -= amount
+                    receiver += amount
+            else:  # _WRITE
+                if receiver > 0.0:
+                    amount = min(chunks[_WRITE], receiver)
+                    receiver -= amount
+
+            if amount > 0.0:
+                d_task = amount / rates[stage]
+                bytes_moved[stage] += amount
+                finish = t + d_task
+                if finish > last_finish[stage]:
+                    last_finish[stage] = finish
+                t_next = t + d_task + overhead
+            else:
+                # Blocked: retry after the ε back-off.
+                t_next = t + eps
+            if t_next < horizon:
+                heapq.heappush(queue, (t_next, seq, stage))
+                seq += 1
+
+        # Normalize throughputs by their finish times (line 37): a stage that
+        # ran past the horizon gets credited over its true elapsed time.
+        throughputs = [
+            bytes_per_sec_to_mbps(bytes_moved[s] / max(horizon, last_finish[s]))
+            for s in range(3)
+        ]
+
+        self._sender_usage = sender
+        self._receiver_usage = receiver
+        self._elapsed += horizon
+
+        return StageMetrics(
+            throughput_read=throughputs[_READ],
+            throughput_network=throughputs[_NETWORK],
+            throughput_write=throughputs[_WRITE],
+            sender_usage=sender,
+            receiver_usage=receiver,
+            sender_free=sender_cap - sender,
+            receiver_free=receiver_cap - receiver,
+            threads=n,
+        )

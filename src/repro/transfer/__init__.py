@@ -1,0 +1,46 @@
+"""Transfer layer: datasets, engines, probing, metrics.
+
+:class:`ModularTransferEngine` is the production data-plane of the
+reproduction — it drives a :class:`repro.emulator.Testbed` with the
+concurrency triples proposed by a controller (AutoMDT's policy, Marlin's
+gradient-descent optimizers, or a static configuration) and records the
+time series the paper's figures are made of.
+:class:`MonolithicController` adapts single-concurrency tools (Globus-style)
+onto the same engine.
+"""
+
+from repro.transfer.engine import (
+    Controller,
+    EngineConfig,
+    ModularTransferEngine,
+    Observation,
+    TransferResult,
+)
+from repro.transfer.filelevel import FileLevelConfig, FileLevelEngine, FileLevelResult
+from repro.transfer.files import Dataset, FileSpec
+from repro.transfer.metrics import TransferMetrics
+from repro.transfer.monolithic import MonolithicController
+from repro.transfer.probing import ThroughputProbe
+from repro.transfer.rpc import BufferReportChannel
+from repro.transfer.tracing import TraceRecorder, TraceSummary, load_trace, summarize_trace
+
+__all__ = [
+    "Controller",
+    "EngineConfig",
+    "ModularTransferEngine",
+    "Observation",
+    "TransferResult",
+    "Dataset",
+    "FileSpec",
+    "FileLevelConfig",
+    "FileLevelEngine",
+    "FileLevelResult",
+    "TransferMetrics",
+    "MonolithicController",
+    "ThroughputProbe",
+    "BufferReportChannel",
+    "TraceRecorder",
+    "TraceSummary",
+    "load_trace",
+    "summarize_trace",
+]

@@ -1,0 +1,342 @@
+"""File-level (chunk-granular) transfer engine.
+
+The fluid :class:`repro.emulator.Testbed` models byte flows; this engine
+models the paper's §III process literally: *read threads load files from
+the source filesystem into the DTN's shared memory; the files are sent over
+the network; write threads sync them to the destination filesystem*.  Each
+read worker owns one file at a time, pays that file's open cost, and stages
+it chunk by chunk into the bounded sender buffer; network and write workers
+drain the staged byte pools at their per-thread rates.  Per-file completion
+is tracked exactly (files complete in read order), which gives:
+
+* per-file latency distributions (how small files suffer),
+* a from-first-principles account of why the Mixed dataset of Table I is
+  slower than the Large one — the per-file open cost serializes against the
+  chunk stream on each worker,
+* a cross-check of the fluid testbed's aggregate throughput (the two models
+  agree within a few percent on uniform datasets; see the consistency test).
+
+Concurrency is re-read from the controller every ``decision_interval``
+virtual seconds, so the same :class:`repro.transfer.engine.Controller`
+implementations drive this engine too.
+
+Known modelling scope: each file is read/written by a single worker (no
+intra-file TCP parallelism), so transfers exhibit the classic *straggler
+tail* — the last files drain at per-stream speed even though the aggregate
+pipeline ran at the bottleneck rate.  With the paper's 1000×1 GB workload
+the tail is ~1% of the transfer; with few large files it dominates, which
+is precisely why the related work adds pipelining/parallelism knobs
+([45]).  Use the fluid :class:`repro.emulator.Testbed` when you want the
+idealized no-tail aggregate.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.emulator.testbed import TestbedConfig
+from repro.transfer.engine import Controller, Observation
+from repro.transfer.files import Dataset
+from repro.transfer.metrics import TransferMetrics
+from repro.utils.config import require_positive
+from repro.utils.errors import TransferError
+from repro.utils.units import bytes_per_sec_to_mbps, mbps_to_bytes_per_sec
+
+_READ, _NETWORK, _WRITE = 0, 1, 2
+
+
+@dataclass(frozen=True)
+class FileLevelConfig:
+    """Engine knobs for the chunk-granular data plane.
+
+    ``parallelism`` splits every file into that many independently-readable
+    segments (the ``-p`` knob of GridFTP-family tools, refs [14], [45] of
+    the paper): a lone multi-GB file can then use several read workers at
+    once, shrinking the straggler tail — at the price of one per-segment
+    open cost each.
+    """
+
+    decision_interval: float = 1.0
+    chunk_bytes: float = 8.0 * 1024 * 1024
+    max_seconds: float = 3600.0
+    epsilon: float = 0.01  # blocked-task retry backoff
+    parallelism: int = 1
+
+    def __post_init__(self) -> None:
+        require_positive(self.decision_interval, "decision_interval")
+        require_positive(self.chunk_bytes, "chunk_bytes")
+        require_positive(self.max_seconds, "max_seconds")
+        require_positive(self.epsilon, "epsilon")
+        require_positive(self.parallelism, "parallelism")
+
+
+@dataclass
+class FileLevelResult:
+    """Outcome of a file-level transfer."""
+
+    completed: bool
+    completion_time: float
+    total_bytes: float
+    metrics: TransferMetrics
+    file_completion_times: np.ndarray  # virtual second each file finished writing
+    file_sizes: np.ndarray
+
+    @property
+    def effective_throughput(self) -> float:
+        """End-to-end Mbps over the whole transfer."""
+        if self.completion_time <= 0:
+            return 0.0
+        return bytes_per_sec_to_mbps(self.total_bytes / self.completion_time)
+
+    def file_latency_quantiles(self, qs=(0.5, 0.9, 0.99)) -> dict[float, float]:
+        """Quantiles of per-file completion times."""
+        if len(self.file_completion_times) == 0:
+            return {q: float("nan") for q in qs}
+        return {q: float(np.quantile(self.file_completion_times, q)) for q in qs}
+
+
+class FileLevelEngine:
+    """Chunk-granular transfer of a dataset under a concurrency controller."""
+
+    def __init__(
+        self,
+        testbed_config: TestbedConfig,
+        dataset: Dataset,
+        controller: Controller,
+        config: FileLevelConfig | None = None,
+    ) -> None:
+        self.testbed_config = testbed_config
+        self.dataset = dataset
+        self.controller = controller
+        self.config = config or FileLevelConfig()
+
+    # ------------------------------------------------------------------ rates
+    def _stage_rate(self, stage: int, n: int) -> float:
+        """Per-worker byte rate for ``n`` active workers of a stage.
+
+        Reuses the emulator's device/path models (per-thread caps, aggregate
+        ceilings, over-concurrency degradation).  The network rate is taken
+        without ramp/background state — the file-level engine is a steady-
+        state data plane; use the fluid Testbed for those dynamics.
+        """
+        cfg = self.testbed_config
+        if stage in (_READ, _WRITE):
+            from repro.emulator.storage import StorageDevice
+
+            device = cfg.source if stage == _READ else cfg.destination
+            total = StorageDevice(device).aggregate_rate(n)
+        else:
+            from repro.emulator.network import NetworkPath
+
+            total = NetworkPath(cfg.network).aggregate_rate(float(n), t=0.0)
+        return mbps_to_bytes_per_sec(total / max(1, n))
+
+    # ------------------------------------------------------------------- run
+    def run(self) -> FileLevelResult:
+        """Transfer the dataset; returns per-file and aggregate results."""
+        cfg = self.config
+        tb = self.testbed_config
+        files = self.dataset.files
+        sizes = np.array([f.size for f in files])
+        cumulative = np.cumsum(sizes)
+        total = float(cumulative[-1])
+
+        # Expand files into read work-units: `parallelism` segments per file
+        # (kept in file order so cumulative-byte file completion stays exact).
+        p = self.config.parallelism
+        if p == 1:
+            unit_sizes = sizes.tolist()
+        else:
+            unit_sizes = []
+            for size in sizes:
+                base = size / p
+                unit_sizes.extend([base] * (p - 1))
+                unit_sizes.append(size - base * (p - 1))
+
+        self.controller.reset()
+
+        # Pools and cursors.
+        sender_cap = tb.sender_buffer_capacity
+        receiver_cap = tb.receiver_buffer_capacity
+        sender_pool = 0.0
+        receiver_pool = 0.0
+        next_unit = 0  # next read work-unit (file or file segment) to claim
+        bytes_read = bytes_sent = bytes_written = 0.0
+        open_cost_read = tb.source.per_file_cost
+        open_cost_write = tb.destination.per_file_cost
+
+        # Per-worker state: read workers own (file_index, remaining_bytes).
+        read_assignments: dict[int, list] = {}
+
+        file_done = np.full(len(files), np.nan)
+        written_files = 0
+
+        threads = (1, 1, 1)
+        counters = [0.0, 0.0, 0.0]  # bytes moved this interval
+        interval_start = 0.0
+        metrics = TransferMetrics()
+
+        # Event queue: (time, seq, stage, worker_slot)
+        queue: list[tuple[float, int, int, int]] = []
+        seq = 0
+
+        def schedule(t: float, stage: int, slot: int) -> None:
+            nonlocal seq
+            heapq.heappush(queue, (t, seq, stage, slot))
+            seq += 1
+
+        def observation(now: float, tputs) -> Observation:
+            return Observation(
+                threads=threads,
+                throughputs=tputs,
+                sender_free=sender_cap - sender_pool,
+                receiver_free=receiver_cap - receiver_pool,
+                sender_capacity=sender_cap,
+                receiver_capacity=receiver_cap,
+                elapsed=now,
+                bytes_written_total=bytes_written,
+            )
+
+        threads = tuple(
+            int(min(tb.max_threads, max(1, n)))
+            for n in self.controller.propose(observation(0.0, (0.0, 0.0, 0.0)))
+        )
+        rates = [self._stage_rate(s, threads[s]) for s in range(3)]
+        for stage in range(3):
+            for slot in range(threads[stage]):
+                schedule(0.0, stage, slot)
+
+        now = 0.0
+        next_decision = cfg.decision_interval
+        completed = False
+
+        while queue:
+            t, _, stage, slot = heapq.heappop(queue)
+            now = max(now, t)
+            if now >= cfg.max_seconds:
+                break
+
+            # Decision boundary: probe, consult controller, reschedule pools.
+            while t >= next_decision:
+                interval = next_decision - interval_start
+                tputs = tuple(
+                    bytes_per_sec_to_mbps(c / max(interval, 1e-9)) for c in counters
+                )
+                metrics.record(
+                    next_decision,
+                    throughputs=tputs,
+                    threads=threads,
+                    sender_usage=sender_pool,
+                    receiver_usage=receiver_pool,
+                    bytes_written_total=bytes_written,
+                )
+                proposed = self.controller.propose(observation(next_decision, tputs))
+                new_threads = tuple(
+                    int(min(tb.max_threads, max(1, n))) for n in proposed
+                )
+                if new_threads != threads:
+                    # Add workers for grown stages; shrunk stages drop extra
+                    # slots lazily (events for slots >= n are discarded).
+                    for s in range(3):
+                        for extra in range(threads[s], new_threads[s]):
+                            schedule(next_decision, s, extra)
+                    threads = new_threads
+                    rates = [self._stage_rate(s, threads[s]) for s in range(3)]
+                counters = [0.0, 0.0, 0.0]
+                interval_start = next_decision
+                next_decision += cfg.decision_interval
+
+            if slot >= threads[stage]:
+                continue  # worker slot retired by a concurrency decrease
+
+            duration = 0.0
+            if stage == _READ:
+                job = read_assignments.get(slot)
+                if job is None and next_unit < len(unit_sizes):
+                    job = [next_unit, unit_sizes[next_unit]]
+                    read_assignments[slot] = job
+                    next_unit += 1
+                    duration += open_cost_read
+                if job is None:
+                    if bytes_read >= total:
+                        continue  # nothing left to read: retire this worker
+                    schedule(t + cfg.epsilon, stage, slot)
+                    continue
+                free = sender_cap - sender_pool
+                amount = min(cfg.chunk_bytes, job[1], free)
+                if amount <= 0.0:
+                    schedule(t + cfg.epsilon, stage, slot)
+                    continue
+                job[1] -= amount
+                if job[1] <= 0.0:
+                    read_assignments[slot] = None
+                sender_pool += amount
+                bytes_read += amount
+                counters[_READ] += amount
+                duration += amount / rates[_READ]
+
+            elif stage == _NETWORK:
+                amount = min(cfg.chunk_bytes, sender_pool, receiver_cap - receiver_pool)
+                if amount <= 0.0:
+                    if bytes_sent >= total:
+                        continue
+                    schedule(t + cfg.epsilon, stage, slot)
+                    continue
+                sender_pool -= amount
+                receiver_pool += amount
+                bytes_sent += amount
+                counters[_NETWORK] += amount
+                duration = amount / rates[_NETWORK]
+
+            else:  # _WRITE
+                amount = min(cfg.chunk_bytes, receiver_pool)
+                if amount <= 0.0:
+                    if bytes_written >= total:
+                        continue
+                    schedule(t + cfg.epsilon, stage, slot)
+                    continue
+                receiver_pool -= amount
+                before = bytes_written
+                bytes_written += amount
+                counters[_WRITE] += amount
+                duration = amount / rates[_WRITE]
+                # Files complete in read order: charge write open costs and
+                # stamp completion for every file boundary crossed.
+                while written_files < len(files) and bytes_written >= cumulative[written_files] - 0.5:
+                    file_done[written_files] = t + duration
+                    duration += open_cost_write
+                    written_files += 1
+                if bytes_written >= total - 0.5:
+                    completed = True
+                    now = t + duration
+                    break
+
+            schedule(t + duration + 1e-6, stage, slot)
+
+        if not completed and bytes_written < total - 0.5 and now < cfg.max_seconds and not queue:
+            raise TransferError(
+                "file-level engine stalled: event queue drained before completion"
+            )
+
+        # Final interval sample.
+        interval = max(now - interval_start, 1e-9)
+        metrics.record(
+            max(now, interval_start + 1e-9),
+            throughputs=tuple(bytes_per_sec_to_mbps(c / interval) for c in counters),
+            threads=threads,
+            sender_usage=sender_pool,
+            receiver_usage=receiver_pool,
+            bytes_written_total=bytes_written,
+        )
+
+        return FileLevelResult(
+            completed=completed,
+            completion_time=now,
+            total_bytes=total,
+            metrics=metrics,
+            file_completion_times=file_done,
+            file_sizes=sizes,
+        )

@@ -1,0 +1,126 @@
+"""File and dataset models.
+
+A :class:`Dataset` is what gets transferred: a list of :class:`FileSpec`
+entries.  Its role in the emulation is twofold — it defines the total byte
+count, and its file-size distribution determines the per-file-overhead
+efficiency factor for each stage (small files make fixed per-file costs
+dominate, which is why the paper's Mixed dataset transfers slower than the
+Large one in Table I).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.config import require_positive
+from repro.utils.errors import ConfigError
+from repro.utils.units import format_size, mbps_to_bytes_per_sec
+
+
+@dataclass(frozen=True)
+class FileSpec:
+    """One file: a name and a size in bytes."""
+
+    name: str
+    size: float
+
+    def __post_init__(self) -> None:
+        require_positive(self.size, f"size of {self.name!r}")
+
+
+class Dataset:
+    """An ordered collection of files to transfer."""
+
+    def __init__(self, files: Iterable[FileSpec], name: str = "") -> None:
+        self.files: tuple[FileSpec, ...] = tuple(files)
+        if not self.files:
+            raise ConfigError("dataset must contain at least one file")
+        self.name = name
+        self._total = float(sum(f.size for f in self.files))
+
+    # ------------------------------------------------------------- accessors
+    @property
+    def total_bytes(self) -> float:
+        """Sum of all file sizes."""
+        return self._total
+
+    @property
+    def num_files(self) -> int:
+        """Number of files."""
+        return len(self.files)
+
+    @property
+    def mean_file_size(self) -> float:
+        """Average file size in bytes."""
+        return self._total / len(self.files)
+
+    def __len__(self) -> int:
+        return len(self.files)
+
+    def __iter__(self) -> Iterator[FileSpec]:
+        return iter(self.files)
+
+    def __getitem__(self, idx: int) -> FileSpec:
+        return self.files[idx]
+
+    # ------------------------------------------------------------ efficiency
+    def stage_efficiency(self, per_thread_mbps: float, per_file_cost: float) -> float:
+        """Throughput efficiency factor in ``(0, 1]`` from per-file overheads.
+
+        One thread streaming the whole dataset at per-thread rate ``R``
+        (bytes/s) spends ``total/R`` seconds moving bytes plus
+        ``num_files * per_file_cost`` seconds of fixed per-file work, so its
+        effective rate is scaled by ``1 / (1 + cost * R * N / total)``
+        — equivalently ``1 / (1 + cost * R / mean_size)``.
+        """
+        if per_file_cost <= 0.0:
+            return 1.0
+        rate = mbps_to_bytes_per_sec(per_thread_mbps)
+        return 1.0 / (1.0 + per_file_cost * rate / self.mean_file_size)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Dataset({self.name!r}, files={self.num_files}, "
+            f"total={format_size(self._total)})"
+        )
+
+
+def uniform_dataset(num_files: int, file_size: float, name: str = "uniform") -> Dataset:
+    """Dataset of ``num_files`` equal files of ``file_size`` bytes each."""
+    if num_files <= 0:
+        raise ConfigError(f"num_files must be positive, got {num_files}")
+    return Dataset(
+        (FileSpec(f"{name}-{i:06d}", float(file_size)) for i in range(num_files)),
+        name=name,
+    )
+
+
+def log_uniform_dataset(
+    total_bytes: float,
+    min_size: float,
+    max_size: float,
+    rng: np.random.Generator,
+    name: str = "mixed",
+) -> Dataset:
+    """Dataset whose file sizes are log-uniform in ``[min_size, max_size]``.
+
+    Files are drawn until their sum reaches ``total_bytes`` (the last file is
+    trimmed to land exactly on the total).
+    """
+    if not (0 < min_size <= max_size):
+        raise ConfigError(f"need 0 < min_size <= max_size, got {min_size}, {max_size}")
+    require_positive(total_bytes, "total_bytes")
+    files: list[FileSpec] = []
+    accumulated = 0.0
+    log_lo, log_hi = np.log(min_size), np.log(max_size)
+    while accumulated < total_bytes:
+        size = float(np.exp(rng.uniform(log_lo, log_hi)))
+        size = min(size, total_bytes - accumulated)
+        if size < 1.0:
+            size = total_bytes - accumulated
+        files.append(FileSpec(f"{name}-{len(files):06d}", size))
+        accumulated += size
+    return Dataset(files, name=name)

@@ -1,0 +1,106 @@
+"""Per-transfer metric recording.
+
+One :class:`TransferMetrics` instance accumulates everything a figure needs:
+per-stage throughput, per-stage concurrency, buffer occupancy, and the
+utility/reward series, all on the virtual clock.
+"""
+
+from __future__ import annotations
+
+from repro.utils.timeseries import TimeSeries
+from repro.utils.units import bytes_per_sec_to_mbps
+
+
+class TransferMetrics:
+    """Time-series bundle recorded by a transfer engine."""
+
+    def __init__(self) -> None:
+        self.throughput_read = TimeSeries("throughput_read")
+        self.throughput_network = TimeSeries("throughput_network")
+        self.throughput_write = TimeSeries("throughput_write")
+        self.threads_read = TimeSeries("threads_read")
+        self.threads_network = TimeSeries("threads_network")
+        self.threads_write = TimeSeries("threads_write")
+        self.sender_usage = TimeSeries("sender_usage")
+        self.receiver_usage = TimeSeries("receiver_usage")
+        self.utility = TimeSeries("utility")
+        self.bytes_written = TimeSeries("bytes_written")
+
+    def record(
+        self,
+        t: float,
+        *,
+        throughputs: tuple[float, float, float],
+        threads: tuple[int, int, int],
+        sender_usage: float,
+        receiver_usage: float,
+        utility: float | None = None,
+        bytes_written_total: float | None = None,
+    ) -> None:
+        """Append one probe interval's samples at virtual time ``t``."""
+        self.throughput_read.append(t, throughputs[0])
+        self.throughput_network.append(t, throughputs[1])
+        self.throughput_write.append(t, throughputs[2])
+        self.threads_read.append(t, threads[0])
+        self.threads_network.append(t, threads[1])
+        self.threads_write.append(t, threads[2])
+        self.sender_usage.append(t, sender_usage)
+        self.receiver_usage.append(t, receiver_usage)
+        if utility is not None:
+            self.utility.append(t, utility)
+        if bytes_written_total is not None:
+            self.bytes_written.append(t, bytes_written_total)
+
+    # ---------------------------------------------------------------- queries
+    @property
+    def duration(self) -> float:
+        """Last recorded time (0 when empty)."""
+        return self.throughput_read.times[-1] if len(self.throughput_read) else 0.0
+
+    def average_throughput(self, *, warmup: float = 0.0) -> float:
+        """Mean end-to-end (write-stage) throughput in Mbps after ``warmup``."""
+        return self.throughput_write.mean(t_start=warmup)
+
+    def effective_throughput(self, total_bytes: float, completion_time: float) -> float:
+        """End-to-end Mbps computed from bytes over wall time — the Table I metric."""
+        if completion_time <= 0:
+            return 0.0
+        return bytes_per_sec_to_mbps(total_bytes / completion_time)
+
+    def time_to_network_concurrency(self, level: int, *, sustain: int = 3) -> float | None:
+        """When the network concurrency first reached ``level`` (and held).
+
+        This is the paper's convergence-speed measure ("AutoMDT reaches 20
+        streams within 7 seconds").
+        """
+        return self.threads_network.time_to_reach(level, sustain=sustain)
+
+    def concurrency_cost(self) -> float:
+        """Mean total thread count across stages — the overhead measure."""
+        total = (
+            self.threads_read.values + self.threads_network.values + self.threads_write.values
+        )
+        return float(total.mean()) if len(total) else 0.0
+
+    def stability(self, series_name: str = "threads_network", *, t_start: float = 0.0) -> float:
+        """Standard deviation of a concurrency series (lower = more stable)."""
+        series: TimeSeries = getattr(self, series_name)
+        return series.std(t_start=t_start)
+
+    def to_dict(self) -> dict:
+        """Serialize every series (JSON-friendly)."""
+        return {
+            name: getattr(self, name).to_dict()
+            for name in (
+                "throughput_read",
+                "throughput_network",
+                "throughput_write",
+                "threads_read",
+                "threads_network",
+                "threads_write",
+                "sender_usage",
+                "receiver_usage",
+                "utility",
+                "bytes_written",
+            )
+        }

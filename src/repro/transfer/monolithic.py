@@ -1,0 +1,50 @@
+"""Monolithic-architecture adapter.
+
+Traditional tools (GridFTP/Globus and most others) "use socket connection
+threads for all read, write, and transfer operations" (§III): a single
+concurrency value drives every stage, optionally multiplied by per-file TCP
+parallelism on the network leg.  :class:`MonolithicController` adapts any
+single-value policy onto the modular engine by expanding ``cc`` into the
+triple ``(cc, cc * parallelism, cc)`` — which is exactly the resource
+over-subscription the paper's motivation section criticizes: the stage that
+needs the most streams forces its concurrency onto everyone else.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.transfer.engine import Observation
+from repro.utils.config import require_positive
+
+
+class MonolithicController:
+    """Single-concurrency controller expanded onto all three stages.
+
+    Parameters
+    ----------
+    concurrency:
+        Either a fixed integer (static tools: Globus's ``-cc``) or a
+        callable ``(Observation) -> int`` for adaptive monolithic tools.
+    parallelism:
+        TCP streams opened per concurrent file (Globus's ``-p``); the
+        network stage gets ``concurrency * parallelism`` streams.
+    """
+
+    def __init__(
+        self,
+        concurrency: int | Callable[[Observation], int] = 4,
+        parallelism: int = 8,
+    ) -> None:
+        require_positive(parallelism, "parallelism")
+        self._policy = concurrency
+        self.parallelism = int(parallelism)
+
+    def propose(self, observation: Observation) -> tuple[int, int, int]:
+        """Expand the single concurrency into a (read, network, write) triple."""
+        cc = self._policy(observation) if callable(self._policy) else self._policy
+        cc = max(1, int(cc))
+        return (cc, cc * self.parallelism, cc)
+
+    def reset(self) -> None:
+        """Static policies carry no state; adaptive callables own theirs."""

@@ -1,0 +1,37 @@
+"""Receiver→sender buffer reporting over a (simulated) RPC channel.
+
+Paper §IV-D1: "Every DTN measures its available buffer space with a system
+call and the receiver sends the result to its peer over the RPC channel."
+On a real WAN that report arrives one round-trip late; the channel models a
+configurable staleness of ``delay`` probe intervals so the agent sees the
+same slightly-stale receiver state it would in production.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.utils.config import require_non_negative
+
+
+class BufferReportChannel:
+    """FIFO of receiver buffer reports with fixed delay in report intervals."""
+
+    def __init__(self, delay: int = 1, initial_value: float = 0.0) -> None:
+        require_non_negative(delay, "delay")
+        self.delay = int(delay)
+        self._queue: deque[float] = deque([initial_value] * self.delay)
+
+    def exchange(self, fresh_value: float) -> float:
+        """Push the receiver's newest measurement, pop the one now arriving.
+
+        With ``delay = 0`` this is a passthrough.
+        """
+        if self.delay == 0:
+            return fresh_value
+        self._queue.append(fresh_value)
+        return self._queue.popleft()
+
+    def reset(self, initial_value: float = 0.0) -> None:
+        """Clear the in-flight reports."""
+        self._queue = deque([initial_value] * self.delay)

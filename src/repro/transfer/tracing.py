@@ -1,0 +1,132 @@
+"""Transfer tracing: record every decision interval to a JSONL file.
+
+Production transfer tools keep per-interval logs for post-mortems; this
+module provides the same for the reproduction — a :class:`TraceRecorder`
+wraps any controller and appends one JSON line per decision with the
+observation it saw and the triple it chose, and :func:`load_trace` /
+:func:`summarize_trace` turn a trace back into numbers.
+
+Usage::
+
+    controller = TraceRecorder(pipeline.controller(), "run.jsonl")
+    ModularTransferEngine(testbed, dataset, controller).run()
+    print(summarize_trace(load_trace("run.jsonl")))
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.transfer.engine import Controller, Observation
+
+
+class TraceRecorder:
+    """Controller wrapper that logs every (observation, decision) pair."""
+
+    def __init__(self, inner: Controller, path: str | Path, *, flush_every: int = 64) -> None:
+        self.inner = inner
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.flush_every = int(flush_every)
+        self._buffer: list[str] = []
+        self._fh = None
+
+    def _ensure_open(self) -> None:
+        if self._fh is None:
+            self._fh = self.path.open("w")
+
+    def propose(self, observation: Observation) -> tuple[int, int, int]:
+        """Delegate to the wrapped controller and log the exchange."""
+        decision = self.inner.propose(observation)
+        record = {
+            "t": observation.elapsed,
+            "threads_before": list(observation.threads),
+            "throughputs": [round(v, 3) for v in observation.throughputs],
+            "sender_free": observation.sender_free,
+            "receiver_free": observation.receiver_free,
+            "bytes_written": observation.bytes_written_total,
+            "decision": list(decision),
+        }
+        self._buffer.append(json.dumps(record))
+        if len(self._buffer) >= self.flush_every:
+            self.flush()
+        return decision
+
+    def reset(self) -> None:
+        """Reset the inner controller and start a fresh trace file."""
+        self.inner.reset()
+        self.close()
+        self._ensure_open()
+
+    def flush(self) -> None:
+        """Write buffered records to disk."""
+        if self._buffer:
+            self._ensure_open()
+            self._fh.write("\n".join(self._buffer) + "\n")
+            self._fh.flush()
+            self._buffer.clear()
+
+    def close(self) -> None:
+        """Flush and close the trace file."""
+        self.flush()
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "TraceRecorder":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+@dataclass(frozen=True)
+class TraceSummary:
+    """Aggregates of one trace."""
+
+    decisions: int
+    duration: float
+    mean_threads: tuple[float, float, float]
+    mean_total_threads: float
+    mean_throughput: tuple[float, float, float]
+    decision_changes: int
+
+    @property
+    def churn(self) -> float:
+        """Fraction of decisions that changed the triple (stability measure)."""
+        if self.decisions <= 1:
+            return 0.0
+        return self.decision_changes / (self.decisions - 1)
+
+
+def load_trace(path: str | Path) -> list[dict]:
+    """Read a JSONL trace back into a list of records."""
+    records = []
+    for line in Path(path).read_text().splitlines():
+        line = line.strip()
+        if line:
+            records.append(json.loads(line))
+    return records
+
+
+def summarize_trace(records: list[dict]) -> TraceSummary:
+    """Compute aggregate statistics of a trace."""
+    if not records:
+        return TraceSummary(0, 0.0, (0.0, 0.0, 0.0), 0.0, (0.0, 0.0, 0.0), 0)
+    decisions = np.array([r["decision"] for r in records], dtype=float)
+    throughputs = np.array([r["throughputs"] for r in records], dtype=float)
+    times = np.array([r["t"] for r in records], dtype=float)
+    changes = int((np.abs(np.diff(decisions, axis=0)).sum(axis=1) > 0).sum())
+    mean_threads = tuple(float(v) for v in decisions.mean(axis=0))
+    return TraceSummary(
+        decisions=len(records),
+        duration=float(times[-1] - times[0]),
+        mean_threads=mean_threads,  # type: ignore[arg-type]
+        mean_total_threads=float(decisions.sum(axis=1).mean()),
+        mean_throughput=tuple(float(v) for v in throughputs.mean(axis=0)),  # type: ignore[arg-type]
+        decision_changes=changes,
+    )

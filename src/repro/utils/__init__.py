@@ -1,0 +1,52 @@
+"""Shared utilities: units, RNG management, time series, tables, config.
+
+These are deliberately dependency-free (numpy only) so every other
+subpackage can build on them.
+"""
+
+from repro.utils.errors import (
+    ConfigError,
+    ConvergenceError,
+    ReproError,
+    SimulationError,
+    TransferError,
+)
+from repro.utils.rng import RngFactory, as_generator
+from repro.utils.timeseries import TimeSeries
+from repro.utils.units import (
+    GBPS,
+    GiB,
+    KiB,
+    MBPS,
+    MiB,
+    TiB,
+    bits_to_bytes,
+    bytes_to_bits,
+    format_rate,
+    format_size,
+    parse_rate,
+    parse_size,
+)
+
+__all__ = [
+    "ConfigError",
+    "ConvergenceError",
+    "ReproError",
+    "SimulationError",
+    "TransferError",
+    "RngFactory",
+    "as_generator",
+    "TimeSeries",
+    "GBPS",
+    "GiB",
+    "KiB",
+    "MBPS",
+    "MiB",
+    "TiB",
+    "bits_to_bytes",
+    "bytes_to_bits",
+    "format_rate",
+    "format_size",
+    "parse_rate",
+    "parse_size",
+]

@@ -1,0 +1,21 @@
+"""Exception hierarchy for the repro package."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ConfigError(ReproError):
+    """A configuration value is invalid or inconsistent."""
+
+
+class SimulationError(ReproError):
+    """The simulator or emulator reached an invalid state."""
+
+
+class TransferError(ReproError):
+    """A transfer engine failed (e.g. stalled without progress)."""
+
+
+class ConvergenceError(ReproError):
+    """An optimizer or training loop failed to converge within its budget."""

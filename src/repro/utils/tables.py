@@ -1,0 +1,84 @@
+"""Plain-text table rendering for the experiment harness.
+
+The benchmark harness prints the same rows the paper's tables report; this
+module renders them as aligned monospace tables (GitHub-flavoured markdown
+compatible) without any third-party dependency.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:,.1f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as a markdown-style table string."""
+    cells = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ValueError(f"row {row!r} has {len(row)} cells, expected {len(headers)}")
+        for i, text in enumerate(row):
+            widths[i] = max(widths[i], len(text))
+
+    def fmt_row(values: Sequence[str]) -> str:
+        return "| " + " | ".join(v.ljust(w) for v, w in zip(values, widths)) + " |"
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(list(headers)))
+    lines.append("|" + "|".join("-" * (w + 2) for w in widths) + "|")
+    lines.extend(fmt_row(row) for row in cells)
+    return "\n".join(lines)
+
+
+def render_kv(pairs: dict[str, object], *, title: str | None = None) -> str:
+    """Render a key/value mapping as an aligned two-column block."""
+    if not pairs:
+        return title or ""
+    width = max(len(k) for k in pairs)
+    lines = [title] if title else []
+    lines.extend(f"{k.ljust(width)} : {_cell(v)}" for k, v in pairs.items())
+    return "\n".join(lines)
+
+
+def render_series_ascii(
+    times: Sequence[float],
+    values: Sequence[float],
+    *,
+    width: int = 72,
+    height: int = 12,
+    label: str = "",
+) -> str:
+    """Very small ASCII line plot, used by examples to show convergence shapes."""
+    if len(times) == 0:
+        return f"{label}: (empty)"
+    import numpy as np
+
+    t = np.asarray(times, dtype=float)
+    v = np.asarray(values, dtype=float)
+    # Resample onto the character grid.
+    cols = np.linspace(t[0], t[-1], width)
+    idx = np.clip(np.searchsorted(t, cols, side="right") - 1, 0, len(v) - 1)
+    sampled = v[idx]
+    lo, hi = float(sampled.min()), float(sampled.max())
+    span = hi - lo if hi > lo else 1.0
+    rows = np.clip(((sampled - lo) / span * (height - 1)).round().astype(int), 0, height - 1)
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in enumerate(rows):
+        grid[height - 1 - y][x] = "*"
+    lines = [f"{label}  [{lo:.2f} .. {hi:.2f}]"] if label else []
+    lines.extend("".join(row) for row in grid)
+    lines.append(f"t: {t[0]:.1f}s .. {t[-1]:.1f}s")
+    return "\n".join(lines)

@@ -1,0 +1,123 @@
+"""Unit conversions for data sizes and transfer rates.
+
+Conventions used throughout the package:
+
+* **Sizes** are bytes (``int`` or ``float``).
+* **Rates** are megabits per second (Mbps, ``float``) — the unit the paper
+  quotes for all throttles (e.g. "80 Mbps per read thread") and results
+  (e.g. "23,988 Mbps").
+* **Time** is seconds on a virtual clock.
+
+Binary prefixes (KiB/MiB/GiB/TiB) are powers of 1024; decimal rate prefixes
+(Kbps/Mbps/Gbps/Tbps) are powers of 1000, matching networking practice.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.utils.errors import ConfigError
+
+# Size constants (bytes).
+KiB: int = 1024
+MiB: int = 1024**2
+GiB: int = 1024**3
+TiB: int = 1024**4
+
+# Rate constants (Mbps).
+MBPS: float = 1.0
+GBPS: float = 1000.0
+TBPS: float = 1_000_000.0
+
+_SIZE_UNITS = {
+    "b": 1,
+    "kb": 1000,
+    "mb": 1000**2,
+    "gb": 1000**3,
+    "tb": 1000**4,
+    "kib": KiB,
+    "mib": MiB,
+    "gib": GiB,
+    "tib": TiB,
+}
+
+_RATE_UNITS = {
+    "bps": 1e-6,
+    "kbps": 1e-3,
+    "mbps": 1.0,
+    "gbps": 1e3,
+    "tbps": 1e6,
+}
+
+_QUANTITY_RE = re.compile(r"^\s*([0-9]*\.?[0-9]+)\s*([a-zA-Z/]+)\s*$")
+
+
+def bytes_to_bits(n_bytes: float) -> float:
+    """Convert a byte count to bits."""
+    return n_bytes * 8.0
+
+
+def bits_to_bytes(n_bits: float) -> float:
+    """Convert a bit count to bytes."""
+    return n_bits / 8.0
+
+
+def mbps_to_bytes_per_sec(rate_mbps: float) -> float:
+    """Convert a rate in Mbps to bytes/second."""
+    return rate_mbps * 1e6 / 8.0
+
+
+def bytes_per_sec_to_mbps(rate_bps: float) -> float:
+    """Convert a rate in bytes/second to Mbps."""
+    return rate_bps * 8.0 / 1e6
+
+
+def parse_size(text: str | int | float) -> float:
+    """Parse a human size string such as ``"1 GB"`` or ``"700GiB"`` to bytes.
+
+    Bare numbers are taken to already be bytes.
+    """
+    if isinstance(text, (int, float)):
+        return float(text)
+    match = _QUANTITY_RE.match(text)
+    if match is None:
+        raise ConfigError(f"cannot parse size: {text!r}")
+    value, unit = float(match.group(1)), match.group(2).lower()
+    if unit not in _SIZE_UNITS:
+        raise ConfigError(f"unknown size unit {unit!r} in {text!r}")
+    return value * _SIZE_UNITS[unit]
+
+
+def parse_rate(text: str | int | float) -> float:
+    """Parse a rate string such as ``"1 Gbps"`` or ``"80Mbps"`` to Mbps.
+
+    Bare numbers are taken to already be Mbps.
+    """
+    if isinstance(text, (int, float)):
+        return float(text)
+    match = _QUANTITY_RE.match(text)
+    if match is None:
+        raise ConfigError(f"cannot parse rate: {text!r}")
+    value, unit = float(match.group(1)), match.group(2).lower().replace("/s", "ps")
+    if unit not in _RATE_UNITS:
+        raise ConfigError(f"unknown rate unit {unit!r} in {text!r}")
+    return value * _RATE_UNITS[unit]
+
+
+def format_size(n_bytes: float) -> str:
+    """Render a byte count with a binary prefix, e.g. ``1.50 GiB``."""
+    size = float(n_bytes)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if abs(size) < 1024.0:
+            return f"{size:.2f} {unit}"
+        size /= 1024.0
+    return f"{size:.2f} TiB"
+
+
+def format_rate(rate_mbps: float) -> str:
+    """Render a rate in the most natural decimal unit, e.g. ``23.99 Gbps``."""
+    if abs(rate_mbps) >= 1e6:
+        return f"{rate_mbps / 1e6:.2f} Tbps"
+    if abs(rate_mbps) >= 1e3:
+        return f"{rate_mbps / 1e3:.2f} Gbps"
+    return f"{rate_mbps:.2f} Mbps"

@@ -1,0 +1,17 @@
+"""Workload (dataset) generators matching the paper's evaluation datasets."""
+
+from repro.workloads.datasets import (
+    fig3_dataset,
+    large_dataset,
+    mixed_dataset,
+    scaled,
+    small_probe_dataset,
+)
+
+__all__ = [
+    "fig3_dataset",
+    "large_dataset",
+    "mixed_dataset",
+    "scaled",
+    "small_probe_dataset",
+]

@@ -1,0 +1,87 @@
+"""The paper's evaluation datasets (§V).
+
+* Dataset A ("Large"): 1000 × 1 GB randomly generated files — 1 TB total.
+* Dataset B ("Mixed"): 1 TB of files with sizes from 100 KB to 2 GB,
+  "to emulate more practical workloads".
+* Fig. 3 uses a smaller 100 × 1 GB set.
+
+All sit on the virtual clock, so "1 TB" costs nothing but arithmetic;
+``scaled`` produces proportionally smaller datasets for quick tests while
+preserving the file-size distribution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.transfer.files import Dataset, uniform_dataset
+from repro.utils.rng import as_generator
+from repro.utils.units import GiB, KiB
+
+TB_DECIMAL = 1e12  # the paper quotes decimal TB
+
+
+def large_dataset(*, total_bytes: float = TB_DECIMAL) -> Dataset:
+    """Dataset A: equal 1 GB files summing to ``total_bytes`` (default 1 TB)."""
+    file_size = 1e9
+    count = max(1, int(round(total_bytes / file_size)))
+    return uniform_dataset(count, file_size, name="large")
+
+
+def mixed_dataset(
+    *,
+    total_bytes: float = TB_DECIMAL,
+    min_size: float = 100 * KiB,
+    max_size: float = 2 * GiB,
+    median_size: float = 8e6,
+    sigma: float = 2.2,
+    rng: int | np.random.Generator | None = 0,
+) -> Dataset:
+    """Dataset B: clipped log-normal sizes in [100 KB, 2 GB] summing to 1 TB.
+
+    The paper specifies only the size *range*; we use a small-file-heavy
+    log-normal (median 8 MB) because practical mixed scientific datasets
+    are dominated by small files — this is what produces the Mixed-slower-
+    than-Large gap of Table I (see EXPERIMENTS.md for the calibration).
+    """
+    generator = as_generator(rng)
+    files = []
+    accumulated = 0.0
+    from repro.transfer.files import Dataset, FileSpec
+
+    while accumulated < total_bytes:
+        size = float(np.exp(generator.normal(np.log(median_size), sigma)))
+        size = float(np.clip(size, min_size, max_size))
+        size = min(size, total_bytes - accumulated)
+        if size < 1.0:
+            size = total_bytes - accumulated
+        files.append(FileSpec(f"mixed-{len(files):06d}", size))
+        accumulated += size
+    return Dataset(files, name="mixed")
+
+
+def fig3_dataset() -> Dataset:
+    """The Fig. 3 workload: 100 × 1 GB."""
+    return uniform_dataset(100, 1e9, name="fig3")
+
+
+def small_probe_dataset(*, total_bytes: float = 10e9) -> Dataset:
+    """A small uniform dataset (default 10 GB) for fast tests."""
+    count = max(1, int(round(total_bytes / 1e9)))
+    return uniform_dataset(count, total_bytes / count, name="probe")
+
+
+def scaled(dataset_factory, fraction: float, **kwargs) -> Dataset:
+    """Build ``dataset_factory`` at ``fraction`` of its default total size.
+
+    Preserves the file-size *distribution* (the per-file efficiency factor)
+    while shrinking the byte count, so scaled runs keep the same bottleneck
+    structure and just finish sooner.
+    """
+    if not (0.0 < fraction <= 1.0):
+        raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+    if dataset_factory is large_dataset:
+        return large_dataset(total_bytes=TB_DECIMAL * fraction)
+    if dataset_factory is mixed_dataset:
+        return mixed_dataset(total_bytes=TB_DECIMAL * fraction, **kwargs)
+    raise ValueError(f"unsupported dataset factory: {dataset_factory!r}")

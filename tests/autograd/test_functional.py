@@ -1,0 +1,94 @@
+"""Composite differentiable functions: losses, softmax, Gaussian densities."""
+
+import math
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.autograd.functional import (
+    clipped_ratio,
+    gaussian_entropy,
+    gaussian_log_prob,
+    log_softmax,
+    mse_loss,
+    softmax,
+)
+from repro.autograd.tensor import Tensor
+
+
+class TestMseLoss:
+    def test_value(self):
+        pred = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        loss = mse_loss(pred, np.array([0.0, 0.0]))
+        assert loss.item() == pytest.approx(2.5)
+
+    def test_gradient(self):
+        pred = Tensor(np.array([3.0]), requires_grad=True)
+        mse_loss(pred, np.array([1.0])).backward()
+        assert pred.grad[0] == pytest.approx(4.0)  # 2(3-1)/1
+
+
+class TestSoftmax:
+    def test_normalizes(self):
+        p = softmax(Tensor(np.random.default_rng(0).standard_normal((4, 6))))
+        np.testing.assert_allclose(p.data.sum(axis=-1), 1.0)
+
+    def test_shift_invariance(self):
+        logits = np.array([1.0, 2.0, 3.0])
+        a = softmax(Tensor(logits)).data
+        b = softmax(Tensor(logits + 100.0)).data
+        np.testing.assert_allclose(a, b)
+
+    def test_log_softmax_matches_log_of_softmax(self):
+        logits = Tensor(np.random.default_rng(1).standard_normal(5))
+        np.testing.assert_allclose(log_softmax(logits).data, np.log(softmax(logits).data))
+
+    def test_numerically_stable_at_extremes(self):
+        out = softmax(Tensor(np.array([1000.0, 0.0]))).data
+        assert np.isfinite(out).all()
+
+
+class TestGaussianLogProb:
+    def test_matches_scipy(self):
+        rng = np.random.default_rng(2)
+        mean = rng.standard_normal(3)
+        log_std = rng.standard_normal(3) * 0.3
+        x = rng.standard_normal(3)
+        ours = gaussian_log_prob(x, Tensor(mean), Tensor(log_std)).item()
+        expected = stats.norm.logpdf(x, loc=mean, scale=np.exp(log_std)).sum()
+        assert ours == pytest.approx(expected)
+
+    def test_batched_shape(self):
+        lp = gaussian_log_prob(np.zeros((5, 3)), Tensor(np.zeros((5, 3))), Tensor(np.zeros(3)))
+        assert lp.shape == (5,)
+
+    def test_standard_normal_at_zero(self):
+        lp = gaussian_log_prob(np.zeros(1), Tensor(np.zeros(1)), Tensor(np.zeros(1)))
+        assert lp.item() == pytest.approx(-0.5 * math.log(2 * math.pi))
+
+
+class TestGaussianEntropy:
+    def test_matches_scipy(self):
+        log_std = np.array([0.1, -0.5, 0.3])
+        ours = gaussian_entropy(Tensor(log_std)).item()
+        expected = sum(stats.norm.entropy(scale=np.exp(s)) for s in log_std)
+        assert ours == pytest.approx(expected)
+
+    def test_monotone_in_std(self):
+        low = gaussian_entropy(Tensor(np.array([-1.0]))).item()
+        high = gaussian_entropy(Tensor(np.array([1.0]))).item()
+        assert high > low
+
+
+class TestClippedRatio:
+    def test_ratio_of_one_when_unchanged(self):
+        lp = Tensor(np.array([-1.0, -2.0]), requires_grad=True)
+        ratio, clipped = clipped_ratio(lp, np.array([-1.0, -2.0]), epsilon=0.2)
+        np.testing.assert_allclose(ratio.data, 1.0)
+        np.testing.assert_allclose(clipped.data, 1.0)
+
+    def test_clipping_bounds(self):
+        lp_new = Tensor(np.array([0.0]))
+        _, clipped = clipped_ratio(lp_new, np.array([-5.0]), epsilon=0.2)
+        assert clipped.data[0] == pytest.approx(1.2)

@@ -1,0 +1,242 @@
+"""Autograd engine: gradients verified against finite differences."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.autograd.tensor import (
+    Tensor,
+    clip,
+    concat,
+    exp,
+    layernorm,
+    log,
+    maximum,
+    minimum,
+    no_grad,
+    relu,
+    sqrt,
+    stack,
+    tanh,
+    where,
+)
+
+
+def numeric_grad(f, x, eps=1e-6):
+    """Central-difference gradient of scalar-valued f at array x."""
+    g = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    for _ in it:
+        i = it.multi_index
+        xp, xm = x.copy(), x.copy()
+        xp[i] += eps
+        xm[i] -= eps
+        g[i] = (f(xp) - f(xm)) / (2 * eps)
+    return g
+
+
+def check_grad(op, x_data, tol=1e-6):
+    """Compare autograd gradient of sum(op(x)) with finite differences."""
+    x = Tensor(x_data, requires_grad=True)
+    out = op(x).sum()
+    out.backward()
+    expected = numeric_grad(lambda d: np.asarray(op(Tensor(d)).data).sum(), x_data)
+    np.testing.assert_allclose(x.grad, expected, atol=tol, rtol=1e-4)
+
+
+RNG = np.random.default_rng(0)
+
+
+class TestElementwiseGradients:
+    @pytest.mark.parametrize(
+        "op",
+        [tanh, relu, exp, lambda t: log(t + 3.0), lambda t: sqrt(t + 3.0),
+         lambda t: t * t, lambda t: t**3, lambda t: 1.0 / (t + 3.0)],
+        ids=["tanh", "relu", "exp", "log", "sqrt", "square", "cube", "recip"],
+    )
+    def test_against_numeric(self, op):
+        check_grad(op, RNG.standard_normal((3, 4)))
+
+    def test_clip_gradient_masks(self):
+        x = Tensor(np.array([-2.0, 0.0, 2.0]), requires_grad=True)
+        clip(x, -1.0, 1.0).sum().backward()
+        np.testing.assert_array_equal(x.grad, [0.0, 1.0, 0.0])
+
+
+class TestBroadcasting:
+    def test_add_broadcast_bias(self):
+        x = Tensor(RNG.standard_normal((5, 3)), requires_grad=True)
+        b = Tensor(RNG.standard_normal(3), requires_grad=True)
+        (x + b).sum().backward()
+        np.testing.assert_array_equal(b.grad, np.full(3, 5.0))
+        np.testing.assert_array_equal(x.grad, np.ones((5, 3)))
+
+    def test_mul_broadcast_scalar_tensor(self):
+        x = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        s = Tensor(np.array(3.0), requires_grad=True)
+        (x * s).sum().backward()
+        assert s.grad == pytest.approx(3.0)
+        np.testing.assert_array_equal(x.grad, [3.0, 3.0])
+
+    def test_div_broadcast(self):
+        a = Tensor(RNG.standard_normal((2, 3)) + 5, requires_grad=True)
+        b = Tensor(RNG.standard_normal(3) + 5, requires_grad=True)
+        (a / b).sum().backward()
+        expected_b = -(a.data / b.data**2).sum(axis=0)
+        np.testing.assert_allclose(b.grad, expected_b)
+
+
+class TestMatmul:
+    def test_matrix_matrix(self):
+        a = Tensor(RNG.standard_normal((4, 3)), requires_grad=True)
+        b = Tensor(RNG.standard_normal((3, 2)), requires_grad=True)
+        (a @ b).sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones((4, 2)) @ b.data.T)
+        np.testing.assert_allclose(b.grad, a.data.T @ np.ones((4, 2)))
+
+    def test_vector_matrix(self):
+        v = Tensor(RNG.standard_normal(3), requires_grad=True)
+        m = Tensor(RNG.standard_normal((3, 2)), requires_grad=True)
+        (v @ m).sum().backward()
+        np.testing.assert_allclose(v.grad, m.data.sum(axis=1))
+
+    def test_matrix_vector(self):
+        m = Tensor(RNG.standard_normal((2, 3)), requires_grad=True)
+        v = Tensor(RNG.standard_normal(3), requires_grad=True)
+        (m @ v).sum().backward()
+        np.testing.assert_allclose(v.grad, m.data.sum(axis=0))
+
+    def test_inner_product(self):
+        a = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        b = Tensor(np.array([3.0, 4.0]), requires_grad=True)
+        (a @ b).backward()
+        np.testing.assert_array_equal(a.grad, [3.0, 4.0])
+        np.testing.assert_array_equal(b.grad, [1.0, 2.0])
+
+
+class TestReductions:
+    def test_sum_axis_keepdims(self):
+        x = Tensor(RNG.standard_normal((2, 3)), requires_grad=True)
+        (x.sum(axis=1, keepdims=True) * Tensor(np.array([[2.0], [3.0]]))).sum().backward()
+        np.testing.assert_array_equal(x.grad, [[2, 2, 2], [3, 3, 3]])
+
+    def test_mean_gradient(self):
+        x = Tensor(RNG.standard_normal(4), requires_grad=True)
+        x.mean().backward()
+        np.testing.assert_allclose(x.grad, np.full(4, 0.25))
+
+    def test_sum_negative_axis(self):
+        x = Tensor(RNG.standard_normal((2, 3)), requires_grad=True)
+        x.sum(axis=-1).sum().backward()
+        np.testing.assert_array_equal(x.grad, np.ones((2, 3)))
+
+
+class TestMinMaxWhere:
+    def test_minimum_routing(self):
+        a = Tensor(np.array([1.0, 5.0]), requires_grad=True)
+        b = Tensor(np.array([2.0, 4.0]), requires_grad=True)
+        minimum(a, b).sum().backward()
+        np.testing.assert_array_equal(a.grad, [1.0, 0.0])
+        np.testing.assert_array_equal(b.grad, [0.0, 1.0])
+
+    def test_maximum_routing(self):
+        a = Tensor(np.array([1.0, 5.0]), requires_grad=True)
+        b = Tensor(np.array([2.0, 4.0]), requires_grad=True)
+        maximum(a, b).sum().backward()
+        np.testing.assert_array_equal(a.grad, [0.0, 1.0])
+
+    def test_where(self):
+        a = Tensor(np.array([1.0, 1.0]), requires_grad=True)
+        b = Tensor(np.array([2.0, 2.0]), requires_grad=True)
+        where(np.array([True, False]), a, b).sum().backward()
+        np.testing.assert_array_equal(a.grad, [1.0, 0.0])
+        np.testing.assert_array_equal(b.grad, [0.0, 1.0])
+
+
+class TestShapes:
+    def test_reshape_roundtrip(self):
+        x = Tensor(RNG.standard_normal((2, 6)), requires_grad=True)
+        x.reshape(3, 4).sum().backward()
+        np.testing.assert_array_equal(x.grad, np.ones((2, 6)))
+
+    def test_transpose(self):
+        x = Tensor(RNG.standard_normal((2, 3)), requires_grad=True)
+        (x.T * Tensor(np.arange(6.0).reshape(3, 2))).sum().backward()
+        np.testing.assert_array_equal(x.grad, np.arange(6.0).reshape(3, 2).T)
+
+    def test_getitem(self):
+        x = Tensor(RNG.standard_normal(5), requires_grad=True)
+        x[2].backward()
+        np.testing.assert_array_equal(x.grad, [0, 0, 1, 0, 0])
+
+    def test_stack_and_concat(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        b = Tensor(np.ones(3), requires_grad=True)
+        stack([a, b]).sum().backward()
+        np.testing.assert_array_equal(a.grad, np.ones(3))
+        a.zero_grad(), b.zero_grad()
+        concat([a, b], axis=0).sum().backward()
+        np.testing.assert_array_equal(b.grad, np.ones(3))
+
+
+class TestLayerNorm:
+    def test_against_numeric(self):
+        x_data = RNG.standard_normal((3, 5))
+        s = Tensor(RNG.standard_normal(5) + 1.0, requires_grad=True)
+        b = Tensor(RNG.standard_normal(5), requires_grad=True)
+        x = Tensor(x_data, requires_grad=True)
+        layernorm(x, s, b).sum().backward()
+        expected = numeric_grad(
+            lambda d: np.asarray(layernorm(Tensor(d), Tensor(s.data), Tensor(b.data)).data).sum(),
+            x_data,
+        )
+        np.testing.assert_allclose(x.grad, expected, atol=1e-6)
+
+    def test_output_standardized(self):
+        x = Tensor(RNG.standard_normal((10, 8)) * 7 + 3)
+        out = layernorm(x, Tensor(np.ones(8)), Tensor(np.zeros(8))).data
+        np.testing.assert_allclose(out.mean(axis=-1), 0.0, atol=1e-10)
+        np.testing.assert_allclose(out.std(axis=-1), 1.0, atol=1e-2)
+
+
+class TestGraphMechanics:
+    def test_grad_accumulates_over_reuse(self):
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        (x * x + x).backward()  # d/dx (x² + x) = 2x + 1 = 5
+        assert x.grad[0] == pytest.approx(5.0)
+
+    def test_no_grad_blocks_graph(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        with no_grad():
+            y = tanh(x * 2.0)
+        assert not y.requires_grad
+
+    def test_backward_on_non_grad_raises(self):
+        with pytest.raises(RuntimeError):
+            Tensor(np.ones(2)).backward()
+
+    def test_detach(self):
+        x = Tensor(np.ones(2), requires_grad=True)
+        assert not x.detach().requires_grad
+
+    def test_diamond_graph(self):
+        # f = (x+x) * x → df/dx = 4x
+        x = Tensor(np.array([3.0]), requires_grad=True)
+        ((x + x) * x).backward()
+        assert x.grad[0] == pytest.approx(12.0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=1, max_value=5), st.integers(min_value=1, max_value=5))
+    def test_chain_gradient_property(self, rows, cols):
+        """Property: gradient of sum(tanh(x W)) matches finite differences."""
+        rng = np.random.default_rng(rows * 10 + cols)
+        x_data = rng.standard_normal((rows, cols))
+        w_data = rng.standard_normal((cols, 2))
+
+        def f(d):
+            return np.tanh(d @ w_data).sum()
+
+        x = Tensor(x_data, requires_grad=True)
+        tanh(x @ Tensor(w_data)).sum().backward()
+        np.testing.assert_allclose(x.grad, numeric_grad(f, x_data), atol=1e-5)

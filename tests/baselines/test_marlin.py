@@ -1,0 +1,79 @@
+"""Marlin baseline: per-stage gradient descent behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import MarlinConfig, MarlinController
+from repro.transfer.engine import Observation
+
+
+def obs(threads, throughputs):
+    return Observation(
+        threads=threads,
+        throughputs=throughputs,
+        sender_free=1e9,
+        receiver_free=1e9,
+        sender_capacity=1e9,
+        receiver_capacity=1e9,
+        elapsed=0.0,
+        bytes_written_total=0.0,
+    )
+
+
+class TestMarlinController:
+    def test_starts_low_and_probes_upward(self):
+        ctrl = MarlinController(rng=0)
+        first = ctrl.propose(obs((1, 1, 1), (0, 0, 0)))
+        assert first == (2, 2, 2)  # initial upward probe from 1
+
+    def test_climbs_when_utility_rises_linearly(self):
+        """On an uncoupled linear utility surface each stage should climb."""
+        ctrl = MarlinController(rng=0)
+        threads = (1, 1, 1)
+        for _ in range(20):
+            throughputs = tuple(100.0 * n for n in threads)  # linear payoff
+            threads = ctrl.propose(obs(threads, throughputs))
+        assert all(n >= 8 for n in threads)
+
+    def test_respects_max_threads(self):
+        ctrl = MarlinController(MarlinConfig(max_threads=10), rng=0)
+        threads = (1, 1, 1)
+        for _ in range(50):
+            throughputs = tuple(100.0 * n for n in threads)
+            threads = ctrl.propose(obs(threads, throughputs))
+            assert all(1 <= n <= 10 for n in threads)
+
+    def test_never_below_one(self):
+        ctrl = MarlinController(rng=0)
+        threads = (5, 5, 5)
+        for _ in range(50):
+            threads = ctrl.propose(obs(threads, (0.0, 0.0, 0.0)))  # zero utility
+            assert all(n >= 1 for n in threads)
+
+    def test_keeps_dithering_on_flat_utility(self):
+        """Marlin never settles: flat gradients trigger ±1 dither (the
+        fluctuation the paper shows in Fig. 5)."""
+        ctrl = MarlinController(rng=0)
+        threads = (10, 10, 10)
+        seen = set()
+        for _ in range(30):
+            threads = ctrl.propose(obs(threads, (1000.0, 1000.0, 1000.0)))
+            seen.add(threads)
+        assert len(seen) > 3
+
+    def test_reset_restores_initial_state(self):
+        ctrl = MarlinController(rng=0)
+        for _ in range(5):
+            ctrl.propose(obs((5, 5, 5), (500, 500, 500)))
+        ctrl.reset()
+        assert ctrl.propose(obs((1, 1, 1), (0, 0, 0))) == (2, 2, 2)
+
+    def test_stages_are_independent(self):
+        """Feeding one stage a rising utility and another a flat one must
+        produce different trajectories (decoupled optimizers)."""
+        ctrl = MarlinController(rng=0)
+        threads = (1, 1, 1)
+        for _ in range(15):
+            throughputs = (100.0 * threads[0], 50.0, 50.0)
+            threads = ctrl.propose(obs(threads, throughputs))
+        assert threads[0] > threads[1] or threads[0] > threads[2]

@@ -1,0 +1,96 @@
+"""Online single-parameter DRL baseline (Hasibul et al. [17])."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import OnlineDRLController
+from repro.core.ppo import PPOConfig
+from repro.transfer.engine import Observation
+
+
+def obs(cc_tput=500.0, sender_free=0.5e9, receiver_free=0.5e9):
+    return Observation(
+        threads=(1, 1, 1),
+        throughputs=(600.0, 550.0, cc_tput),
+        sender_free=sender_free,
+        receiver_free=receiver_free,
+        sender_capacity=1e9,
+        receiver_capacity=1e9,
+        elapsed=0.0,
+        bytes_written_total=0.0,
+    )
+
+
+def make(**kw):
+    kw.setdefault("ppo_config", PPOConfig(hidden_dim=16, policy_blocks=1, value_blocks=1))
+    kw.setdefault("rng", 0)
+    return OnlineDRLController(max_threads=30, throughput_scale=1000.0, **kw)
+
+
+class TestController:
+    def test_monolithic_triple(self):
+        ctrl = make(parallelism=4)
+        triple = ctrl.propose(obs())
+        assert triple[0] == triple[2]
+        assert triple[1] == triple[0] * 4
+
+    def test_cc_in_range(self):
+        ctrl = make()
+        for _ in range(30):
+            triple = ctrl.propose(obs())
+            assert 1 <= triple[0] <= 30
+
+    def test_learns_after_episode_boundary(self):
+        ctrl = make(steps_per_episode=5)
+        before = {k: v.copy() for k, v in ctrl.agent.policy.state_dict().items()}
+        for _ in range(12):  # > 2 episodes worth of proposals
+            ctrl.propose(obs())
+        assert ctrl.episodes_completed >= 2
+        after = ctrl.agent.policy.state_dict()
+        assert any(not np.array_equal(before[k], v) for k, v in after.items())
+
+    def test_reset_keeps_learning(self):
+        """reset() starts a new transfer but keeps the learned weights."""
+        ctrl = make(steps_per_episode=3)
+        for _ in range(7):
+            ctrl.propose(obs())
+        learned = ctrl.episodes_completed
+        state = {k: v.copy() for k, v in ctrl.agent.policy.state_dict().items()}
+        ctrl.reset()
+        assert ctrl.episodes_completed == learned
+        for k, v in ctrl.agent.policy.state_dict().items():
+            np.testing.assert_array_equal(state[k], v)
+
+    def test_end_to_end_transfer(self):
+        from repro.emulator import Testbed, fig5_read_bottleneck
+        from repro.transfer import EngineConfig, ModularTransferEngine
+        from repro.transfer.files import uniform_dataset
+
+        ctrl = make()
+        result = ModularTransferEngine(
+            Testbed(fig5_read_bottleneck(), rng=0),
+            uniform_dataset(5, 1e9),
+            ctrl,
+            EngineConfig(max_seconds=900),
+        ).run()
+        assert result.completed
+        assert ctrl.episodes_completed >= 1
+
+    def test_online_explorer_slower_than_oracle(self):
+        """The warm-up exploration costs real transfer time — the gap
+        AutoMDT's offline training removes."""
+        from repro.baselines import StaticController
+        from repro.emulator import Testbed, fig5_read_bottleneck
+        from repro.transfer import EngineConfig, ModularTransferEngine
+        from repro.transfer.files import uniform_dataset
+
+        dataset = uniform_dataset(10, 1e9)
+        oracle = ModularTransferEngine(
+            Testbed(fig5_read_bottleneck(), rng=0), dataset,
+            StaticController((13, 7, 5)), EngineConfig(max_seconds=900),
+        ).run()
+        online = ModularTransferEngine(
+            Testbed(fig5_read_bottleneck(), rng=0), dataset,
+            make(), EngineConfig(max_seconds=900),
+        ).run()
+        assert online.completion_time > oracle.completion_time

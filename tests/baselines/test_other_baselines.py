@@ -1,0 +1,143 @@
+"""Joint GD, Globus, static, heuristic baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    GlobusController,
+    MultivariateGDConfig,
+    MultivariateGDController,
+    ProbeHeuristicController,
+    StaticController,
+)
+from repro.transfer.engine import Observation
+
+
+def obs(threads, throughputs):
+    return Observation(
+        threads=threads,
+        throughputs=throughputs,
+        sender_free=1e9,
+        receiver_free=1e9,
+        sender_capacity=1e9,
+        receiver_capacity=1e9,
+        elapsed=0.0,
+        bytes_written_total=0.0,
+    )
+
+
+class TestMultivariateGD:
+    def test_initial_probe_moves_all_axes(self):
+        ctrl = MultivariateGDController(rng=0)
+        assert ctrl.propose(obs((1, 1, 1), (0, 0, 0))) == (2, 2, 2)
+
+    def test_shared_gradient_couples_axes(self):
+        """The joint finite-difference gradient moves axes together — the
+        §III failure mode (it cannot attribute utility change per axis)."""
+        ctrl = MultivariateGDController(rng=0)
+        threads = (1, 1, 1)
+        history = []
+        for _ in range(12):
+            throughputs = (100.0 * threads[0], 60.0 * threads[1], 60.0 * threads[2])
+            threads = ctrl.propose(obs(threads, throughputs))
+            history.append(threads)
+        spreads = [max(t) - min(t) for t in history]
+        # Axes move in near lock-step, unlike truly independent optimizers.
+        assert np.mean(spreads) < 4
+
+    def test_bounds(self):
+        ctrl = MultivariateGDController(MultivariateGDConfig(max_threads=8), rng=0)
+        threads = (1, 1, 1)
+        for _ in range(30):
+            threads = ctrl.propose(obs(threads, (1e3, 1e3, 1e3)))
+            assert all(1 <= n <= 8 for n in threads)
+
+    def test_reset(self):
+        ctrl = MultivariateGDController(rng=0)
+        ctrl.propose(obs((3, 3, 3), (100, 100, 100)))
+        ctrl.reset()
+        assert ctrl.propose(obs((1, 1, 1), (0, 0, 0))) == (2, 2, 2)
+
+
+class TestGlobus:
+    def test_static_expansion(self):
+        ctrl = GlobusController()
+        for _ in range(3):
+            assert ctrl.propose(obs((1, 1, 1), (0, 0, 0))) == (4, 32, 4)
+
+    def test_custom_params(self):
+        assert GlobusController(2, 4).propose(obs((1, 1, 1), (0, 0, 0))) == (2, 8, 2)
+
+
+class TestStatic:
+    def test_constant(self):
+        ctrl = StaticController((13, 7, 5))
+        assert ctrl.propose(obs((1, 1, 1), (0, 0, 0))) == (13, 7, 5)
+
+
+class TestProbeHeuristic:
+    def test_climbs_while_improving(self):
+        ctrl = ProbeHeuristicController(max_threads=30)
+        threads = ctrl.propose(obs((1, 1, 1), (0, 0, 0)))
+        for tput in (200.0, 400.0, 600.0, 800.0):
+            threads = ctrl.propose(obs(threads, (tput, tput, tput)))
+        assert threads[0] >= 7
+
+    def test_backs_off_when_flat(self):
+        ctrl = ProbeHeuristicController(max_threads=30)
+        threads = ctrl.propose(obs((1, 1, 1), (0, 0, 0)))
+        # Climb on improving feedback, then go flat.
+        for tput in (200.0, 400.0, 600.0):
+            threads = ctrl.propose(obs(threads, (tput, tput, tput)))
+        peak = threads[0]
+        for _ in range(4):
+            threads = ctrl.propose(obs(threads, (600.0, 600.0, 600.0)))
+        assert threads[0] <= peak + 2  # stopped climbing
+
+    def test_monolithic_triple_shape(self):
+        ctrl = ProbeHeuristicController(parallelism=4, max_threads=40)
+        triple = ctrl.propose(obs((1, 1, 1), (100, 100, 100)))
+        assert triple[0] == triple[2]
+        assert triple[1] == min(triple[0] * 4, 40)
+
+    def test_reset(self):
+        ctrl = ProbeHeuristicController()
+        ctrl.propose(obs((1, 1, 1), (100, 100, 100)))
+        ctrl.reset()
+        assert ctrl._cc == 1.0
+
+
+class TestEndToEndShapes:
+    """Integration: baseline behaviour on the actual coupled testbed."""
+
+    def test_marlin_approaches_optimum_slower_than_oracle(self):
+        from repro.baselines import MarlinController
+        from repro.emulator import Testbed, fig5_read_bottleneck
+        from repro.transfer import EngineConfig, ModularTransferEngine
+        from repro.transfer.files import uniform_dataset
+
+        dataset = uniform_dataset(10, 1e9)
+        oracle = ModularTransferEngine(
+            Testbed(fig5_read_bottleneck(), rng=0), dataset,
+            StaticController((13, 7, 5)), EngineConfig(max_seconds=600),
+        ).run()
+        marlin = ModularTransferEngine(
+            Testbed(fig5_read_bottleneck(), rng=0), dataset,
+            MarlinController(rng=0), EngineConfig(max_seconds=600, probe_noise=0.02),
+        ).run()
+        assert oracle.completed and marlin.completed
+        assert marlin.completion_time > oracle.completion_time
+
+    def test_globus_underutilizes_fast_link(self):
+        from repro.emulator import Testbed, fabric_ncsa_tacc
+        from repro.transfer import EngineConfig, ModularTransferEngine
+        from repro.transfer.files import uniform_dataset
+
+        result = ModularTransferEngine(
+            Testbed(fabric_ncsa_tacc(), rng=0),
+            uniform_dataset(10, 1e9),
+            GlobusController(),
+            EngineConfig(max_seconds=600),
+        ).run()
+        # 4 read threads x 1 Gbps each ≈ 4 Gbps on a 25 Gbps path.
+        assert result.effective_throughput < 6000.0

@@ -1,0 +1,117 @@
+"""Discrete-action variant (Fig. 4) and online fine-tuning (§V-C)."""
+
+import numpy as np
+import pytest
+
+from repro.core.discrete import DiscreteActionAdapter, DiscretePPOAgent, DiscretePolicyNetwork
+from repro.core.env import SimulatorEnv, TestbedEnv
+from repro.core.finetune import evaluate_policy, finetune_online
+from repro.core.ppo import PPOAgent, PPOConfig
+from repro.core.training import TrainingConfig, train
+from repro.emulator import Testbed, fig5_read_bottleneck
+from repro.simulator import SimulatorConfig
+
+
+def sim_env(seed=0, **kwargs):
+    return SimulatorEnv(
+        SimulatorConfig(
+            tpt_read=80, tpt_network=160, tpt_write=200,
+            bandwidth_read=1000, bandwidth_network=1000, bandwidth_write=1000,
+        ),
+        rng=seed,
+        **kwargs,
+    )
+
+
+def tiny_ppo(**kw):
+    return PPOConfig(hidden_dim=16, policy_blocks=1, value_blocks=1, **kw)
+
+
+class TestDiscretePolicyNetwork:
+    def test_three_heads(self):
+        net = DiscretePolicyNetwork(8, max_threads=30, hidden_dim=16, num_blocks=1, rng=0)
+        dists = net(np.zeros(8))
+        assert len(dists) == 3
+        for d in dists:
+            assert d.logits.shape == (30,)
+
+    def test_batched(self):
+        net = DiscretePolicyNetwork(8, max_threads=10, hidden_dim=16, num_blocks=1, rng=0)
+        dists = net(np.zeros((4, 8)))
+        assert dists[0].logits.shape == (4, 10)
+
+
+class TestDiscreteAgent:
+    def test_act_returns_indices(self):
+        agent = DiscretePPOAgent(8, max_threads=30, config=tiny_ppo(), rng=0)
+        idx, lp = agent.act(np.zeros(8))
+        assert idx.shape == (3,)
+        assert all(0 <= i < 30 for i in idx)
+        assert isinstance(lp, float)
+
+    def test_update_runs(self):
+        agent = DiscretePPOAgent(8, max_threads=30, config=tiny_ppo(), rng=0)
+        rng = np.random.default_rng(0)
+        for _ in range(2):
+            for _ in range(5):
+                s = rng.standard_normal(8)
+                a, lp = agent.act(s)
+                agent.memory.store(s, a.astype(float), lp, float(rng.random()))
+            agent.memory.end_episode(agent.config.gamma)
+        stats = agent.update()
+        assert "loss" in stats
+
+    def test_trains_via_generic_loop(self):
+        env = DiscreteActionAdapter(sim_env())
+        agent = DiscretePPOAgent(8, max_threads=30, config=tiny_ppo(), rng=0)
+        result = train(agent, env, TrainingConfig(max_episodes=20, stagnation_episodes=20))
+        assert result.episodes_run == 20
+        assert np.isfinite(result.episode_rewards).all()
+
+    def test_state_dict_roundtrip(self):
+        a = DiscretePPOAgent(8, max_threads=10, config=tiny_ppo(), rng=0)
+        b = DiscretePPOAgent(8, max_threads=10, config=tiny_ppo(), rng=1)
+        b.load_state_dict(a.state_dict())
+        s = np.zeros(8)
+        np.testing.assert_array_equal(
+            a.act(s, deterministic=True)[0], b.act(s, deterministic=True)[0]
+        )
+
+
+class TestDiscreteAdapter:
+    def test_index_to_threads_shift(self):
+        env = sim_env(randomize_initial_buffers=False)
+        adapter = DiscreteActionAdapter(env)
+        adapter.reset()
+        _, _, _, info = adapter.step(np.array([12, 6, 4]))  # 0-based indices
+        assert info["threads"] == (13, 7, 5)
+
+    def test_action_mode_restored(self):
+        env = sim_env()
+        adapter = DiscreteActionAdapter(env)
+        adapter.reset()
+        adapter.step(np.array([0, 0, 0]))
+        assert env.action_mode == "normalized"
+
+
+class TestFinetune:
+    def make_env(self, seed=0):
+        return TestbedEnv(Testbed(fig5_read_bottleneck(), rng=seed), episode_steps=5, rng=seed)
+
+    def test_evaluate_policy(self):
+        agent = PPOAgent(config=tiny_ppo(), rng=0)
+        reward, concurrency = evaluate_policy(agent, self.make_env(), episodes=2)
+        assert np.isfinite(reward)
+        assert concurrency >= 3.0  # at least one thread per stage
+
+    def test_finetune_comparison_fields(self):
+        agent = PPOAgent(config=tiny_ppo(), rng=0)
+        comparison = finetune_online(agent, self.make_env(), episodes=6, eval_episodes=2)
+        assert comparison.training.episodes_run == 6
+        assert np.isfinite(comparison.concurrency_reduction)
+        assert np.isfinite(comparison.reward_change)
+
+    def test_finetune_never_early_stops(self):
+        agent = PPOAgent(config=tiny_ppo(), rng=0)
+        comparison = finetune_online(agent, self.make_env(), episodes=9, eval_episodes=1)
+        assert comparison.training.episodes_run == 9

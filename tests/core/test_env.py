@@ -1,0 +1,168 @@
+"""RL environments: state assembly, action mapping, reward normalization."""
+
+import numpy as np
+import pytest
+
+from repro.core.env import SimulatorEnv, TestbedEnv
+from repro.core.exploration import ExplorationProfile
+from repro.core.utility import UtilityFunction
+from repro.emulator import Testbed, fig5_read_bottleneck
+from repro.simulator import SimulatorConfig, sample_scenario
+from repro.utils.errors import ConfigError
+
+
+def sim_config(**overrides) -> SimulatorConfig:
+    defaults = dict(
+        tpt_read=80, tpt_network=160, tpt_write=200,
+        bandwidth_read=1000, bandwidth_network=1000, bandwidth_write=1000,
+        max_threads=30,
+    )
+    defaults.update(overrides)
+    return SimulatorConfig(**defaults)
+
+
+class TestActionMapping:
+    def test_normalized_mode_endpoints(self):
+        env = SimulatorEnv(sim_config(), rng=0)
+        assert env.action_to_threads([0.0, 0.0, 0.0]) == (1, 1, 1)
+        assert env.action_to_threads([1.0, 1.0, 1.0]) == (30, 30, 30)
+
+    def test_normalized_mode_clamps(self):
+        env = SimulatorEnv(sim_config(), rng=0)
+        assert env.action_to_threads([-5.0, 2.0, 0.5]) == (1, 30, 16)
+
+    def test_direct_mode(self):
+        env = SimulatorEnv(sim_config(), action_mode="direct", rng=0)
+        assert env.action_to_threads([13.4, 7.0, 98.0]) == (13, 7, 30)
+
+    def test_roundtrip(self):
+        env = SimulatorEnv(sim_config(), rng=0)
+        for triple in [(1, 1, 1), (13, 7, 5), (30, 30, 30)]:
+            assert env.action_to_threads(env.threads_to_action(triple)) == triple
+
+    def test_invalid_action_shape(self):
+        env = SimulatorEnv(sim_config(), rng=0)
+        with pytest.raises(ConfigError):
+            env.action_to_threads([1.0, 2.0])
+
+    def test_invalid_action_mode(self):
+        with pytest.raises(ConfigError):
+            SimulatorEnv(sim_config(), action_mode="polar", rng=0)
+
+
+class TestState:
+    def test_state_shape_and_range(self):
+        env = SimulatorEnv(sim_config(), rng=0)
+        state = env.reset()
+        assert state.shape == (8,)
+        assert np.all(state >= -0.01)
+        assert np.all(state[:3] <= 1.0)  # normalized thread counts
+        assert np.all(state[6:] <= 1.0)  # buffer fractions
+
+    def test_state_components(self):
+        env = SimulatorEnv(sim_config(), randomize_initial_buffers=False, rng=0)
+        state = env.make_state((15, 30, 3), (500, 1000, 100), 0.5e9, 1e9)
+        np.testing.assert_allclose(state[:3], [0.5, 1.0, 0.1])
+        np.testing.assert_allclose(state[3:6], [0.5, 1.0, 0.1])
+
+    def test_reset_randomizes_threads(self):
+        env = SimulatorEnv(sim_config(), rng=0)
+        states = {tuple(np.round(env.reset()[:3] * 30)) for _ in range(10)}
+        assert len(states) > 3
+
+
+class TestStepReward:
+    def test_reward_normalized_to_unit_scale(self):
+        env = SimulatorEnv(sim_config(), randomize_initial_buffers=False, rng=0)
+        env.reset()
+        _, reward, _, info = env.step(env.threads_to_action((13, 7, 5)))
+        assert 0.8 <= reward <= 1.05  # optimal action ≈ 1.0 after warm-up
+
+    def test_raw_reward_option(self):
+        env = SimulatorEnv(sim_config(), normalize_reward=False, rng=0)
+        env.reset()
+        _, reward, _, info = env.step(env.threads_to_action((13, 7, 5)))
+        assert reward == pytest.approx(info["utility"])
+        assert reward > 100  # Mbps scale
+
+    def test_done_after_episode_steps(self):
+        env = SimulatorEnv(sim_config(), episode_steps=3, rng=0)
+        env.reset()
+        dones = [env.step([0.5, 0.5, 0.5])[2] for _ in range(3)]
+        assert dones == [False, False, True]
+
+    def test_info_contents(self):
+        env = SimulatorEnv(sim_config(), rng=0)
+        env.reset()
+        _, _, _, info = env.step([0.5, 0.5, 0.5])
+        assert set(info) >= {"threads", "throughputs", "utility", "sender_usage"}
+
+    def test_suboptimal_reward_lower(self):
+        env = SimulatorEnv(sim_config(), randomize_initial_buffers=False, rng=0)
+        env.reset()
+        _, good, _, _ = env.step(env.threads_to_action((13, 7, 5)))
+        env.reset()
+        env.simulator.reset()
+        _, bad, _, _ = env.step(env.threads_to_action((30, 30, 30)))
+        assert good > bad
+
+
+class TestScenarioSampling:
+    def test_sampler_called_on_reset(self):
+        env = SimulatorEnv(
+            sim_config(),
+            scenario_sampler=lambda rng: sample_scenario(rng, max_threads=30),
+            rng=0,
+        )
+        env.reset()
+        first = env.config
+        env.reset()
+        assert env.config != first
+
+    def test_max_reward_tracks_scenario(self):
+        env = SimulatorEnv(
+            sim_config(),
+            scenario_sampler=lambda rng: sample_scenario(rng, max_threads=30),
+            rng=0,
+        )
+        env.reset()
+        u = UtilityFunction()
+        assert env.max_reward == pytest.approx(
+            u.max_reward(env.config.bottleneck, env.config.optimal_threads())
+        )
+
+
+class TestFromProfile:
+    def test_build(self):
+        profile = ExplorationProfile(
+            bandwidth=(1000, 900, 950),
+            tpt=(80, 160, 200),
+            sender_buffer_capacity=1e9,
+            receiver_buffer_capacity=1e9,
+            max_threads=25,
+            samples=60,
+        )
+        env = SimulatorEnv.from_profile(profile, rng=0)
+        assert env.max_threads == 25
+        assert env.throughput_scale == 900
+
+
+class TestTestbedEnv:
+    def test_runs_episode(self):
+        env = TestbedEnv(Testbed(fig5_read_bottleneck(), rng=0), episode_steps=4, rng=0)
+        state = env.reset()
+        assert state.shape == (8,)
+        total = 0.0
+        for _ in range(4):
+            state, reward, done, info = env.step([0.4, 0.2, 0.15])
+            total += reward
+        assert done
+        assert total > 0
+
+    def test_reward_near_one_at_optimum(self):
+        env = TestbedEnv(Testbed(fig5_read_bottleneck(), rng=0), rng=0)
+        env.reset()
+        reward = 0.0
+        for _ in range(5):
+            _, reward, _, _ = env.step(env.threads_to_action((13, 7, 5)))
+        assert reward == pytest.approx(1.0, abs=0.12)

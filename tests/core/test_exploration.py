@@ -1,0 +1,69 @@
+"""The exploration/logging phase (§IV-A)."""
+
+import numpy as np
+import pytest
+
+from repro.core.exploration import ExplorationProfile, run_exploration
+from repro.core.utility import UtilityFunction
+from repro.emulator import Testbed, fig5_read_bottleneck
+from repro.utils.errors import SimulationError
+
+
+@pytest.fixture(scope="module")
+def profile() -> ExplorationProfile:
+    testbed = Testbed(fig5_read_bottleneck(), rng=0)
+    return run_exploration(testbed, duration=120.0, rng=0)
+
+
+class TestRunExploration:
+    def test_bandwidth_estimates_close_to_truth(self, profile):
+        # Every stage ceiling in the fig5 preset is 1 Gbps.
+        for b in profile.bandwidth:
+            assert 850.0 <= b <= 1050.0
+
+    def test_tpt_estimates_close_to_truth(self, profile):
+        for measured, true in zip(profile.tpt, (80.0, 160.0, 200.0)):
+            assert measured == pytest.approx(true, rel=0.15)
+
+    def test_optimal_threads_recovered(self, profile):
+        # The paper's (13, 7, 5) — allow ±1 for probe noise.
+        for n, expected in zip(profile.optimal_threads(), (13, 7, 5)):
+            assert abs(n - expected) <= 1
+
+    def test_bottleneck_is_min(self, profile):
+        assert profile.bottleneck == min(profile.bandwidth)
+
+    def test_sample_count(self, profile):
+        assert profile.samples == 120
+
+    def test_deterministic(self):
+        a = run_exploration(Testbed(fig5_read_bottleneck(), rng=0), duration=30, rng=7)
+        b = run_exploration(Testbed(fig5_read_bottleneck(), rng=0), duration=30, rng=7)
+        assert a == b
+
+    def test_rejects_zero_duration(self):
+        with pytest.raises(Exception):
+            run_exploration(Testbed(fig5_read_bottleneck(), rng=0), duration=0.0)
+
+
+class TestProfile:
+    def test_max_reward(self, profile):
+        u = UtilityFunction()
+        r_max = profile.max_reward(u)
+        assert r_max == pytest.approx(
+            u.max_reward(profile.bottleneck, profile.optimal_threads())
+        )
+
+    def test_roundtrip(self, profile):
+        assert ExplorationProfile.from_dict(profile.to_dict()) == profile
+
+    def test_optimal_clamped_to_max_threads(self):
+        p = ExplorationProfile(
+            bandwidth=(1000, 1000, 1000),
+            tpt=(1.0, 100.0, 100.0),
+            sender_buffer_capacity=1e9,
+            receiver_buffer_capacity=1e9,
+            max_threads=30,
+            samples=10,
+        )
+        assert p.optimal_threads()[0] == 30

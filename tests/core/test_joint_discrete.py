@@ -1,0 +1,89 @@
+"""Joint (n_max³) discrete-action variant — the Fig. 4 failure case."""
+
+import numpy as np
+import pytest
+
+from repro.core.discrete import (
+    JointDiscreteActionAdapter,
+    JointDiscretePolicyNetwork,
+    JointDiscretePPOAgent,
+)
+from repro.core.env import SimulatorEnv
+from repro.core.ppo import PPOConfig
+from repro.core.training import TrainingConfig, train
+from repro.simulator import SimulatorConfig
+
+
+def sim_env(seed=0):
+    return SimulatorEnv(
+        SimulatorConfig(
+            tpt_read=80, tpt_network=160, tpt_write=200,
+            bandwidth_read=1000, bandwidth_network=1000, bandwidth_write=1000,
+            max_threads=10,
+        ),
+        rng=seed,
+    )
+
+
+def tiny_ppo():
+    return PPOConfig(hidden_dim=16, policy_blocks=1, value_blocks=1)
+
+
+class TestJointPolicyNetwork:
+    def test_action_count(self):
+        net = JointDiscretePolicyNetwork(8, max_threads=10, hidden_dim=16, num_blocks=1, rng=0)
+        assert net.num_actions == 1000
+        assert net(np.zeros(8)).logits.shape == (1000,)
+
+    def test_decode_roundtrip(self):
+        net = JointDiscretePolicyNetwork(8, max_threads=10, hidden_dim=16, num_blocks=1, rng=0)
+        for idx, expected in [(0, (1, 1, 1)), (999, (10, 10, 10)), (123, (2, 3, 4))]:
+            np.testing.assert_array_equal(net.decode(idx), expected)
+
+    def test_decode_batched(self):
+        net = JointDiscretePolicyNetwork(8, max_threads=10, hidden_dim=16, num_blocks=1, rng=0)
+        out = net.decode(np.array([0, 999]))
+        assert out.shape == (2, 3)
+
+    def test_rejects_huge_space(self):
+        with pytest.raises(ValueError):
+            JointDiscretePolicyNetwork(8, max_threads=100, hidden_dim=16, num_blocks=1, rng=0)
+
+
+class TestJointAgent:
+    def test_act_returns_flat_index(self):
+        agent = JointDiscretePPOAgent(8, max_threads=10, config=tiny_ppo(), rng=0)
+        action, lp = agent.act(np.zeros(8))
+        assert action.shape == (1,)
+        assert 0 <= action[0] < 1000
+
+    def test_trains_via_generic_loop(self):
+        env = JointDiscreteActionAdapter(sim_env(), 10)
+        agent = JointDiscretePPOAgent(8, max_threads=10, config=tiny_ppo(), rng=0)
+        result = train(agent, env, TrainingConfig(max_episodes=12, stagnation_episodes=12))
+        assert result.episodes_run == 12
+        assert np.isfinite(result.episode_rewards).all()
+
+    def test_state_dict_roundtrip(self):
+        a = JointDiscretePPOAgent(8, max_threads=10, config=tiny_ppo(), rng=0)
+        b = JointDiscretePPOAgent(8, max_threads=10, config=tiny_ppo(), rng=1)
+        b.load_state_dict(a.state_dict())
+        s = np.zeros(8)
+        assert a.act(s, deterministic=True)[0] == b.act(s, deterministic=True)[0]
+
+
+class TestJointAdapter:
+    def test_index_decoding_applied(self):
+        env = sim_env()
+        adapter = JointDiscreteActionAdapter(env, 10)
+        adapter.reset()
+        # index 123 -> (2, 3, 4)
+        _, _, _, info = adapter.step(np.array([123]))
+        assert info["threads"] == (2, 3, 4)
+
+    def test_action_mode_restored(self):
+        env = sim_env()
+        adapter = JointDiscreteActionAdapter(env, 10)
+        adapter.reset()
+        adapter.step(np.array([0]))
+        assert env.action_mode == "normalized"

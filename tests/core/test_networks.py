@@ -1,0 +1,94 @@
+"""Policy and value networks (§IV-D3/4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.networks import PolicyNetwork, ValueNetwork
+from repro.nn.distributions import DiagonalGaussian
+
+
+class TestPolicyNetwork:
+    def test_forward_single_state(self):
+        net = PolicyNetwork(8, 3, hidden_dim=32, num_blocks=1, rng=0)
+        dist = net(np.zeros(8))
+        assert isinstance(dist, DiagonalGaussian)
+        assert dist.mean.shape == (3,)
+
+    def test_forward_batch(self):
+        net = PolicyNetwork(8, 3, hidden_dim=32, num_blocks=1, rng=0)
+        dist = net(np.zeros((5, 8)))
+        assert dist.mean.shape == (5, 3)
+
+    def test_mean_bounded_by_tanh_squash(self):
+        net = PolicyNetwork(8, 3, hidden_dim=32, num_blocks=1, rng=0,
+                            mean_center=0.5, mean_span=0.75)
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            mean = net(rng.standard_normal(8) * 100).mean.data
+            assert np.all(mean >= -0.25 - 1e-9)
+            assert np.all(mean <= 1.25 + 1e-9)
+
+    def test_log_std_clamped(self):
+        net = PolicyNetwork(8, 3, hidden_dim=32, num_blocks=1, rng=0,
+                            log_std_range=(-2.0, 0.0))
+        net.log_std.data[...] = 10.0
+        dist = net(np.zeros(8))
+        np.testing.assert_allclose(dist.log_std.data, 0.0)
+
+    def test_paper_architecture_dimensions(self):
+        """Default net matches §IV-D3: 256-dim embedding, 3 residual blocks."""
+        net = PolicyNetwork(rng=0)
+        assert net.embed.out_features == 256
+        assert len(net.blocks) == 3
+        # Each policy residual block uses LayerNorm + ReLU.
+        assert net.blocks[0].norm1 is not None
+        assert net.blocks[0].activation == "relu"
+
+    def test_untrained_mean_near_center(self):
+        net = PolicyNetwork(8, 3, hidden_dim=32, num_blocks=1, rng=0)
+        mean = net(np.zeros(8)).mean.data
+        np.testing.assert_allclose(mean, 0.5, atol=0.1)
+
+    def test_gradients_reach_all_parameters(self):
+        net = PolicyNetwork(8, 3, hidden_dim=16, num_blocks=1, rng=0)
+        dist = net(np.random.default_rng(0).standard_normal((4, 8)))
+        dist.log_prob(np.full((4, 3), 0.5)).sum().backward()
+        missing = [n for n, p in net.named_parameters() if p.grad is None]
+        assert missing == []
+
+
+class TestValueNetwork:
+    def test_scalar_for_single_state(self):
+        net = ValueNetwork(8, hidden_dim=32, num_blocks=1, rng=0)
+        out = net(np.zeros(8))
+        assert out.size == 1
+
+    def test_vector_for_batch(self):
+        net = ValueNetwork(8, hidden_dim=32, num_blocks=1, rng=0)
+        assert net(np.zeros((7, 8))).shape == (7,)
+
+    def test_paper_architecture(self):
+        """§IV-D4: 256-dim, 2 Tanh residual blocks without LayerNorm."""
+        net = ValueNetwork(rng=0)
+        assert net.embed.out_features == 256
+        blocks = [net.trunk[i] for i in range(1, len(net.trunk))]
+        assert len(blocks) == 2
+        assert all(b.activation == "tanh" for b in blocks)
+        assert all(b.norm1 is None for b in blocks)
+
+    def test_trainable_to_fit_constant(self):
+        from repro.nn import Adam
+
+        net = ValueNetwork(4, hidden_dim=16, num_blocks=1, rng=0)
+        opt = Adam(net.parameters(), lr=1e-2)
+        x = np.random.default_rng(0).standard_normal((16, 4))
+        from repro.autograd.tensor import Tensor
+
+        target = Tensor(np.full(16, 5.0))
+        for _ in range(200):
+            net.zero_grad()
+            out = net(x)
+            loss = ((out - target) * (out - target)).mean()
+            loss.backward()
+            opt.step()
+        assert loss.item() < 0.1

@@ -1,0 +1,167 @@
+"""PPO agent: memory, returns, update mechanics."""
+
+import numpy as np
+import pytest
+
+from repro.core.ppo import PPOAgent, PPOConfig, RolloutMemory, discounted_returns
+
+
+def tiny_config(**overrides) -> PPOConfig:
+    defaults = dict(hidden_dim=16, policy_blocks=1, value_blocks=1)
+    defaults.update(overrides)
+    return PPOConfig(**defaults)
+
+
+class TestDiscountedReturns:
+    def test_gamma_zero_is_identity(self):
+        r = np.array([1.0, 2.0, 3.0])
+        np.testing.assert_array_equal(discounted_returns(r, 0.0), r)
+
+    def test_gamma_one_is_suffix_sum(self):
+        r = np.array([1.0, 2.0, 3.0])
+        np.testing.assert_array_equal(discounted_returns(r, 1.0), [6.0, 5.0, 3.0])
+
+    def test_recursive_definition(self):
+        r = np.array([1.0, 1.0, 1.0, 1.0])
+        g = discounted_returns(r, 0.5)
+        for t in range(3):
+            assert g[t] == pytest.approx(r[t] + 0.5 * g[t + 1])
+
+
+class TestRolloutMemory:
+    def test_store_and_arrays(self):
+        mem = RolloutMemory()
+        for i in range(3):
+            mem.store(np.full(8, i), np.full(3, i), -1.0 * i, float(i))
+        mem.end_episode(gamma=0.5)
+        states, actions, lps, returns = mem.arrays()
+        assert states.shape == (3, 8)
+        assert actions.shape == (3, 3)
+        assert lps.shape == (3,)
+        np.testing.assert_allclose(returns, discounted_returns(np.array([0.0, 1.0, 2.0]), 0.5))
+
+    def test_multiple_episodes_independent_returns(self):
+        mem = RolloutMemory()
+        for _ in range(2):
+            for r in (1.0, 1.0):
+                mem.store(np.zeros(8), np.zeros(3), 0.0, r)
+            mem.end_episode(gamma=1.0)
+        _, _, _, returns = mem.arrays()
+        # Episode boundary respected: each episode's first step has G=2.
+        np.testing.assert_array_equal(returns, [2.0, 1.0, 2.0, 1.0])
+
+    def test_arrays_without_end_episode_raises(self):
+        mem = RolloutMemory()
+        mem.store(np.zeros(8), np.zeros(3), 0.0, 1.0)
+        with pytest.raises(RuntimeError):
+            mem.arrays()
+
+    def test_clear(self):
+        mem = RolloutMemory()
+        mem.store(np.zeros(8), np.zeros(3), 0.0, 1.0)
+        mem.end_episode(0.5)
+        mem.clear()
+        assert len(mem) == 0
+        assert mem.returns == []
+
+
+class TestAgentActing:
+    def test_act_returns_action_and_logprob(self):
+        agent = PPOAgent(config=tiny_config(), rng=0)
+        action, log_prob = agent.act(np.zeros(8))
+        assert action.shape == (3,)
+        assert isinstance(log_prob, float)
+
+    def test_deterministic_act_is_mean(self):
+        agent = PPOAgent(config=tiny_config(), rng=0)
+        a1, _ = agent.act(np.zeros(8), deterministic=True)
+        a2, _ = agent.act(np.zeros(8), deterministic=True)
+        np.testing.assert_array_equal(a1, a2)
+
+    def test_stochastic_act_varies(self):
+        agent = PPOAgent(config=tiny_config(), rng=0)
+        a1, _ = agent.act(np.zeros(8))
+        a2, _ = agent.act(np.zeros(8))
+        assert not np.array_equal(a1, a2)
+
+    def test_value_of(self):
+        agent = PPOAgent(config=tiny_config(), rng=0)
+        assert isinstance(agent.value_of(np.zeros(8)), float)
+
+
+class TestAgentUpdate:
+    def fill_memory(self, agent, n_episodes=2, steps=5, seed=0):
+        rng = np.random.default_rng(seed)
+        for _ in range(n_episodes):
+            for _ in range(steps):
+                state = rng.standard_normal(8)
+                action, log_prob = agent.act(state)
+                agent.memory.store(state, action, log_prob, float(rng.random()))
+            agent.memory.end_episode(agent.config.gamma)
+
+    def test_update_returns_stats(self):
+        agent = PPOAgent(config=tiny_config(), rng=0)
+        self.fill_memory(agent)
+        stats = agent.update()
+        assert set(stats) >= {"loss", "actor_loss", "critic_loss", "entropy", "mean_ratio"}
+
+    def test_update_changes_parameters(self):
+        agent = PPOAgent(config=tiny_config(), rng=0)
+        before = {k: v.copy() for k, v in agent.policy.state_dict().items()}
+        self.fill_memory(agent)
+        agent.update()
+        changed = any(
+            not np.array_equal(before[k], v) for k, v in agent.policy.state_dict().items()
+        )
+        assert changed
+
+    def test_old_policy_synced_after_update(self):
+        agent = PPOAgent(config=tiny_config(), rng=0)
+        self.fill_memory(agent)
+        agent.update()
+        for (_, a), (_, b) in zip(
+            agent.policy.named_parameters(), agent.policy_old.named_parameters()
+        ):
+            np.testing.assert_array_equal(a.data, b.data)
+
+    def test_first_epoch_ratio_is_one(self):
+        """Collected with the same policy that updates: the first-epoch ratio
+        must be ≈1 (Algorithm 2's π/π_old at sync)."""
+        agent = PPOAgent(config=tiny_config(update_epochs=1), rng=0)
+        self.fill_memory(agent)
+        stats = agent.update()
+        assert stats["mean_ratio"] == pytest.approx(1.0, abs=1e-6)
+
+    def test_critic_improves_on_repeated_data(self):
+        agent = PPOAgent(config=tiny_config(update_epochs=1, learning_rate=1e-2), rng=0)
+        rng = np.random.default_rng(0)
+        states = rng.standard_normal((10, 8))
+        losses = []
+        for _ in range(30):
+            agent.memory.clear()
+            for s in states:
+                a, lp = agent.act(s)
+                agent.memory.store(s, a, lp, 1.0)
+            agent.memory.end_episode(agent.config.gamma)
+            losses.append(agent.update()["critic_loss"])
+        assert losses[-1] < losses[0]
+
+    def test_lr_progress_anneals(self):
+        agent = PPOAgent(config=tiny_config(learning_rate=1e-3, final_learning_rate=1e-4), rng=0)
+        agent.set_lr_progress(0.0)
+        assert agent.optimizer.lr == pytest.approx(1e-3)
+        agent.set_lr_progress(1.0)
+        assert agent.optimizer.lr == pytest.approx(1e-4)
+        agent.set_lr_progress(5.0)  # clamped
+        assert agent.optimizer.lr == pytest.approx(1e-4)
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        a = PPOAgent(config=tiny_config(), rng=0)
+        b = PPOAgent(config=tiny_config(), rng=1)
+        b.load_state_dict(a.state_dict())
+        s = np.random.default_rng(2).standard_normal(8)
+        np.testing.assert_allclose(
+            a.act(s, deterministic=True)[0], b.act(s, deterministic=True)[0]
+        )

@@ -1,0 +1,30 @@
+"""The named preset registry used by the CLI."""
+
+import pytest
+
+from repro.emulator.presets import PRESETS
+from repro.emulator.testbed import TestbedConfig
+
+
+class TestPresetRegistry:
+    def test_expected_names(self):
+        assert set(PRESETS) == {
+            "cloudlab-1g",
+            "fabric-brist-indi",
+            "fabric-ncsa-tacc",
+            "fig5-read",
+            "fig5-network",
+            "fig5-write",
+        }
+
+    @pytest.mark.parametrize("name", sorted(PRESETS))
+    def test_every_preset_builds_valid_config(self, name):
+        config = PRESETS[name]()
+        assert isinstance(config, TestbedConfig)
+        optimal = config.optimal_threads()
+        assert all(1 <= n <= config.max_threads for n in optimal)
+        assert config.bottleneck_bandwidth > 0
+
+    @pytest.mark.parametrize("name", sorted(PRESETS))
+    def test_presets_deterministic(self, name):
+        assert PRESETS[name]() == PRESETS[name]()

@@ -1,0 +1,174 @@
+"""Testbed: coupled fluid flows, presets, dynamic throttles."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.emulator import (
+    NetworkConfig,
+    StorageConfig,
+    Testbed,
+    TestbedConfig,
+    cloudlab_1g,
+    fabric_brist_indi,
+    fabric_ncsa_tacc,
+    fig5_network_bottleneck,
+    fig5_read_bottleneck,
+    fig5_write_bottleneck,
+)
+from repro.utils.errors import SimulationError
+from repro.utils.units import GiB
+
+
+def small_testbed(**overrides) -> TestbedConfig:
+    defaults = dict(
+        source=StorageConfig(tpt=80, bandwidth=1000),
+        destination=StorageConfig(tpt=200, bandwidth=1000),
+        network=NetworkConfig(tpt=160, capacity=1000, ramp_time=0.0),
+        sender_buffer_capacity=1.0 * GiB,
+        receiver_buffer_capacity=1.0 * GiB,
+        max_threads=30,
+    )
+    defaults.update(overrides)
+    return TestbedConfig(**defaults)
+
+
+class TestAdvance:
+    def test_optimal_triple_saturates_bottleneck(self):
+        tb = Testbed(small_testbed(), rng=0)
+        for _ in range(5):
+            flows = tb.advance((13, 7, 5))
+        assert flows.throughput_write == pytest.approx(1000.0, rel=0.05)
+
+    def test_byte_accounting(self):
+        tb = Testbed(small_testbed(), rng=0)
+        flows = tb.advance((13, 7, 5), duration=2.0)
+        assert flows.bytes_read == pytest.approx(
+            tb.total_read
+        )
+        # written <= networked <= read (pipeline ordering from empty buffers)
+        assert flows.bytes_written <= flows.bytes_networked <= flows.bytes_read
+
+    def test_read_available_caps_read(self):
+        tb = Testbed(small_testbed(), rng=0)
+        flows = tb.advance((13, 7, 5), read_available=1000.0)
+        assert flows.bytes_read <= 1000.0
+
+    def test_drain_after_source_exhausted(self):
+        tb = Testbed(small_testbed(), rng=0)
+        tb.advance((13, 7, 5), read_available=50e6)
+        for _ in range(30):
+            flows = tb.advance((13, 7, 5), read_available=0.0)
+        assert flows.bytes_read == 0.0
+        assert tb.sender_buffer.usage == pytest.approx(0.0, abs=1e-3)
+        assert tb.total_written == pytest.approx(50e6, rel=0.01)
+
+    def test_threads_clamped(self):
+        tb = Testbed(small_testbed(), rng=0)
+        flows = tb.advance((0, 500, 2.7))
+        assert flows.threads == (1, 30, 3)
+
+    def test_invalid_duration(self):
+        tb = Testbed(small_testbed(), rng=0)
+        with pytest.raises(Exception):
+            tb.advance((1, 1, 1), duration=0.0)
+
+    def test_file_efficiency_slows_stage(self):
+        tb1, tb2 = Testbed(small_testbed(), rng=0), Testbed(small_testbed(), rng=0)
+        fast = tb1.advance((13, 7, 5), file_efficiency=(1.0, 1.0, 1.0))
+        slow = tb2.advance((13, 7, 5), file_efficiency=(0.5, 1.0, 1.0))
+        assert slow.bytes_read < fast.bytes_read
+
+    def test_deterministic_given_seed(self):
+        a, b = Testbed(small_testbed(noise_sigma=0.05), rng=3), Testbed(
+            small_testbed(noise_sigma=0.05), rng=3
+        )
+        fa = [a.advance((10, 5, 5)).throughput_write for _ in range(5)]
+        fb = [b.advance((10, 5, 5)).throughput_write for _ in range(5)]
+        assert fa == fb
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.tuples(*([st.integers(min_value=1, max_value=30)] * 3)),
+        st.integers(min_value=1, max_value=5),
+    )
+    def test_conservation_property(self, threads, steps):
+        """Property: written bytes never exceed read bytes, and buffer
+        occupancy accounts exactly for the difference."""
+        tb = Testbed(small_testbed(), rng=0)
+        for _ in range(steps):
+            tb.advance(threads)
+        in_flight = tb.sender_buffer.usage + tb.receiver_buffer.usage
+        assert tb.total_written <= tb.total_read + 1e-6
+        assert tb.total_read - tb.total_written == pytest.approx(in_flight, rel=1e-9, abs=1e-3)
+
+
+class TestDynamics:
+    def test_ramp_slows_sudden_stream_jump(self):
+        cfg = small_testbed(network=NetworkConfig(tpt=160, capacity=1000, ramp_time=3.0))
+        tb = Testbed(cfg, rng=0)
+        tb.advance((13, 1, 5))  # establish 1 stream
+        first = tb.advance((13, 20, 5))
+        later = [tb.advance((13, 20, 5)) for _ in range(5)][-1]
+        assert first.throughput_network < later.throughput_network
+
+    def test_set_stage_tpt_changes_behaviour(self):
+        tb = Testbed(small_testbed(), rng=0)
+        before = tb.advance((5, 7, 5)).throughput_read
+        tb.set_stage_tpt("read", 10.0)
+        tb.reset()
+        after = tb.advance((5, 7, 5)).throughput_read
+        assert after < before * 0.5
+
+    def test_set_stage_tpt_network_preserves_ramp(self):
+        cfg = small_testbed(network=NetworkConfig(tpt=160, capacity=1000, ramp_time=3.0))
+        tb = Testbed(cfg, rng=0)
+        tb.advance((5, 10, 5))
+        streams = tb.network.effective_streams
+        tb.set_stage_tpt("network", 80.0)
+        assert tb.network.effective_streams == streams
+
+    def test_unknown_stage_raises(self):
+        tb = Testbed(small_testbed(), rng=0)
+        with pytest.raises(SimulationError):
+            tb.set_stage_tpt("disk", 5.0)
+
+    def test_reset_restores_clean_state(self):
+        tb = Testbed(small_testbed(), rng=0)
+        tb.advance((30, 1, 1))
+        tb.reset()
+        assert tb.now == 0.0
+        assert tb.total_read == 0.0
+        assert tb.sender_buffer.usage == 0.0
+
+
+class TestPresets:
+    @pytest.mark.parametrize(
+        "factory,expected_optimal",
+        [
+            (fig5_read_bottleneck, (13, 7, 5)),
+            (fig5_network_bottleneck, (5, 14, 6)),
+            (fig5_write_bottleneck, (5, 7, 15)),
+        ],
+    )
+    def test_fig5_optimal_triples(self, factory, expected_optimal):
+        assert factory().optimal_threads() == expected_optimal
+
+    def test_ncsa_tacc_bottleneck(self):
+        cfg = fabric_ncsa_tacc()
+        assert cfg.bottleneck_bandwidth == 25000.0
+        assert cfg.optimal_threads()[1] == 20  # Fig. 3's target network level
+
+    def test_cloudlab_is_1g(self):
+        assert cloudlab_1g().network.capacity == 1000.0
+
+    def test_brist_indi_write_limited(self):
+        cfg = fabric_brist_indi()
+        assert cfg.bottleneck_bandwidth == cfg.destination.bandwidth
+
+    def test_presets_produce_runnable_testbeds(self):
+        for factory in (cloudlab_1g, fabric_brist_indi, fabric_ncsa_tacc):
+            tb = Testbed(factory(), rng=0)
+            flows = tb.advance(factory().optimal_threads())
+            assert flows.throughput_read > 0

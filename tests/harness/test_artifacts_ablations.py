@@ -1,0 +1,133 @@
+"""Artifact cache and ablation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core.ppo import PPOConfig
+from repro.core.training import TrainingConfig
+from repro.emulator.presets import fig5_read_bottleneck
+from repro.harness.ablations import MaskedStateEnv, optimal_threads_for_k
+from repro.harness.artifacts import trained_automdt
+from repro.simulator import SimulatorConfig
+
+
+TINY_PPO = PPOConfig(hidden_dim=16, policy_blocks=1, value_blocks=1)
+TINY_TRAINING = TrainingConfig(max_episodes=8, stagnation_episodes=8)
+
+
+class TestTrainedAutomdtCache:
+    def test_trains_then_caches(self, tmp_path):
+        config = fig5_read_bottleneck()
+        trained = []
+        first = trained_automdt(
+            config,
+            ppo_config=TINY_PPO,
+            training_config=TINY_TRAINING,
+            exploration_seconds=20.0,
+            cache_dir=tmp_path,
+            on_train=lambda p: trained.append(1),
+        )
+        assert trained == [1]
+        assert first.agent is not None
+
+        second = trained_automdt(
+            config,
+            ppo_config=TINY_PPO,
+            training_config=TINY_TRAINING,
+            exploration_seconds=20.0,
+            cache_dir=tmp_path,
+            on_train=lambda p: trained.append(2),
+        )
+        assert trained == [1]  # loaded from cache, no second training
+        s = np.zeros(8)
+        np.testing.assert_allclose(
+            first.agent.act(s, deterministic=True)[0],
+            second.agent.act(s, deterministic=True)[0],
+        )
+
+    def test_different_budget_different_key(self, tmp_path):
+        config = fig5_read_bottleneck()
+        calls = []
+        for episodes in (6, 7):
+            trained_automdt(
+                config,
+                ppo_config=TINY_PPO,
+                training_config=TrainingConfig(max_episodes=episodes, stagnation_episodes=8),
+                exploration_seconds=20.0,
+                cache_dir=tmp_path,
+                on_train=lambda p: calls.append(1),
+            )
+        assert len(calls) == 2
+
+    def test_force_retrain(self, tmp_path):
+        config = fig5_read_bottleneck()
+        calls = []
+        for _ in range(2):
+            trained_automdt(
+                config,
+                ppo_config=TINY_PPO,
+                training_config=TINY_TRAINING,
+                exploration_seconds=20.0,
+                cache_dir=tmp_path,
+                force_retrain=True,
+                on_train=lambda p: calls.append(1),
+            )
+        assert len(calls) == 2
+
+
+class TestOptimalThreadsForK:
+    CONFIG = SimulatorConfig(
+        tpt_read=80, tpt_network=160, tpt_write=200,
+        bandwidth_read=1000, bandwidth_network=1000, bandwidth_write=1000,
+        max_threads=40,
+    )
+
+    def test_small_k_recovers_paper_optimum(self):
+        triple, flow, _ = optimal_threads_for_k(self.CONFIG, 1.001)
+        assert triple == (13, 7, 5)
+        assert flow == pytest.approx(1000.0)
+
+    def test_huge_k_prefers_far_fewer_threads(self):
+        cheap_triple, cheap_flow, _ = optimal_threads_for_k(self.CONFIG, 1.001)
+        harsh_triple, harsh_flow, _ = optimal_threads_for_k(self.CONFIG, 2.0)
+        assert sum(harsh_triple) < sum(cheap_triple)
+        assert harsh_flow < cheap_flow
+
+    def test_utility_actually_maximal_on_grid(self):
+        """Exhaustive cross-check on a tiny grid."""
+        from repro.core.utility import UtilityFunction
+        from repro.harness.ablations import _steady_state_throughputs
+
+        config = SimulatorConfig(
+            tpt_read=100, tpt_network=100, tpt_write=100,
+            bandwidth_read=300, bandwidth_network=300, bandwidth_write=300,
+            max_threads=5,
+        )
+        k = 1.05
+        triple, _, best_value = optimal_threads_for_k(config, k)
+        u = UtilityFunction(k)
+        import itertools
+
+        brute = max(
+            u(_steady_state_throughputs(config, t), t)
+            for t in itertools.product(range(1, 6), repeat=3)
+        )
+        assert best_value == pytest.approx(brute)
+
+
+class TestMaskedStateEnv:
+    def test_buffer_components_zeroed(self):
+        from repro.core.env import SimulatorEnv
+
+        env = MaskedStateEnv(SimulatorEnv(TestOptimalThreadsForK.CONFIG, rng=0))
+        state = env.reset()
+        assert state[6] == 0.0 and state[7] == 0.0
+        state, _, _, _ = env.step([0.5, 0.5, 0.5])
+        assert state[6] == 0.0 and state[7] == 0.0
+
+    def test_other_components_intact(self):
+        from repro.core.env import SimulatorEnv
+
+        env = MaskedStateEnv(SimulatorEnv(TestOptimalThreadsForK.CONFIG, rng=0))
+        state = env.reset()
+        assert np.any(state[:6] != 0.0)

@@ -1,0 +1,67 @@
+"""CLI pipeline subcommands: explore / train / transfer."""
+
+import json
+
+import pytest
+
+from repro.harness.cli import main
+
+
+class TestExploreCommand:
+    def test_explore_preset(self, capsys, tmp_path):
+        out_file = tmp_path / "profile.json"
+        code = main(
+            ["explore", "--preset", "fig5-read", "--duration", "30", "--out", str(out_file)]
+        )
+        assert code == 0
+        blob = json.loads(out_file.read_text())
+        assert min(blob["bandwidth"]) > 0
+        assert "optimal threads" in capsys.readouterr().out
+
+    def test_unknown_preset(self, capsys):
+        assert main(["explore", "--preset", "not-a-preset"]) == 2
+        assert "unknown preset" in capsys.readouterr().err
+
+
+class TestTrainTransferCommands:
+    def test_train_then_transfer(self, capsys, tmp_path, monkeypatch):
+        """Tiny-budget end-to-end CLI flow."""
+        ckpt = tmp_path / "ckpt"
+        code = main(
+            [
+                "train",
+                "--preset", "fig5-read",
+                "--episodes", "8",
+                "--exploration", "20",
+                "--out", str(ckpt),
+            ]
+        )
+        assert code == 0
+        assert ckpt.with_suffix(".npz").exists()
+        out = capsys.readouterr().out
+        assert "checkpoint saved" in out
+
+        code = main(
+            [
+                "transfer",
+                "--preset", "fig5-read",
+                "--checkpoint", str(ckpt),
+                "--gb", "3",
+                "--deterministic",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "completed=True" in out
+
+    def test_transfer_unknown_preset(self):
+        assert main(["transfer", "--preset", "nope", "--checkpoint", "x"]) == 2
+
+
+class TestRunSeeds:
+    def test_seeded_aggregate_output(self, capsys):
+        code = main(["run", "k_sweep", "--seeds", "0,1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "over seeds [0, 1]" in out
+        assert "best_k" in out

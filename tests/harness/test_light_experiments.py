@@ -1,0 +1,69 @@
+"""Light (no-training) harness experiments run end-to-end in the test suite.
+
+The heavy, training-dependent experiments are exercised by the benchmark
+suite; the analytic / emulator-only ones are cheap enough to test here.
+"""
+
+import pytest
+
+from repro.harness import (
+    experiment_figure1,
+    experiment_k_sweep,
+    experiment_monolithic,
+)
+
+
+class TestFigure1:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return experiment_figure1(fast=True, seed=0)
+
+    def test_coupling_demonstrated(self, result):
+        assert result.summary["coupling_demonstrated"]
+
+    def test_series_complete(self, result):
+        for name in ("t_read", "t_network", "t_write", "sender_fill", "receiver_fill"):
+            assert name in result.series
+            assert len(result.series[name]) == 90  # 20 + 40 + 30 seconds
+
+    def test_buffer_actually_fills(self, result):
+        assert result.summary["sender_fill_at_60s"] > 0.9
+
+    def test_deterministic(self):
+        a = experiment_figure1(fast=True, seed=0)
+        b = experiment_figure1(fast=True, seed=0)
+        assert a.summary == b.summary
+
+
+class TestKSweep:
+    def test_best_k_is_papers(self):
+        result = experiment_k_sweep(fast=True, seed=0)
+        assert result.summary["best_k"] == pytest.approx(1.02)
+
+    def test_table_has_both_links(self):
+        result = experiment_k_sweep(fast=True, seed=0)
+        assert "1 Gbps" in result.tables[0]
+        assert "25 Gbps" in result.tables[0]
+
+
+class TestMonolithic:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return experiment_monolithic(fast=True, seed=0)
+
+    def test_modular_needs_few_io_threads(self, result):
+        optimal = result.summary["optimal_threads"]
+        assert optimal[1] >= 80  # the throttled network leg
+        assert optimal[0] <= 15 and optimal[2] <= 15
+
+    def test_monolithic_burns_threads(self, result):
+        assert (
+            result.summary["monolithic_mean_total_threads"]
+            >= 2 * result.summary["modular_mean_total_threads"]
+        )
+
+    def test_modular_not_slower(self, result):
+        assert (
+            result.summary["modular_completion_s"]
+            <= result.summary["monolithic_completion_s"] * 1.1
+        )

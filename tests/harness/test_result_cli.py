@@ -1,0 +1,75 @@
+"""Harness plumbing: ExperimentResult, CLI, registry."""
+
+import json
+
+import pytest
+
+from repro.harness.cli import build_parser, main
+from repro.harness.experiments import EXPERIMENTS
+from repro.harness.result import ExperimentResult
+from repro.utils.timeseries import TimeSeries
+
+
+class TestExperimentResult:
+    def make(self):
+        return ExperimentResult(
+            name="demo",
+            summary={"speed": 123.4, "winner": "AutoMDT"},
+            tables=["| a |"],
+            series={"tput": TimeSeries("tput", [(0.0, 1.0), (1.0, 2.0)])},
+            notes=["shape holds"],
+        )
+
+    def test_render_contains_everything(self):
+        text = self.make().render()
+        assert "=== demo ===" in text
+        assert "speed" in text and "123.4" in text
+        assert "| a |" in text
+        assert "note: shape holds" in text
+
+    def test_save_roundtrip(self, tmp_path):
+        path = self.make().save(tmp_path)
+        blob = json.loads(path.read_text())
+        assert blob["summary"]["winner"] == "AutoMDT"
+        assert blob["series"]["tput"]["values"] == [1.0, 2.0]
+
+    def test_empty_result_renders(self):
+        assert ExperimentResult("x").render() == "=== x ==="
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_covered(self):
+        expected = {
+            "figure1", "figure3", "figure4",
+            "figure5_read", "figure5_network", "figure5_write",
+            "table1", "training", "finetune",
+            "k_sweep", "state_ablation", "monolithic", "sim2real", "filelevel",
+            "online_drl", "parallelism",
+        }
+        assert expected == set(EXPERIMENTS)
+
+    def test_all_entries_callable(self):
+        assert all(callable(fn) for fn in EXPERIMENTS.values())
+
+
+class TestCli:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "figure3" in out and "table1" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["run", "figure99"]) == 2
+        assert "unknown" in capsys.readouterr().err
+
+    def test_parser_flags(self):
+        args = build_parser().parse_args(["run", "table1", "--full", "--seed", "3"])
+        assert args.experiment == "table1"
+        assert args.full is True
+        assert args.seed == 3
+
+    def test_run_light_experiment(self, capsys, tmp_path):
+        assert main(["run", "k_sweep", "--out", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "k_sweep" in out
+        assert (tmp_path / "k_sweep.json").exists()

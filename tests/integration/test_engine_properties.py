@@ -1,0 +1,100 @@
+"""Property-based integration tests: the engine must stay sane under ANY
+controller behaviour."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.emulator import NetworkConfig, StorageConfig, Testbed, TestbedConfig
+from repro.transfer import EngineConfig, ModularTransferEngine
+from repro.transfer.files import uniform_dataset
+from repro.utils.units import GiB
+
+
+def make_testbed():
+    return Testbed(
+        TestbedConfig(
+            source=StorageConfig(tpt=200, bandwidth=1500),
+            destination=StorageConfig(tpt=150, bandwidth=1200),
+            network=NetworkConfig(tpt=250, capacity=1000, ramp_time=1.0),
+            sender_buffer_capacity=0.5 * GiB,
+            receiver_buffer_capacity=0.5 * GiB,
+            max_threads=20,
+        ),
+        rng=0,
+    )
+
+
+class ScriptedController:
+    """Replays an arbitrary (possibly hostile) thread schedule."""
+
+    def __init__(self, schedule):
+        self.schedule = schedule
+        self._i = 0
+
+    def propose(self, obs):
+        triple = self.schedule[self._i % len(self.schedule)]
+        self._i += 1
+        return triple
+
+    def reset(self):
+        self._i = 0
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=-5, max_value=100),
+            st.integers(min_value=-5, max_value=100),
+            st.integers(min_value=-5, max_value=100),
+        ),
+        min_size=1,
+        max_size=8,
+    )
+)
+def test_engine_invariants_under_arbitrary_controllers(schedule):
+    """Property: for any controller schedule (even out-of-range values),
+    the engine clamps threads, conserves bytes, and never overfills buffers."""
+    dataset = uniform_dataset(2, 1e9)
+    engine = ModularTransferEngine(
+        make_testbed(),
+        dataset,
+        ScriptedController(schedule),
+        EngineConfig(max_seconds=120),
+    )
+    result = engine.run()
+
+    m = result.metrics
+    # Thread series clamped to [1, max_threads].
+    for series in (m.threads_read, m.threads_network, m.threads_write):
+        assert series.min() >= 1
+        assert series.max() <= 20
+    # Buffers bounded.
+    assert m.sender_usage.max() <= 0.5 * GiB * 1.001
+    assert m.receiver_usage.max() <= 0.5 * GiB * 1.001
+    # Bytes written monotone and bounded by the dataset size.
+    written = m.bytes_written.values
+    assert (np.diff(written) >= -1e-6).all()
+    assert written[-1] <= dataset.total_bytes * (1 + 1e-9)
+    # If it claims completion, everything was written.
+    if result.completed:
+        assert written[-1] == pytest.approx(dataset.total_bytes, rel=1e-9)
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(min_value=1, max_value=20))
+def test_completion_time_decreases_with_better_concurrency(n):
+    """Property: completion time with n threads on every stage is never
+    (materially) better than with the optimal triple."""
+    from repro.baselines import StaticController
+
+    dataset = uniform_dataset(2, 1e9)
+    opt = ModularTransferEngine(
+        make_testbed(), dataset, StaticController((5, 4, 7)), EngineConfig(max_seconds=300)
+    ).run()
+    uniform = ModularTransferEngine(
+        make_testbed(), dataset, StaticController((n, n, n)), EngineConfig(max_seconds=300)
+    ).run()
+    assert opt.completion_time <= uniform.completion_time * 1.10

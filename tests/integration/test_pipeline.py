@@ -1,0 +1,90 @@
+"""End-to-end integration: the full AutoMDT pipeline on the emulator.
+
+These use a reduced-but-real training budget (a few hundred episodes with a
+small network) so they run in tens of seconds while still exercising every
+stage of Fig. 2: exploration → simulator training → production transfer.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import GlobusController, MarlinController, StaticController
+from repro.core import AutoMDT, PPOConfig, TrainingConfig
+from repro.emulator import Testbed, fig5_read_bottleneck
+from repro.transfer import EngineConfig, ModularTransferEngine
+from repro.transfer.files import uniform_dataset
+
+
+SMALL_PPO = PPOConfig(hidden_dim=64, policy_blocks=1, value_blocks=1)
+SMALL_TRAINING = TrainingConfig(max_episodes=700, stagnation_episodes=700)
+
+
+@pytest.fixture(scope="module")
+def trained_pipeline() -> AutoMDT:
+    pipeline = AutoMDT(ppo_config=SMALL_PPO, training_config=SMALL_TRAINING, seed=0)
+    pipeline.explore(Testbed(fig5_read_bottleneck(), rng=0), duration=90.0)
+    pipeline.train_offline()
+    return pipeline
+
+
+def run_transfer(controller, seed=1, gb=10, noise=0.02):
+    engine = ModularTransferEngine(
+        Testbed(fig5_read_bottleneck(), rng=seed),
+        uniform_dataset(gb, 1e9),
+        controller,
+        EngineConfig(max_seconds=1200, probe_noise=noise, seed=seed),
+    )
+    return engine.run()
+
+
+class TestFullPipeline:
+    def test_training_made_progress(self, trained_pipeline):
+        result = trained_pipeline.training_result
+        assert result.best_reward > 6.0  # well above random play (~4-5)
+
+    def test_automdt_completes_transfer(self, trained_pipeline):
+        result = run_transfer(trained_pipeline.controller())
+        assert result.completed
+        # 10 GB over a 1 Gbps bottleneck: ideal 80 s; allow ramp slack even
+        # for the reduced training budget.
+        assert result.completion_time < 160.0
+
+    def test_automdt_beats_globus(self, trained_pipeline):
+        auto = run_transfer(trained_pipeline.controller())
+        globus = run_transfer(GlobusController(parallelism=2))
+        assert auto.completion_time < globus.completion_time
+
+    def test_automdt_competitive_with_oracle(self, trained_pipeline):
+        auto = run_transfer(trained_pipeline.controller())
+        oracle = run_transfer(StaticController((13, 7, 5)))
+        assert auto.completion_time <= oracle.completion_time * 1.6
+
+    def test_concurrency_traces_reach_bottleneck_stage(self, trained_pipeline):
+        """The read stage (the bottleneck here) must get the most threads."""
+        result = run_transfer(trained_pipeline.controller())
+        m = result.metrics
+        mean_read = m.threads_read.mean(t_start=5)
+        mean_net = m.threads_network.mean(t_start=5)
+        mean_write = m.threads_write.mean(t_start=5)
+        assert mean_read > mean_net
+        assert mean_read > mean_write
+
+    def test_deterministic_replay(self, trained_pipeline):
+        a = run_transfer(trained_pipeline.controller(deterministic=True), seed=5)
+        b = run_transfer(trained_pipeline.controller(deterministic=True), seed=5)
+        assert a.completion_time == b.completion_time
+
+
+class TestMarlinComparisonShape:
+    def test_marlin_slower_than_trained_automdt(self, trained_pipeline):
+        auto = run_transfer(trained_pipeline.controller(), gb=15)
+        marlin = run_transfer(MarlinController(rng=2), gb=15)
+        assert auto.completed and marlin.completed
+        assert auto.completion_time <= marlin.completion_time * 1.05
+
+    def test_marlin_less_stable(self, trained_pipeline):
+        auto = run_transfer(trained_pipeline.controller(), gb=15)
+        marlin = run_transfer(MarlinController(rng=2), gb=15)
+        assert auto.metrics.stability("threads_read", t_start=10) <= (
+            marlin.metrics.stability("threads_read", t_start=10) + 0.5
+        )

@@ -1,0 +1,91 @@
+"""Policy distributions: diagonal Gaussian and Categorical."""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.autograd.tensor import Tensor
+from repro.nn import Categorical, DiagonalGaussian
+
+
+class TestDiagonalGaussian:
+    def test_sample_statistics(self):
+        rng = np.random.default_rng(0)
+        d = DiagonalGaussian(Tensor(np.array([2.0, -1.0])), Tensor(np.log([0.5, 2.0])))
+        samples = np.stack([d.sample(rng) for _ in range(4000)])
+        np.testing.assert_allclose(samples.mean(axis=0), [2.0, -1.0], atol=0.1)
+        np.testing.assert_allclose(samples.std(axis=0), [0.5, 2.0], atol=0.1)
+
+    def test_mode_is_mean(self):
+        d = DiagonalGaussian(Tensor(np.array([3.0])), Tensor(np.zeros(1)))
+        assert d.mode()[0] == 3.0
+
+    def test_log_prob_matches_scipy(self):
+        rng = np.random.default_rng(1)
+        mean, log_std = rng.standard_normal(3), rng.standard_normal(3) * 0.2
+        x = rng.standard_normal(3)
+        d = DiagonalGaussian(Tensor(mean), Tensor(log_std))
+        expected = stats.norm.logpdf(x, loc=mean, scale=np.exp(log_std)).sum()
+        assert float(d.log_prob(x).data) == pytest.approx(expected)
+
+    def test_log_prob_batch_shape(self):
+        d = DiagonalGaussian(Tensor(np.zeros((6, 3))), Tensor(np.zeros(3)))
+        assert d.log_prob(np.zeros((6, 3))).shape == (6,)
+
+    def test_entropy_matches_formula(self):
+        log_std = np.array([-0.5, 0.0, 0.5])
+        d = DiagonalGaussian(Tensor(np.zeros(3)), Tensor(log_std))
+        expected = (log_std + 0.5 * np.log(2 * np.pi * np.e)).sum()
+        assert float(d.entropy().data) == pytest.approx(expected)
+
+    def test_log_prob_gradient_reaches_mean(self):
+        mean = Tensor(np.zeros(2), requires_grad=True)
+        d = DiagonalGaussian(mean, Tensor(np.zeros(2)))
+        d.log_prob(np.array([1.0, -1.0])).backward()
+        np.testing.assert_allclose(mean.grad, [1.0, -1.0])  # (x-mu)/sigma^2
+
+    def test_higher_density_at_mean(self):
+        d = DiagonalGaussian(Tensor(np.array([5.0])), Tensor(np.zeros(1)))
+        assert float(d.log_prob(np.array([5.0])).data) > float(d.log_prob(np.array([7.0])).data)
+
+
+class TestCategorical:
+    def test_probs_normalized(self):
+        c = Categorical(Tensor(np.random.default_rng(0).standard_normal((4, 5))))
+        np.testing.assert_allclose(c.probs().sum(axis=-1), 1.0)
+
+    def test_sample_distribution(self):
+        rng = np.random.default_rng(0)
+        logits = np.log(np.array([0.7, 0.2, 0.1]))
+        c = Categorical(Tensor(logits))
+        counts = np.bincount(
+            [int(c.sample(rng)) for _ in range(3000)], minlength=3
+        ) / 3000
+        np.testing.assert_allclose(counts, [0.7, 0.2, 0.1], atol=0.05)
+
+    def test_mode(self):
+        c = Categorical(Tensor(np.array([0.1, 5.0, 0.1])))
+        assert int(c.mode()) == 1
+
+    def test_log_prob_single(self):
+        c = Categorical(Tensor(np.log([0.25, 0.75])))
+        assert float(c.log_prob(1).data) == pytest.approx(np.log(0.75))
+
+    def test_log_prob_batch(self):
+        logits = Tensor(np.tile(np.log([0.5, 0.5]), (3, 1)))
+        lp = Categorical(logits).log_prob(np.array([0, 1, 0]))
+        np.testing.assert_allclose(lp.data, np.log(0.5))
+
+    def test_entropy_uniform_is_log_n(self):
+        c = Categorical(Tensor(np.zeros(8)))
+        assert float(c.entropy().data) == pytest.approx(np.log(8))
+
+    def test_entropy_deterministic_is_zero(self):
+        c = Categorical(Tensor(np.array([100.0, 0.0])))
+        assert float(c.entropy().data) == pytest.approx(0.0, abs=1e-6)
+
+    def test_gradient_flows_through_log_prob(self):
+        logits = Tensor(np.zeros(3), requires_grad=True)
+        Categorical(logits).log_prob(0).backward()
+        # d log p_0 / d logits = e_0 - softmax = [1-1/3, -1/3, -1/3]
+        np.testing.assert_allclose(logits.grad, [2 / 3, -1 / 3, -1 / 3], atol=1e-9)

@@ -1,0 +1,46 @@
+"""Weight initialization schemes."""
+
+import numpy as np
+import pytest
+
+from repro.nn import init
+
+
+class TestOrthogonal:
+    def test_square_orthogonal(self):
+        w = init.orthogonal((32, 32), np.random.default_rng(0))
+        np.testing.assert_allclose(w @ w.T, np.eye(32), atol=1e-10)
+
+    def test_tall_matrix_columns_orthonormal(self):
+        w = init.orthogonal((64, 16), np.random.default_rng(0))
+        np.testing.assert_allclose(w.T @ w, np.eye(16), atol=1e-10)
+
+    def test_wide_matrix_rows_orthonormal(self):
+        w = init.orthogonal((16, 64), np.random.default_rng(0))
+        np.testing.assert_allclose(w @ w.T, np.eye(16), atol=1e-10)
+
+    def test_gain_scales(self):
+        rng1, rng2 = np.random.default_rng(5), np.random.default_rng(5)
+        w1 = init.orthogonal((8, 8), rng1, gain=1.0)
+        w2 = init.orthogonal((8, 8), rng2, gain=3.0)
+        np.testing.assert_allclose(w2, 3.0 * w1)
+
+    def test_deterministic(self):
+        a = init.orthogonal((8, 4), np.random.default_rng(1))
+        b = init.orthogonal((8, 4), np.random.default_rng(1))
+        np.testing.assert_array_equal(a, b)
+
+
+class TestXavier:
+    def test_bound(self):
+        w = init.xavier_uniform((100, 50), np.random.default_rng(0))
+        bound = np.sqrt(6.0 / 150)
+        assert np.abs(w).max() <= bound
+
+    def test_shape(self):
+        assert init.xavier_uniform((3, 7), np.random.default_rng(0)).shape == (3, 7)
+
+
+class TestZeros:
+    def test_zeros(self):
+        np.testing.assert_array_equal(init.zeros((4,)), np.zeros(4))

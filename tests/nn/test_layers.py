@@ -1,0 +1,89 @@
+"""Layers: Linear, LayerNorm, activations, Sequential."""
+
+import numpy as np
+import pytest
+
+from repro.autograd.tensor import Tensor
+from repro.nn import Identity, LayerNorm, Linear, ReLU, Sequential, Tanh
+
+
+class TestLinear:
+    def test_shapes(self):
+        layer = Linear(4, 7, rng=0)
+        out = layer(Tensor(np.zeros((5, 4))))
+        assert out.shape == (5, 7)
+
+    def test_single_sample(self):
+        layer = Linear(4, 7, rng=0)
+        assert layer(Tensor(np.zeros(4))).shape == (7,)
+
+    def test_bias_optional(self):
+        layer = Linear(3, 3, rng=0, bias=False)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_orthogonal_weight_init(self):
+        layer = Linear(64, 64, rng=0, gain=1.0)
+        w = layer.weight.data
+        np.testing.assert_allclose(w.T @ w, np.eye(64), atol=1e-10)
+
+    def test_affine_correctness(self):
+        layer = Linear(2, 2, rng=0)
+        layer.weight.data[...] = np.array([[1.0, 2.0], [3.0, 4.0]])
+        layer.bias.data[...] = np.array([10.0, 20.0])
+        out = layer(Tensor(np.array([1.0, 1.0])))
+        np.testing.assert_allclose(out.data, [14.0, 26.0])
+
+    def test_gradients_flow_to_params(self):
+        layer = Linear(3, 2, rng=0)
+        layer(Tensor(np.ones((4, 3)))).sum().backward()
+        assert layer.weight.grad is not None
+        assert layer.bias.grad is not None
+        np.testing.assert_allclose(layer.bias.grad, [4.0, 4.0])
+
+
+class TestLayerNorm:
+    def test_normalizes_last_axis(self):
+        ln = LayerNorm(6)
+        x = Tensor(np.random.default_rng(0).standard_normal((8, 6)) * 5 + 2)
+        out = ln(x).data
+        np.testing.assert_allclose(out.mean(axis=-1), 0.0, atol=1e-9)
+
+    def test_learnable_affine(self):
+        ln = LayerNorm(3)
+        ln.scale.data[...] = 2.0
+        ln.shift.data[...] = 1.0
+        out = ln(Tensor(np.array([[1.0, 2.0, 3.0]]))).data
+        assert out.mean() == pytest.approx(1.0, abs=1e-9)
+
+    def test_two_parameters(self):
+        assert len(LayerNorm(4).parameters()) == 2
+
+
+class TestActivations:
+    def test_tanh_module(self):
+        out = Tanh()(Tensor(np.array([0.0, 100.0])))
+        np.testing.assert_allclose(out.data, [0.0, 1.0], atol=1e-9)
+
+    def test_relu_module(self):
+        out = ReLU()(Tensor(np.array([-1.0, 2.0])))
+        np.testing.assert_array_equal(out.data, [0.0, 2.0])
+
+    def test_identity(self):
+        x = Tensor(np.arange(3.0))
+        assert Identity()(x) is x
+
+
+class TestSequential:
+    def test_chaining(self):
+        net = Sequential(Linear(2, 4, rng=0), Tanh(), Linear(4, 1, rng=1))
+        assert net(Tensor(np.zeros((3, 2)))).shape == (3, 1)
+
+    def test_collects_parameters(self):
+        net = Sequential(Linear(2, 4, rng=0), Linear(4, 1, rng=1))
+        assert len(net.parameters()) == 4
+
+    def test_len_getitem(self):
+        net = Sequential(Tanh(), ReLU())
+        assert len(net) == 2
+        assert isinstance(net[1], ReLU)

@@ -1,0 +1,98 @@
+"""Optimizers: SGD, Adam, gradient clipping."""
+
+import numpy as np
+import pytest
+
+from repro.autograd.tensor import Tensor
+from repro.nn import SGD, Adam, clip_grad_norm
+from repro.nn.module import Parameter
+
+
+def quadratic_param(start=5.0):
+    return Parameter(np.array([start]))
+
+
+def minimize(opt, p, steps):
+    for _ in range(steps):
+        opt.zero_grad()
+        ((p - 2.0) * (p - 2.0)).sum().backward()
+        opt.step()
+    return float(p.data[0])
+
+
+class TestSGD:
+    def test_minimizes_quadratic(self):
+        p = quadratic_param()
+        assert minimize(SGD([p], lr=0.1), p, 100) == pytest.approx(2.0, abs=1e-4)
+
+    def test_momentum_accelerates(self):
+        p1, p2 = quadratic_param(), quadratic_param()
+        minimize(SGD([p1], lr=0.01), p1, 30)
+        minimize(SGD([p2], lr=0.01, momentum=0.9), p2, 30)
+        assert abs(p2.data[0] - 2.0) < abs(p1.data[0] - 2.0)
+
+    def test_skips_params_without_grad(self):
+        p = quadratic_param()
+        SGD([p], lr=0.1).step()  # no backward yet: must not crash or move
+        assert p.data[0] == 5.0
+
+
+class TestAdam:
+    def test_minimizes_quadratic(self):
+        p = quadratic_param()
+        assert minimize(Adam([p], lr=0.1), p, 300) == pytest.approx(2.0, abs=1e-3)
+
+    def test_bias_correction_first_step(self):
+        # With bias correction, the very first step is ≈ lr in the gradient
+        # direction regardless of gradient magnitude.
+        p = Parameter(np.array([1.0]))
+        opt = Adam([p], lr=0.5)
+        (p * 1000.0).sum().backward()
+        opt.step()
+        assert p.data[0] == pytest.approx(0.5, abs=1e-6)
+
+    def test_matches_reference_implementation(self):
+        rng = np.random.default_rng(0)
+        p = Parameter(rng.standard_normal(4))
+        ref = p.data.copy()
+        opt = Adam([p], lr=0.01)
+        m = np.zeros(4)
+        v = np.zeros(4)
+        for step in range(1, 6):
+            opt.zero_grad()
+            (p * p).sum().backward()
+            g = p.grad.copy()
+            opt.step()
+            m = 0.9 * m + 0.1 * g
+            v = 0.999 * v + 0.001 * g * g
+            m_hat = m / (1 - 0.9**step)
+            v_hat = v / (1 - 0.999**step)
+            ref = ref - 0.01 * m_hat / (np.sqrt(v_hat) + 1e-8)
+            np.testing.assert_allclose(p.data, ref, atol=1e-12)
+
+    def test_empty_params_rejected(self):
+        with pytest.raises(ValueError):
+            Adam([])
+
+
+class TestClipGradNorm:
+    def test_no_clip_below_threshold(self):
+        p = Parameter(np.array([1.0]))
+        (p * 3.0).sum().backward()
+        norm = clip_grad_norm([p], max_norm=10.0)
+        assert norm == pytest.approx(3.0)
+        assert p.grad[0] == pytest.approx(3.0)
+
+    def test_clips_to_max_norm(self):
+        a = Parameter(np.array([1.0]))
+        b = Parameter(np.array([1.0]))
+        (a * 3.0 + b * 4.0).sum().backward()  # global norm = 5
+        clip_grad_norm([a, b], max_norm=1.0)
+        total = np.sqrt(a.grad[0] ** 2 + b.grad[0] ** 2)
+        assert total == pytest.approx(1.0)
+        # Direction preserved.
+        assert a.grad[0] / b.grad[0] == pytest.approx(3.0 / 4.0)
+
+    def test_handles_missing_grads(self):
+        p = Parameter(np.ones(2))
+        assert clip_grad_norm([p], 1.0) == 0.0

@@ -1,0 +1,68 @@
+"""Residual blocks and parameter (de)serialization."""
+
+import numpy as np
+import pytest
+
+from repro.autograd.tensor import Tensor
+from repro.nn import ResidualBlock, Sequential, Linear, load_state, save_state
+from repro.utils.errors import ConfigError
+
+
+class TestResidualBlock:
+    def test_identity_at_zero_weights(self):
+        block = ResidualBlock(4, rng=0)
+        for p in block.parameters():
+            p.data[...] = 0.0
+        # LayerNorm scale zeroed too -> f(x) = 0 -> output = x exactly.
+        x = np.random.default_rng(0).standard_normal((2, 4))
+        np.testing.assert_allclose(block(Tensor(x)).data, x)
+
+    def test_output_shape(self):
+        block = ResidualBlock(8, rng=0)
+        assert block(Tensor(np.zeros((3, 8)))).shape == (3, 8)
+
+    def test_relu_variant_has_layernorm(self):
+        block = ResidualBlock(4, activation="relu", layer_norm=True, rng=0)
+        assert block.norm1 is not None
+        # 2 linears (w+b) + 2 norms (scale+shift) = 8 params
+        assert len(block.parameters()) == 8
+
+    def test_tanh_variant_without_layernorm(self):
+        block = ResidualBlock(4, activation="tanh", layer_norm=False, rng=0)
+        assert block.norm1 is None
+        assert len(block.parameters()) == 4
+
+    def test_invalid_activation(self):
+        with pytest.raises(ConfigError):
+            ResidualBlock(4, activation="gelu")
+
+    def test_gradient_flows_through_skip(self):
+        block = ResidualBlock(4, rng=0)
+        x = Tensor(np.ones((2, 4)), requires_grad=True)
+        block(x).sum().backward()
+        assert x.grad is not None
+        # The skip path alone guarantees gradient at least 1 per element.
+        assert np.all(np.abs(x.grad) > 0)
+
+
+class TestSerialization:
+    def test_save_load_roundtrip(self, tmp_path):
+        net = Sequential(Linear(3, 4, rng=0), ResidualBlock(4, rng=1))
+        path = tmp_path / "model.npz"
+        save_state(net, path)
+
+        other = Sequential(Linear(3, 4, rng=7), ResidualBlock(4, rng=8))
+        load_state(other, path)
+        x = Tensor(np.random.default_rng(0).standard_normal((2, 3)))
+        np.testing.assert_allclose(other(x).data, net(x).data)
+
+    def test_creates_parent_dirs(self, tmp_path):
+        net = Linear(2, 2, rng=0)
+        path = tmp_path / "deep" / "nested" / "m.npz"
+        save_state(net, path)
+        assert path.exists()
+
+    def test_strict_mismatch_raises(self, tmp_path):
+        save_state(Linear(2, 2, rng=0), tmp_path / "m.npz")
+        with pytest.raises(KeyError):
+            load_state(Sequential(Linear(2, 2, rng=0), Linear(2, 2, rng=1)), tmp_path / "m.npz")

@@ -1,0 +1,65 @@
+"""SimulatorConfig validation and derived quantities."""
+
+import pytest
+
+from repro.simulator import SimulatorConfig
+from repro.utils.errors import ConfigError
+
+
+def fig5_read() -> SimulatorConfig:
+    return SimulatorConfig(
+        tpt_read=80,
+        tpt_network=160,
+        tpt_write=200,
+        bandwidth_read=1000,
+        bandwidth_network=1000,
+        bandwidth_write=1000,
+        max_threads=30,
+    )
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        SimulatorConfig()
+
+    @pytest.mark.parametrize(
+        "field",
+        ["tpt_read", "bandwidth_network", "sender_buffer_capacity", "duration", "epsilon"],
+    )
+    def test_rejects_non_positive(self, field):
+        with pytest.raises(ConfigError):
+            SimulatorConfig(**{field: 0.0})
+
+    def test_rejects_zero_threads(self):
+        with pytest.raises(ConfigError):
+            SimulatorConfig(max_threads=0)
+
+
+class TestDerived:
+    def test_bottleneck_is_min_bandwidth(self):
+        cfg = SimulatorConfig(bandwidth_read=900, bandwidth_network=700, bandwidth_write=800)
+        assert cfg.bottleneck == 700
+
+    def test_paper_fig5_read_bottleneck_optimal(self):
+        # §V-B1: throttles (80, 160, 200) on 1 Gbps -> optimal (13, 7, 5).
+        assert fig5_read().optimal_threads() == (13, 7, 5)
+
+    def test_paper_fig5_write_bottleneck_optimal(self):
+        cfg = SimulatorConfig(
+            tpt_read=200, tpt_network=150, tpt_write=70,
+            bandwidth_read=1000, bandwidth_network=1000, bandwidth_write=1000,
+        )
+        # §V-B1 column 3: optimal (5, 7, 15).
+        assert cfg.optimal_threads() == (5, 7, 15)
+
+    def test_optimal_capped_at_max_threads(self):
+        cfg = SimulatorConfig(tpt_read=1.0, bandwidth_read=1000, max_threads=20)
+        assert cfg.optimal_threads()[0] == 20
+
+    def test_tpt_and_bandwidth_tuples(self):
+        cfg = fig5_read()
+        assert cfg.tpt == (80, 160, 200)
+        assert cfg.bandwidth == (1000, 1000, 1000)
+
+    def test_label_not_in_equality(self):
+        assert SimulatorConfig(label="a") == SimulatorConfig(label="b")

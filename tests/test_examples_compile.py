@@ -1,0 +1,41 @@
+"""Every example script must at least parse and import-check.
+
+Full example runs train agents (minutes); CI-grade checking here compiles
+each script and verifies its imports resolve, which catches the common
+rot (renamed APIs, moved modules) without the runtime cost.
+"""
+
+import ast
+import importlib
+import py_compile
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_compiles(path):
+    py_compile.compile(str(path), doraise=True)
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_imports_resolve(path):
+    tree = ast.parse(path.read_text())
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                importlib.import_module(alias.name)
+        elif isinstance(node, ast.ImportFrom) and node.level == 0:
+            module = importlib.import_module(node.module)
+            for alias in node.names:
+                assert hasattr(module, alias.name) or importlib.import_module(
+                    f"{node.module}.{alias.name}"
+                ), f"{node.module}.{alias.name} missing"
+
+
+def test_examples_exist():
+    names = {p.name for p in EXAMPLES}
+    assert {"quickstart.py", "bottleneck_scenarios.py", "compare_tools.py"} <= names
+    assert len(EXAMPLES) >= 5

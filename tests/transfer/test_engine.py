@@ -1,0 +1,186 @@
+"""Modular transfer engine: completion, metrics, controller protocol."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import StaticController
+from repro.core.utility import UtilityFunction
+from repro.emulator import NetworkConfig, StorageConfig, Testbed, TestbedConfig
+from repro.transfer import (
+    EngineConfig,
+    ModularTransferEngine,
+    MonolithicController,
+    Observation,
+)
+from repro.transfer.files import uniform_dataset
+from repro.utils.units import GiB
+
+
+def make_testbed(**overrides) -> Testbed:
+    defaults = dict(
+        source=StorageConfig(tpt=80, bandwidth=1000),
+        destination=StorageConfig(tpt=200, bandwidth=1000),
+        network=NetworkConfig(tpt=160, capacity=1000, ramp_time=0.0),
+        sender_buffer_capacity=1.0 * GiB,
+        receiver_buffer_capacity=1.0 * GiB,
+        max_threads=30,
+    )
+    defaults.update(overrides)
+    return Testbed(TestbedConfig(**defaults), rng=0)
+
+
+def run_static(threads=(13, 7, 5), dataset=None, **cfg):
+    cfg.setdefault("max_seconds", 600)
+    dataset = dataset or uniform_dataset(5, 1e9)
+    engine = ModularTransferEngine(
+        make_testbed(), dataset, StaticController(threads), EngineConfig(**cfg)
+    )
+    return engine.run()
+
+
+class TestCompletion:
+    def test_transfer_completes(self):
+        result = run_static()
+        assert result.completed
+        assert result.total_bytes == 5e9
+
+    def test_completion_time_plausible(self):
+        # 5 GB over a 1 Gbps bottleneck: ideal = 40 s; allow pipeline fill.
+        result = run_static()
+        assert 40.0 <= result.completion_time <= 60.0
+
+    def test_effective_throughput(self):
+        result = run_static()
+        assert result.effective_throughput == pytest.approx(
+            result.total_bytes * 8e-6 / result.completion_time
+        )
+
+    def test_incomplete_when_budget_too_small(self):
+        result = run_static(max_seconds=3.0)
+        assert not result.completed
+        assert result.completion_time >= 3.0
+
+    def test_slower_controller_takes_longer(self):
+        fast = run_static((13, 7, 5))
+        slow = run_static((2, 2, 2))
+        assert slow.completion_time > fast.completion_time
+
+    def test_every_byte_written(self):
+        result = run_static()
+        written = result.metrics.bytes_written.last
+        assert written == pytest.approx(result.total_bytes, rel=1e-6)
+
+
+class TestMetricsRecording:
+    def test_series_lengths_match(self):
+        m = run_static().metrics
+        assert len(m.throughput_read) == len(m.threads_network) == len(m.sender_usage)
+
+    def test_thread_series_constant_for_static(self):
+        m = run_static((4, 5, 6)).metrics
+        assert set(m.threads_read.values) == {4.0}
+        assert set(m.threads_network.values) == {5.0}
+        assert set(m.threads_write.values) == {6.0}
+
+    def test_utility_recorded_when_fn_given(self):
+        utility = UtilityFunction()
+        engine = ModularTransferEngine(
+            make_testbed(),
+            uniform_dataset(2, 1e9),
+            StaticController((13, 7, 5)),
+            EngineConfig(max_seconds=600),
+            utility_fn=utility,
+        )
+        result = engine.run()
+        assert len(result.metrics.utility) == len(result.metrics.throughput_read)
+        assert result.metrics.utility.max() > 0
+
+    def test_concurrency_cost(self):
+        m = run_static((4, 5, 6)).metrics
+        assert m.concurrency_cost() == pytest.approx(15.0)
+
+    def test_time_to_network_concurrency(self):
+        m = run_static((13, 7, 5)).metrics
+        assert m.time_to_network_concurrency(7) is not None
+
+
+class TestObservationFlow:
+    def test_controller_sees_growing_elapsed(self):
+        seen = []
+
+        class Spy:
+            def propose(self, obs):
+                seen.append(obs)
+                return (13, 7, 5)
+
+            def reset(self):
+                pass
+
+        ModularTransferEngine(
+            make_testbed(), uniform_dataset(2, 1e9), Spy(), EngineConfig(max_seconds=120)
+        ).run()
+        assert seen[0].elapsed == 0.0
+        assert seen[-1].elapsed > seen[1].elapsed
+        assert all(isinstance(o, Observation) for o in seen)
+
+    def test_rpc_delay_staleness(self):
+        """With delay=2 the receiver_free the controller sees lags reality."""
+        fresh, stale = [], []
+
+        class Spy:
+            def propose(self, obs):
+                stale.append(obs.receiver_free)
+                return (13, 7, 1)  # write throttled so receiver fills
+
+            def reset(self):
+                pass
+
+        tb = make_testbed()
+        ModularTransferEngine(
+            tb, uniform_dataset(2, 1e9), Spy(), EngineConfig(max_seconds=10, rpc_delay=2)
+        ).run()
+        # First two reports are the initial (empty) buffer.
+        assert stale[1] == pytest.approx(stale[0])
+
+    def test_observation_usage_properties(self):
+        obs = Observation(
+            threads=(1, 2, 3),
+            throughputs=(0, 0, 0),
+            sender_free=70.0,
+            receiver_free=40.0,
+            sender_capacity=100.0,
+            receiver_capacity=100.0,
+            elapsed=0.0,
+            bytes_written_total=0.0,
+        )
+        assert obs.sender_usage == 30.0
+        assert obs.receiver_usage == 60.0
+
+
+class TestMonolithicController:
+    def test_expands_concurrency(self):
+        ctrl = MonolithicController(4, parallelism=8)
+        obs = Observation((1, 1, 1), (0, 0, 0), 1, 1, 1, 1, 0.0, 0.0)
+        assert ctrl.propose(obs) == (4, 32, 4)
+
+    def test_callable_policy(self):
+        ctrl = MonolithicController(lambda obs: 6, parallelism=2)
+        obs = Observation((1, 1, 1), (0, 0, 0), 1, 1, 1, 1, 0.0, 0.0)
+        assert ctrl.propose(obs) == (6, 12, 6)
+
+    def test_globus_defaults(self):
+        from repro.baselines import GlobusController
+
+        ctrl = GlobusController()
+        obs = Observation((1, 1, 1), (0, 0, 0), 1, 1, 1, 1, 0.0, 0.0)
+        assert ctrl.propose(obs) == (4, 32, 4)
+
+
+class TestStaticControllerValidation:
+    def test_rejects_bad_triple(self):
+        from repro.utils.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            StaticController((0, 1, 2))
+        with pytest.raises(ConfigError):
+            StaticController((1, 2))

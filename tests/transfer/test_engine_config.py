@@ -1,0 +1,50 @@
+"""EngineConfig and TransferResult edge-case validation."""
+
+import pytest
+
+from repro.transfer.engine import EngineConfig, TransferResult
+from repro.transfer.metrics import TransferMetrics
+from repro.utils.errors import ConfigError
+
+
+class TestEngineConfig:
+    def test_defaults(self):
+        cfg = EngineConfig()
+        assert cfg.decision_interval == 1.0
+        assert cfg.rpc_delay == 1
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("decision_interval", 0.0),
+            ("max_seconds", -1.0),
+            ("probe_noise", -0.1),
+            ("rpc_delay", -1),
+        ],
+    )
+    def test_rejects_invalid(self, field, value):
+        with pytest.raises(ConfigError):
+            EngineConfig(**{field: value})
+
+    def test_seed_not_in_equality(self):
+        assert EngineConfig(seed=1) == EngineConfig(seed=2)
+
+
+class TestTransferResult:
+    def test_effective_throughput(self):
+        result = TransferResult(
+            completed=True,
+            completion_time=10.0,
+            total_bytes=1e9,
+            metrics=TransferMetrics(),
+        )
+        assert result.effective_throughput == pytest.approx(800.0)
+
+    def test_zero_time_guard(self):
+        result = TransferResult(
+            completed=False,
+            completion_time=0.0,
+            total_bytes=1e9,
+            metrics=TransferMetrics(),
+        )
+        assert result.effective_throughput == 0.0

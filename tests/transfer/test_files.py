@@ -1,0 +1,136 @@
+"""Datasets: construction, efficiency factors, generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.transfer.files import Dataset, FileSpec, log_uniform_dataset, uniform_dataset
+from repro.utils.errors import ConfigError
+
+
+class TestFileSpec:
+    def test_valid(self):
+        f = FileSpec("a", 100.0)
+        assert f.size == 100.0
+
+    def test_rejects_non_positive_size(self):
+        with pytest.raises(ConfigError):
+            FileSpec("bad", 0.0)
+
+
+class TestDataset:
+    def test_totals(self):
+        ds = Dataset([FileSpec("a", 10), FileSpec("b", 30)])
+        assert ds.total_bytes == 40
+        assert ds.num_files == 2
+        assert ds.mean_file_size == 20
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            Dataset([])
+
+    def test_iteration(self):
+        ds = Dataset([FileSpec("a", 1), FileSpec("b", 2)])
+        assert [f.name for f in ds] == ["a", "b"]
+        assert ds[1].size == 2
+
+
+class TestStageEfficiency:
+    def test_zero_cost_is_one(self):
+        ds = uniform_dataset(10, 1e6)
+        assert ds.stage_efficiency(1000.0, 0.0) == 1.0
+
+    def test_small_files_hurt_more(self):
+        small = uniform_dataset(1000, 1e6)  # 1 MB files
+        large = uniform_dataset(1, 1e9)  # one 1 GB file
+        assert small.stage_efficiency(1000, 0.01) < large.stage_efficiency(1000, 0.01)
+
+    def test_faster_rate_hurts_more(self):
+        # Fixed per-file cost wastes more of a faster thread.
+        ds = uniform_dataset(100, 1e7)
+        assert ds.stage_efficiency(2000, 0.01) < ds.stage_efficiency(200, 0.01)
+
+    def test_exact_formula(self):
+        ds = uniform_dataset(10, 1e8)  # mean = 1e8 bytes
+        rate_bytes = 1000 * 1e6 / 8  # 1000 Mbps
+        expected = 1.0 / (1.0 + 0.05 * rate_bytes / 1e8)
+        assert ds.stage_efficiency(1000, 0.05) == pytest.approx(expected)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.floats(min_value=1, max_value=1e5), st.floats(min_value=0, max_value=10))
+    def test_always_in_unit_interval(self, rate, cost):
+        """Property: efficiency is always in (0, 1]."""
+        ds = uniform_dataset(5, 1e7)
+        eff = ds.stage_efficiency(rate, cost)
+        assert 0.0 < eff <= 1.0
+
+
+class TestGenerators:
+    def test_uniform_dataset(self):
+        ds = uniform_dataset(100, 1e9)
+        assert ds.num_files == 100
+        assert ds.total_bytes == 100e9
+        assert len({f.name for f in ds}) == 100
+
+    def test_uniform_rejects_zero_files(self):
+        with pytest.raises(ConfigError):
+            uniform_dataset(0, 1e9)
+
+    def test_log_uniform_total_exact(self):
+        ds = log_uniform_dataset(1e9, 1e5, 1e8, np.random.default_rng(0))
+        assert ds.total_bytes == pytest.approx(1e9)
+
+    def test_log_uniform_sizes_in_range(self):
+        ds = log_uniform_dataset(1e9, 1e5, 1e8, np.random.default_rng(0))
+        # All but the trimmed last file respect the bounds.
+        for f in ds.files[:-1]:
+            assert 1e5 * 0.99 <= f.size <= 1e8 * 1.01
+
+    def test_log_uniform_invalid_bounds(self):
+        with pytest.raises(ConfigError):
+            log_uniform_dataset(1e9, 100.0, 10.0, np.random.default_rng(0))
+
+
+class TestWorkloads:
+    def test_large_dataset_shape(self):
+        from repro.workloads import large_dataset
+
+        ds = large_dataset(total_bytes=5e9)
+        assert ds.num_files == 5
+        assert all(f.size == 1e9 for f in ds)
+
+    def test_mixed_dataset_range_and_total(self):
+        from repro.workloads import mixed_dataset
+
+        ds = mixed_dataset(total_bytes=5e9, rng=0)
+        assert ds.total_bytes == pytest.approx(5e9)
+        for f in ds.files[:-1]:
+            assert 100 * 1024 <= f.size <= 2 * 1024**3
+
+    def test_mixed_dataset_small_file_heavy(self):
+        from repro.workloads import large_dataset, mixed_dataset
+
+        mixed = mixed_dataset(total_bytes=2e10, rng=0)
+        large = large_dataset(total_bytes=2e10)
+        assert mixed.mean_file_size < large.mean_file_size
+
+    def test_fig3_dataset(self):
+        from repro.workloads import fig3_dataset
+
+        ds = fig3_dataset()
+        assert ds.num_files == 100
+        assert ds.total_bytes == 100e9
+
+    def test_scaled_preserves_distribution(self):
+        from repro.workloads import large_dataset, scaled
+
+        ds = scaled(large_dataset, 0.01)
+        assert ds.total_bytes == pytest.approx(1e10)
+        assert all(f.size == 1e9 for f in ds)
+
+    def test_scaled_rejects_bad_fraction(self):
+        from repro.workloads import large_dataset, scaled
+
+        with pytest.raises(ValueError):
+            scaled(large_dataset, 0.0)

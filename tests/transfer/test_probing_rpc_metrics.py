@@ -1,0 +1,120 @@
+"""Probing, RPC channel and metrics helpers."""
+
+import numpy as np
+import pytest
+
+from repro.transfer import BufferReportChannel, ThroughputProbe, TransferMetrics
+
+
+class TestThroughputProbe:
+    def test_noiseless_passthrough(self):
+        probe = ThroughputProbe()
+        assert probe.observe((100.0, 200.0, 300.0)) == (100.0, 200.0, 300.0)
+
+    def test_noise_changes_values_but_stays_close(self):
+        probe = ThroughputProbe(noise_sigma=0.05, rng=0)
+        measured = probe.observe((100.0, 100.0, 100.0))
+        assert measured != (100.0, 100.0, 100.0)
+        for v in measured:
+            assert 50.0 <= v <= 150.0
+
+    def test_noise_factors_bounded(self):
+        probe = ThroughputProbe(noise_sigma=1.0, rng=0)  # huge sigma, clipped
+        for _ in range(100):
+            for v in probe.observe((100.0, 100.0, 100.0)):
+                assert 50.0 <= v <= 150.0
+
+    def test_smoothing_converges_to_constant_input(self):
+        probe = ThroughputProbe(smoothing=0.5)
+        out = None
+        for _ in range(30):
+            out = probe.observe((80.0, 80.0, 80.0))
+        assert out[0] == pytest.approx(80.0, rel=1e-3)
+
+    def test_smoothing_lags_step_change(self):
+        probe = ThroughputProbe(smoothing=0.9)
+        probe.observe((0.0, 0.0, 0.0))
+        out = probe.observe((100.0, 100.0, 100.0))
+        assert out[0] < 50.0
+
+    def test_reset_clears_ewma(self):
+        probe = ThroughputProbe(smoothing=0.9)
+        probe.observe((100.0, 100.0, 100.0))
+        probe.reset()
+        assert probe.observe((0.0, 0.0, 0.0))[0] == 0.0
+
+    def test_deterministic_by_seed(self):
+        a = ThroughputProbe(noise_sigma=0.1, rng=5)
+        b = ThroughputProbe(noise_sigma=0.1, rng=5)
+        assert a.observe((10, 10, 10)) == b.observe((10, 10, 10))
+
+
+class TestBufferReportChannel:
+    def test_zero_delay_passthrough(self):
+        chan = BufferReportChannel(delay=0)
+        assert chan.exchange(42.0) == 42.0
+
+    def test_one_interval_delay(self):
+        chan = BufferReportChannel(delay=1, initial_value=0.0)
+        assert chan.exchange(10.0) == 0.0
+        assert chan.exchange(20.0) == 10.0
+
+    def test_two_interval_delay(self):
+        chan = BufferReportChannel(delay=2, initial_value=-1.0)
+        assert chan.exchange(1.0) == -1.0
+        assert chan.exchange(2.0) == -1.0
+        assert chan.exchange(3.0) == 1.0
+
+    def test_reset(self):
+        chan = BufferReportChannel(delay=1)
+        chan.exchange(5.0)
+        chan.reset(initial_value=9.0)
+        assert chan.exchange(1.0) == 9.0
+
+
+class TestTransferMetrics:
+    def make_metrics(self):
+        m = TransferMetrics()
+        for t in range(10):
+            m.record(
+                float(t + 1),
+                throughputs=(100.0, 200.0, 150.0 + t),
+                threads=(3, 4 + (t >= 5), 5),
+                sender_usage=10.0,
+                receiver_usage=20.0,
+                utility=50.0,
+                bytes_written_total=float(t) * 1e6,
+            )
+        return m
+
+    def test_duration(self):
+        assert self.make_metrics().duration == 10.0
+
+    def test_average_throughput_warmup(self):
+        m = self.make_metrics()
+        assert m.average_throughput() == pytest.approx(np.mean([150 + t for t in range(10)]))
+        assert m.average_throughput(warmup=6.0) > m.average_throughput()
+
+    def test_effective_throughput(self):
+        m = TransferMetrics()
+        assert m.effective_throughput(1e9, 10.0) == pytest.approx(800.0)  # Mbps
+        assert m.effective_throughput(1e9, 0.0) == 0.0
+
+    def test_time_to_network_concurrency(self):
+        m = self.make_metrics()
+        assert m.time_to_network_concurrency(5, sustain=3) == 6.0
+
+    def test_stability_lower_for_flat_series(self):
+        m = self.make_metrics()
+        assert m.stability("threads_write") == 0.0
+        assert m.stability("threads_network") > 0.0
+
+    def test_to_dict_roundtrippable(self):
+        blob = self.make_metrics().to_dict()
+        assert set(blob) >= {"throughput_read", "threads_network", "utility"}
+        assert len(blob["utility"]["values"]) == 10
+
+    def test_empty_metrics(self):
+        m = TransferMetrics()
+        assert m.duration == 0.0
+        assert m.concurrency_cost() == 0.0

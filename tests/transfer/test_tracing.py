@@ -1,0 +1,138 @@
+"""Transfer tracing: recorder, loader, summaries."""
+
+import json
+
+import pytest
+
+from repro.baselines import StaticController
+from repro.emulator import Testbed, fig5_read_bottleneck
+from repro.emulator import testbed_for_optimal as calibrated_testbed
+from repro.transfer import (
+    EngineConfig,
+    ModularTransferEngine,
+    TraceRecorder,
+    load_trace,
+    summarize_trace,
+)
+from repro.transfer.files import uniform_dataset
+
+
+class TestTraceRecorder:
+    def run_traced(self, tmp_path, controller=None):
+        path = tmp_path / "trace.jsonl"
+        recorder = TraceRecorder(controller or StaticController((13, 7, 5)), path)
+        engine = ModularTransferEngine(
+            Testbed(fig5_read_bottleneck(), rng=0),
+            uniform_dataset(3, 1e9),
+            recorder,
+            EngineConfig(max_seconds=300),
+        )
+        result = engine.run()
+        recorder.close()
+        return path, result
+
+    def test_one_record_per_decision(self, tmp_path):
+        path, result = self.run_traced(tmp_path)
+        records = load_trace(path)
+        assert len(records) == len(result.metrics.throughput_read)
+
+    def test_record_schema(self, tmp_path):
+        path, _ = self.run_traced(tmp_path)
+        record = load_trace(path)[0]
+        assert set(record) == {
+            "t", "threads_before", "throughputs", "sender_free",
+            "receiver_free", "bytes_written", "decision",
+        }
+        assert record["decision"] == [13, 7, 5]
+
+    def test_valid_jsonl(self, tmp_path):
+        path, _ = self.run_traced(tmp_path)
+        for line in path.read_text().strip().splitlines():
+            json.loads(line)
+
+    def test_reset_truncates(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        recorder = TraceRecorder(StaticController((2, 2, 2)), path)
+        for _ in range(2):
+            engine = ModularTransferEngine(
+                Testbed(fig5_read_bottleneck(), rng=0),
+                uniform_dataset(1, 5e8),
+                recorder,
+                EngineConfig(max_seconds=120),
+            )
+            engine.run()
+        recorder.close()
+        records = load_trace(path)
+        # Only the second run's records (reset truncated the file).
+        assert records[0]["t"] == 0.0
+
+    def test_context_manager(self, tmp_path):
+        path = tmp_path / "cm.jsonl"
+        with TraceRecorder(StaticController((1, 1, 1)), path) as recorder:
+            from repro.transfer.engine import Observation
+
+            obs = Observation((1, 1, 1), (0, 0, 0), 1, 1, 1, 1, 0.0, 0.0)
+            recorder.propose(obs)
+        assert len(load_trace(path)) == 1
+
+
+class TestSummarizeTrace:
+    def test_summary_fields(self, tmp_path):
+        recorder = TraceRecorder(StaticController((13, 7, 5)), tmp_path / "t.jsonl")
+        engine = ModularTransferEngine(
+            Testbed(fig5_read_bottleneck(), rng=0),
+            uniform_dataset(3, 1e9),
+            recorder,
+            EngineConfig(max_seconds=300),
+        )
+        engine.run()
+        recorder.close()
+        summary = summarize_trace(load_trace(tmp_path / "t.jsonl"))
+        assert summary.mean_threads == (13.0, 7.0, 5.0)
+        assert summary.mean_total_threads == 25.0
+        assert summary.decision_changes == 0
+        assert summary.churn == 0.0
+
+    def test_churn_counts_changes(self):
+        records = [
+            {"t": float(i), "decision": [1 + (i % 2), 1, 1], "throughputs": [0, 0, 0]}
+            for i in range(5)
+        ]
+        summary = summarize_trace(records)
+        assert summary.decision_changes == 4
+        assert summary.churn == 1.0
+
+    def test_empty_trace(self):
+        summary = summarize_trace([])
+        assert summary.decisions == 0
+        assert summary.churn == 0.0
+
+
+class TestCalibration:
+    def test_round_trip_optimal(self):
+        cfg = calibrated_testbed((13, 7, 5), 1000.0)
+        assert cfg.optimal_threads() == (13, 7, 5)
+
+    def test_arbitrary_triples(self):
+        for triple in [(1, 1, 1), (20, 3, 9), (5, 14, 6)]:
+            cfg = calibrated_testbed(triple, 2500.0)
+            assert cfg.optimal_threads() == triple
+
+    def test_headroom_moves_bottleneck_to_network(self):
+        cfg = calibrated_testbed((10, 10, 10), 1000.0, headroom=1.5)
+        assert cfg.bottleneck_bandwidth == pytest.approx(1000.0)
+        assert cfg.source.bandwidth > 1000.0
+
+    def test_runs_on_testbed(self):
+        cfg = calibrated_testbed((4, 8, 2), 800.0)
+        tb = Testbed(cfg, rng=0)
+        flows = [tb.advance((4, 8, 2)) for _ in range(5)][-1]
+        assert flows.throughput_write == pytest.approx(800.0, rel=0.1)
+
+    def test_invalid_inputs(self):
+        from repro.utils.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            calibrated_testbed((0, 1, 1), 1000.0)
+        with pytest.raises(ConfigError):
+            calibrated_testbed((1, 1), 1000.0)

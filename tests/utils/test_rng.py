@@ -1,0 +1,42 @@
+"""Deterministic RNG management."""
+
+import numpy as np
+
+from repro.utils.rng import RngFactory, as_generator
+
+
+class TestAsGenerator:
+    def test_from_seed(self):
+        a, b = as_generator(42), as_generator(42)
+        assert a.random() == b.random()
+
+    def test_passthrough(self):
+        g = np.random.default_rng(0)
+        assert as_generator(g) is g
+
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+
+class TestRngFactory:
+    def test_same_name_same_stream(self):
+        factory = RngFactory(7)
+        assert factory.stream("policy").random() == factory.stream("policy").random()
+
+    def test_different_names_differ(self):
+        factory = RngFactory(7)
+        assert factory.stream("policy").random() != factory.stream("value").random()
+
+    def test_different_seeds_differ(self):
+        assert RngFactory(1).stream("x").random() != RngFactory(2).stream("x").random()
+
+    def test_stream_independent_of_creation_order(self):
+        f1, f2 = RngFactory(9), RngFactory(9)
+        f1.stream("a")  # consume one name on f1 only
+        assert f1.stream("b").random() == f2.stream("b").random()
+
+    def test_spawn_count_and_independence(self):
+        gens = RngFactory(3).spawn(4)
+        assert len(gens) == 4
+        draws = {g.random() for g in gens}
+        assert len(draws) == 4

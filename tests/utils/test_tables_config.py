@@ -1,0 +1,106 @@
+"""Table rendering and dataclass config helpers."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.utils.config import (
+    dump_json,
+    load_json,
+    replace_config,
+    require,
+    require_in_range,
+    require_non_negative,
+    require_positive,
+    to_jsonable,
+)
+from repro.utils.errors import ConfigError
+from repro.utils.tables import render_kv, render_series_ascii, render_table
+
+
+class TestRenderTable:
+    def test_basic_alignment(self):
+        out = render_table(["name", "speed"], [["globus", 3652.2], ["automdt", 23988.0]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert "globus" in lines[2]
+        assert "23,988.0" in lines[3]
+
+    def test_title(self):
+        out = render_table(["a"], [[1]], title="Table I")
+        assert out.splitlines()[0] == "Table I"
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+
+class TestRenderKv:
+    def test_alignment(self):
+        out = render_kv({"short": 1, "a-longer-key": 2.5})
+        lines = out.splitlines()
+        assert lines[0].index(":") == lines[1].index(":")
+
+    def test_empty(self):
+        assert render_kv({}, title="t") == "t"
+
+
+class TestRenderSeriesAscii:
+    def test_contains_stars_and_range(self):
+        out = render_series_ascii([0, 1, 2, 3], [0, 1, 2, 3], width=20, height=5, label="ramp")
+        assert "*" in out
+        assert "ramp" in out
+
+    def test_empty(self):
+        assert "(empty)" in render_series_ascii([], [], label="x")
+
+
+class TestValidation:
+    def test_require(self):
+        require(True, "fine")
+        with pytest.raises(ConfigError, match="broken"):
+            require(False, "broken")
+
+    def test_require_positive(self):
+        require_positive(1, "x")
+        with pytest.raises(ConfigError):
+            require_positive(0, "x")
+
+    def test_require_non_negative(self):
+        require_non_negative(0, "x")
+        with pytest.raises(ConfigError):
+            require_non_negative(-1, "x")
+
+    def test_require_in_range(self):
+        require_in_range(0.5, 0, 1, "x")
+        with pytest.raises(ConfigError):
+            require_in_range(2, 0, 1, "x")
+
+
+@dataclasses.dataclass(frozen=True)
+class _Cfg:
+    a: int = 1
+    b: str = "x"
+
+
+class TestConfigHelpers:
+    def test_replace_config(self):
+        cfg = replace_config(_Cfg(), a=5)
+        assert cfg.a == 5 and cfg.b == "x"
+
+    def test_replace_config_unknown_field(self):
+        with pytest.raises(ConfigError, match="unknown field"):
+            replace_config(_Cfg(), c=1)
+
+    def test_to_jsonable_nested(self):
+        import numpy as np
+
+        blob = to_jsonable({"cfg": _Cfg(), "arr": np.arange(3), "f": np.float64(1.5)})
+        assert blob == {"cfg": {"a": 1, "b": "x"}, "arr": [0, 1, 2], "f": 1.5}
+        json.dumps(blob)  # must be serializable
+
+    def test_dump_load_roundtrip(self, tmp_path):
+        path = tmp_path / "cfg.json"
+        dump_json(_Cfg(a=9), path)
+        assert load_json(path) == {"a": 9, "b": "x"}

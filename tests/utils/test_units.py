@@ -1,0 +1,111 @@
+"""Unit conversions: sizes, rates, parsing, formatting."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.errors import ConfigError
+from repro.utils.units import (
+    GiB,
+    KiB,
+    MiB,
+    TiB,
+    bits_to_bytes,
+    bytes_per_sec_to_mbps,
+    bytes_to_bits,
+    format_rate,
+    format_size,
+    mbps_to_bytes_per_sec,
+    parse_rate,
+    parse_size,
+)
+
+
+class TestConstants:
+    def test_binary_prefixes(self):
+        assert KiB == 1024
+        assert MiB == 1024**2
+        assert GiB == 1024**3
+        assert TiB == 1024**4
+
+
+class TestBitByteConversion:
+    def test_bytes_to_bits(self):
+        assert bytes_to_bits(1) == 8.0
+
+    def test_bits_to_bytes(self):
+        assert bits_to_bytes(8) == 1.0
+
+    @given(st.floats(min_value=0, max_value=1e15, allow_nan=False))
+    def test_roundtrip(self, n):
+        assert math.isclose(bits_to_bytes(bytes_to_bits(n)), n, rel_tol=1e-12, abs_tol=1e-9)
+
+
+class TestRateConversion:
+    def test_mbps_to_bytes_per_sec(self):
+        # 8 Mbps = 1 MB/s
+        assert mbps_to_bytes_per_sec(8.0) == 1e6
+
+    @given(st.floats(min_value=1e-3, max_value=1e9, allow_nan=False))
+    def test_roundtrip(self, rate):
+        assert math.isclose(bytes_per_sec_to_mbps(mbps_to_bytes_per_sec(rate)), rate, rel_tol=1e-12)
+
+
+class TestParseSize:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("1 GB", 1e9),
+            ("700GB", 7e11),
+            ("1GiB", GiB),
+            ("100 KB", 1e5),
+            ("2 gib", 2 * GiB),
+            ("5 MB", 5e6),
+            (123, 123.0),
+            (1.5, 1.5),
+        ],
+    )
+    def test_valid(self, text, expected):
+        assert parse_size(text) == expected
+
+    @pytest.mark.parametrize("bad", ["", "GB", "1 parsec", "one GB"])
+    def test_invalid(self, bad):
+        with pytest.raises(ConfigError):
+            parse_size(bad)
+
+
+class TestParseRate:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("1 Gbps", 1000.0),
+            ("80Mbps", 80.0),
+            ("400 Gbps", 400_000.0),
+            ("1 Tbps", 1_000_000.0),
+            (250, 250.0),
+        ],
+    )
+    def test_valid(self, text, expected):
+        assert parse_rate(text) == expected
+
+    def test_invalid_unit(self):
+        with pytest.raises(ConfigError):
+            parse_rate("3 furlongs")
+
+
+class TestFormatting:
+    def test_format_size_picks_prefix(self):
+        assert format_size(512) == "512.00 B"
+        assert format_size(1536) == "1.50 KiB"
+        assert format_size(1.5 * GiB) == "1.50 GiB"
+
+    def test_format_rate_picks_prefix(self):
+        assert format_rate(80.0) == "80.00 Mbps"
+        assert format_rate(23_988.0) == "23.99 Gbps"
+        assert format_rate(2.5e6) == "2.50 Tbps"
+
+    @given(st.floats(min_value=0.01, max_value=1e14, allow_nan=False))
+    def test_format_size_never_raises(self, n):
+        assert isinstance(format_size(n), str)
