@@ -5,7 +5,6 @@ a few seconds (6 s / 3 s / fast), Marlin takes tens of seconds (29 s / 42 s)
 and keeps fluctuating; AutoMDT finishes 68 s / 15 s / 17 s earlier.
 """
 
-import pytest
 from conftest import run_once
 
 from repro.harness import experiment_figure5

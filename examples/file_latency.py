@@ -16,8 +16,6 @@ fluid model cannot resolve:
 Run:  python examples/file_latency.py
 """
 
-import numpy as np
-
 from repro.baselines import GlobusController, StaticController
 from repro.emulator import fabric_ncsa_tacc
 from repro.transfer import FileLevelEngine

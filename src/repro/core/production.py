@@ -68,10 +68,19 @@ class AutoMDTController:
     def _state_from_observation(self, obs: Observation) -> np.ndarray:
         n = np.asarray(obs.threads, dtype=float) / self.max_threads
         t = np.asarray(obs.throughputs, dtype=float) / self.throughput_scale
+        # Probe dropouts (NaN throughputs) and degenerate buffer reports
+        # (zero/NaN capacities) must not reach the policy net: NaN propagates
+        # through every layer and the Gaussian head turns it into NaN thread
+        # counts.  Free space defaults to "buffer empty" when unreported.
+        sender_capacity = obs.sender_capacity if obs.sender_capacity > 0 else 1.0
+        receiver_capacity = obs.receiver_capacity if obs.receiver_capacity > 0 else 1.0
+        sender_free = obs.sender_free if np.isfinite(obs.sender_free) else sender_capacity
+        receiver_free = obs.receiver_free if np.isfinite(obs.receiver_free) else receiver_capacity
         buffers = np.array(
-            [obs.sender_free / obs.sender_capacity, obs.receiver_free / obs.receiver_capacity]
+            [sender_free / sender_capacity, receiver_free / receiver_capacity]
         )
-        return np.concatenate([n, t, buffers])
+        state = np.concatenate([n, t, buffers])
+        return np.nan_to_num(state, nan=0.0, posinf=1.0, neginf=0.0)
 
     def _action_to_threads(self, action: np.ndarray) -> tuple[int, int, int]:
         if self.action_mode == "normalized":

@@ -13,6 +13,15 @@ sim-to-real gap.
 
 from repro.emulator.buffers import StagingBuffer
 from repro.emulator.calibration import testbed_for_optimal
+from repro.emulator.faults import (
+    FaultSchedule,
+    FaultWindow,
+    LinkFlap,
+    ProbeDropout,
+    ReceiverRestart,
+    ReportLoss,
+    StorageStall,
+)
 from repro.emulator.network import NetworkConfig, NetworkPath
 from repro.emulator.noise import BackgroundTraffic, MultiplicativeNoise
 from repro.emulator.presets import (
@@ -29,6 +38,13 @@ from repro.emulator.testbed import StageFlows, Testbed, TestbedConfig
 
 __all__ = [
     "StagingBuffer",
+    "FaultSchedule",
+    "FaultWindow",
+    "LinkFlap",
+    "ProbeDropout",
+    "ReceiverRestart",
+    "ReportLoss",
+    "StorageStall",
     "NetworkConfig",
     "NetworkPath",
     "BackgroundTraffic",

@@ -1,0 +1,268 @@
+"""Fault injection: deterministic, seeded disturbances for the testbed.
+
+The paper's production loop assumes a healthy data plane; the dynamic
+factors it lists (background traffic, I/O contention) are exactly what
+causes link flaps, storage stalls and lost reports on real DTNs.  This
+module makes those failure modes first-class: a :class:`FaultSchedule` is a
+composable set of timed fault events that the :class:`repro.emulator.Testbed`
+consults on every substep and the transfer engine consults on every probe
+interval.
+
+Fault classes
+-------------
+* :class:`LinkFlap` — the network path drops for a window.  Real flaps kill
+  the established TCP connections, so by default the path stays dead *after*
+  the window until the transfer restarts (``requires_restart=True``); an
+  unsupervised engine therefore hangs on dead sockets exactly like a real
+  tool would.
+* :class:`StorageStall` — a storage stage's rate collapses to
+  ``factor`` of nominal for a window (I/O contention, RAID rebuild).
+  Self-recovering: rates return when the window ends.
+* :class:`ReceiverRestart` — the receiver daemon restarts at an instant:
+  every byte staged in its buffer is lost and must be re-sent.
+* :class:`ProbeDropout` — the throughput probe returns NaN for a window
+  (counter scrape failures), exercising controller input sanitation.
+* :class:`ReportLoss` — the receiver's RPC buffer report is dropped for a
+  window; the sender keeps acting on the last report it received.
+
+All schedules are deterministic: explicit events need no randomness, and
+:meth:`FaultSchedule.random` derives every draw from the given seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import ClassVar, Union
+
+import numpy as np
+
+from repro.utils.config import require_in_range, require_non_negative, require_positive
+
+
+@dataclass(frozen=True)
+class FaultWindow:
+    """A fault active over ``[start, start + duration)`` of virtual time."""
+
+    start: float
+    duration: float
+
+    kind: ClassVar[str] = "fault"
+
+    def __post_init__(self) -> None:
+        require_non_negative(self.start, "start")
+        require_positive(self.duration, "duration")
+
+    @property
+    def end(self) -> float:
+        """First instant the window no longer covers."""
+        return self.start + self.duration
+
+    def active(self, t: float) -> bool:
+        """Whether the fault is live at virtual time ``t``."""
+        return self.start <= t < self.end
+
+
+@dataclass(frozen=True)
+class LinkFlap(FaultWindow):
+    """Network outage: path rate drops by ``severity`` during the window.
+
+    With ``requires_restart`` (the default) the established connections die
+    with the link: the path stays down after the window until the testbed is
+    restarted (:meth:`repro.emulator.Testbed.reset` at a later virtual time),
+    modelling the hung-socket behaviour of tools without supervision.
+    """
+
+    severity: float = 1.0
+    requires_restart: bool = True
+
+    kind: ClassVar[str] = "link_flap"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        require_in_range(self.severity, 0.0, 1.0, "severity")
+
+
+@dataclass(frozen=True)
+class StorageStall(FaultWindow):
+    """Storage rate collapse on one stage; recovers when the window ends."""
+
+    stage: str = "read"
+    factor: float = 0.0
+
+    kind: ClassVar[str] = "storage_stall"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        require_in_range(self.factor, 0.0, 1.0, "factor")
+        if self.stage not in ("read", "write"):
+            raise ValueError(f"stage must be 'read' or 'write', got {self.stage!r}")
+
+
+@dataclass(frozen=True)
+class ProbeDropout(FaultWindow):
+    """Throughput probe failure: measurements read NaN during the window."""
+
+    kind: ClassVar[str] = "probe_dropout"
+
+
+@dataclass(frozen=True)
+class ReportLoss(FaultWindow):
+    """RPC report loss: receiver buffer reports are dropped during the window."""
+
+    kind: ClassVar[str] = "report_loss"
+
+
+@dataclass(frozen=True)
+class ReceiverRestart:
+    """Receiver daemon restart at instant ``at``: staged bytes are lost."""
+
+    at: float
+
+    kind: ClassVar[str] = "receiver_restart"
+
+    def __post_init__(self) -> None:
+        require_non_negative(self.at, "at")
+
+
+FaultEventSpec = Union[FaultWindow, ReceiverRestart]
+
+
+class FaultSchedule:
+    """Composable, deterministic set of fault events on the virtual clock.
+
+    The schedule is stateful in exactly two ways, both driven by the testbed:
+
+    * which :class:`ReceiverRestart` events have already fired, and
+    * when the transfer last (re)started — a :class:`LinkFlap` with
+      ``requires_restart`` keeps the path dead after its window until a
+      restart happens at or after the window's end.
+
+    :meth:`notify_restart` re-arms both against the new start time, so the
+    same schedule object can drive repeated runs (fresh or resumed) and stay
+    deterministic.
+    """
+
+    def __init__(self, events: FaultEventSpec | list[FaultEventSpec] = ()) -> None:
+        if isinstance(events, (FaultWindow, ReceiverRestart)):
+            events = [events]
+        self.events: tuple[FaultEventSpec, ...] = tuple(events)
+        self._restarts = [e for e in self.events if isinstance(e, ReceiverRestart)]
+        self._windows = [e for e in self.events if isinstance(e, FaultWindow)]
+        self._last_restart = 0.0
+        self._fired: set[int] = set()
+
+    # ---------------------------------------------------------------- queries
+    def network_scale(self, t: float) -> float:
+        """Multiplier on the network path rate at virtual time ``t``."""
+        scale = 1.0
+        for event in self._windows:
+            if not isinstance(event, LinkFlap):
+                continue
+            down = event.active(t) or (
+                event.requires_restart and t >= event.end and self._last_restart < event.end
+            )
+            if down:
+                scale *= 1.0 - event.severity
+        return scale
+
+    def storage_scale(self, stage: str, t: float) -> float:
+        """Multiplier on the ``stage`` storage rate at virtual time ``t``."""
+        scale = 1.0
+        for event in self._windows:
+            if isinstance(event, StorageStall) and event.stage == stage and event.active(t):
+                scale *= event.factor
+        return scale
+
+    def probe_dropout(self, t: float) -> bool:
+        """Whether the throughput probe is down at virtual time ``t``."""
+        return any(
+            isinstance(e, ProbeDropout) and e.active(t) for e in self._windows
+        )
+
+    def report_lost(self, t: float) -> bool:
+        """Whether the receiver's RPC report is dropped at virtual time ``t``."""
+        return any(isinstance(e, ReportLoss) and e.active(t) for e in self._windows)
+
+    def take_receiver_restarts(self, t0: float, t1: float) -> int:
+        """Fire (once each) the receiver restarts scheduled in ``[t0, t1)``."""
+        count = 0
+        for i, event in enumerate(self._restarts):
+            if i not in self._fired and t0 <= event.at < t1:
+                self._fired.add(i)
+                count += 1
+        return count
+
+    def active(self, t: float) -> list[FaultEventSpec]:
+        """Window faults live at ``t`` — including dead-link flap aftermath."""
+        live: list[FaultEventSpec] = []
+        for event in self._windows:
+            if event.active(t):
+                live.append(event)
+            elif (
+                isinstance(event, LinkFlap)
+                and event.requires_restart
+                and t >= event.end
+                and self._last_restart < event.end
+            ):
+                live.append(event)
+        return live
+
+    def active_kinds(self, t: float) -> tuple[str, ...]:
+        """Kinds of the faults live at ``t`` (sorted, de-duplicated)."""
+        return tuple(sorted({e.kind for e in self.active(t)}))
+
+    # ----------------------------------------------------------------- state
+    def notify_restart(self, t: float) -> None:
+        """The transfer (re)started at virtual time ``t``.
+
+        Connection-killing flaps whose window ended by ``t`` are repaired,
+        and receiver restarts strictly before ``t`` are considered already
+        fired (they belong to the earlier part of the timeline).
+        """
+        self._last_restart = float(t)
+        self._fired = {i for i, e in enumerate(self._restarts) if e.at < t}
+
+    # ------------------------------------------------------------- factories
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        *,
+        horizon: float,
+        kinds: tuple[str, ...] = (
+            "link_flap",
+            "storage_stall",
+            "receiver_restart",
+            "probe_dropout",
+            "report_loss",
+        ),
+        events_per_kind: int = 1,
+        mean_duration: float = 10.0,
+    ) -> "FaultSchedule":
+        """Seeded random schedule: same seed → identical events, always."""
+        require_positive(horizon, "horizon")
+        require_positive(mean_duration, "mean_duration")
+        rng = np.random.default_rng(seed)
+        events: list[FaultEventSpec] = []
+        for kind in kinds:
+            for _ in range(events_per_kind):
+                start = float(rng.uniform(0.05, 0.7) * horizon)
+                duration = 1.0 + float(rng.exponential(mean_duration))
+                if kind == "link_flap":
+                    events.append(LinkFlap(start, duration))
+                elif kind == "storage_stall":
+                    stage = "read" if rng.random() < 0.5 else "write"
+                    events.append(StorageStall(start, duration, stage=stage))
+                elif kind == "receiver_restart":
+                    events.append(ReceiverRestart(at=start))
+                elif kind == "probe_dropout":
+                    events.append(ProbeDropout(start, duration))
+                elif kind == "report_loss":
+                    events.append(ReportLoss(start, duration))
+                else:
+                    raise ValueError(f"unknown fault kind {kind!r}")
+        events.sort(key=lambda e: e.at if isinstance(e, ReceiverRestart) else e.start)
+        return cls(events)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"FaultSchedule({list(self.events)!r})"

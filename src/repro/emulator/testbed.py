@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.emulator.buffers import StagingBuffer
+from repro.emulator.faults import FaultSchedule
 from repro.emulator.network import NetworkConfig, NetworkPath
 from repro.emulator.noise import BackgroundTraffic, MultiplicativeNoise
 from repro.emulator.storage import StorageConfig, StorageDevice
@@ -113,8 +114,14 @@ class Testbed:
 
     __test__ = False  # not a pytest test class despite the name
 
-    def __init__(self, config: TestbedConfig, rng: int | np.random.Generator | None = None) -> None:
+    def __init__(
+        self,
+        config: TestbedConfig,
+        rng: int | np.random.Generator | None = None,
+        faults: FaultSchedule | None = None,
+    ) -> None:
         self.config = config
+        self.faults = faults
         rng = as_generator(rng)
         self._source = StorageDevice(config.source)
         self._destination = StorageDevice(config.destination)
@@ -175,17 +182,28 @@ class Testbed:
         else:
             raise SimulationError(f"unknown stage {stage!r}")
 
-    def reset(self) -> None:
-        """Return the testbed to time zero with empty buffers."""
+    def reset(self, start_time: float = 0.0) -> None:
+        """Restart the testbed with empty buffers at virtual time ``start_time``.
+
+        A non-zero ``start_time`` models a supervised *restart* of the
+        transfer mid-timeline (checkpoint resume): buffers and connections
+        are rebuilt from scratch, but the clock — and therefore the fault
+        schedule and background-traffic processes — keeps its place.
+        Restarting also repairs connection-killing faults whose window has
+        passed (see :meth:`repro.emulator.faults.FaultSchedule.notify_restart`).
+        """
+        require_non_negative(start_time, "start_time")
         self.sender_buffer.reset()
         self.receiver_buffer.reset()
         self._network.reset()
         for noise in self._noise:
             noise.reset()
-        self._now = 0.0
+        self._now = float(start_time)
         self.total_read = 0.0
         self.total_networked = 0.0
         self.total_written = 0.0
+        if self.faults is not None:
+            self.faults.notify_restart(self._now)
 
     # ------------------------------------------------------------------- step
     def _clamp_threads(self, threads) -> tuple[int, int, int]:
@@ -226,18 +244,30 @@ class Testbed:
         write_rate = self._destination.aggregate_rate(n[2], file_efficiency=file_efficiency[2])
         write_rate = mbps_to_bytes_per_sec(write_rate * noise[2])
 
+        faults = self.faults
         for _ in range(steps):
+            f_read = f_net = f_write = 1.0
+            if faults is not None:
+                # Fault scales are sampled per substep so windows that open
+                # or close mid-interval take effect at substep resolution.
+                f_read = faults.storage_scale("read", self._now)
+                f_write = faults.storage_scale("write", self._now)
+                f_net = faults.network_scale(self._now)
+                if faults.take_receiver_restarts(self._now, self._now + dt):
+                    # Receiver daemon restart: staged-but-unwritten bytes die
+                    # with it and must be re-sent by a supervised retry.
+                    self.receiver_buffer.reset()
             streams = self._network.advance_ramp(n[1], dt)
             net_rate = self._network.aggregate_rate(
                 streams, self._now, file_efficiency=file_efficiency[1]
             )
-            net_rate = mbps_to_bytes_per_sec(net_rate * noise[1])
+            net_rate = mbps_to_bytes_per_sec(net_rate * noise[1]) * f_net
 
             # Desired amounts from the state at substep start (no in-substep
             # pass-through: a byte must rest in the buffer at least one step).
-            want_read = min(read_rate * dt, remaining_read, self.sender_buffer.free)
+            want_read = min(read_rate * f_read * dt, remaining_read, self.sender_buffer.free)
             want_net = min(net_rate * dt, self.sender_buffer.usage, self.receiver_buffer.free)
-            want_write = min(write_rate * dt, self.receiver_buffer.usage)
+            want_write = min(write_rate * f_write * dt, self.receiver_buffer.usage)
 
             moved_write = self.receiver_buffer.withdraw(want_write)
             moved_net = self.sender_buffer.withdraw(want_net)

@@ -13,6 +13,7 @@ to JSON.
 from repro.harness.artifacts import trained_automdt
 from repro.harness.experiments import (
     EXPERIMENTS,
+    experiment_faults,
     experiment_figure1,
     experiment_figure3,
     experiment_figure4,
@@ -32,6 +33,7 @@ from repro.harness.experiments import (
 __all__ = [
     "trained_automdt",
     "EXPERIMENTS",
+    "experiment_faults",
     "experiment_figure1",
     "experiment_figure3",
     "experiment_figure4",

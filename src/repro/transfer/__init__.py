@@ -1,4 +1,4 @@
-"""Transfer layer: datasets, engines, probing, metrics.
+"""Transfer layer: datasets, engines, probing, metrics, supervision.
 
 :class:`ModularTransferEngine` is the production data-plane of the
 reproduction — it drives a :class:`repro.emulator.Testbed` with the
@@ -6,7 +6,10 @@ concurrency triples proposed by a controller (AutoMDT's policy, Marlin's
 gradient-descent optimizers, or a static configuration) and records the
 time series the paper's figures are made of.
 :class:`MonolithicController` adapts single-concurrency tools (Globus-style)
-onto the same engine.
+onto the same engine.  :class:`TransferSupervisor` wraps the engine with
+stall detection, bounded retry/backoff and checkpoint-resume, and
+:class:`GuardedController` keeps trained policies safe on inputs they never
+saw in training (see :mod:`repro.emulator.faults` for the fault model).
 """
 
 from repro.transfer.engine import (
@@ -18,10 +21,18 @@ from repro.transfer.engine import (
 )
 from repro.transfer.filelevel import FileLevelConfig, FileLevelEngine, FileLevelResult
 from repro.transfer.files import Dataset, FileSpec
-from repro.transfer.metrics import TransferMetrics
+from repro.transfer.guarded import GuardedController
+from repro.transfer.metrics import FaultEvent, RecoveryRecord, TransferMetrics
 from repro.transfer.monolithic import MonolithicController
 from repro.transfer.probing import ThroughputProbe
 from repro.transfer.rpc import BufferReportChannel
+from repro.transfer.supervisor import (
+    AttemptRecord,
+    SupervisedTransferResult,
+    SupervisorConfig,
+    TransferCheckpoint,
+    TransferSupervisor,
+)
 from repro.transfer.tracing import TraceRecorder, TraceSummary, load_trace, summarize_trace
 
 __all__ = [
@@ -36,9 +47,17 @@ __all__ = [
     "FileLevelEngine",
     "FileLevelResult",
     "TransferMetrics",
+    "FaultEvent",
+    "RecoveryRecord",
     "MonolithicController",
+    "GuardedController",
     "ThroughputProbe",
     "BufferReportChannel",
+    "AttemptRecord",
+    "SupervisedTransferResult",
+    "SupervisorConfig",
+    "TransferCheckpoint",
+    "TransferSupervisor",
     "TraceRecorder",
     "TraceSummary",
     "load_trace",

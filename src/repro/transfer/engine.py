@@ -15,7 +15,7 @@ data plane.
 from __future__ import annotations
 
 from collections.abc import Callable
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Protocol, runtime_checkable
 
 import numpy as np
@@ -25,7 +25,7 @@ from repro.transfer.files import Dataset
 from repro.transfer.metrics import TransferMetrics
 from repro.transfer.probing import ThroughputProbe
 from repro.transfer.rpc import BufferReportChannel
-from repro.utils.config import require_non_negative, require_positive
+from repro.utils.config import require_in_range, require_non_negative, require_positive
 from repro.utils.rng import as_generator
 from repro.utils.units import bytes_per_sec_to_mbps
 
@@ -94,18 +94,31 @@ class EngineConfig:
         require_positive(self.decision_interval, "decision_interval")
         require_positive(self.max_seconds, "max_seconds")
         require_non_negative(self.probe_noise, "probe_noise")
+        # Validate here, not when run() builds the ThroughputProbe: an
+        # invalid smoothing must fail at config construction time.
+        require_in_range(self.probe_smoothing, 0.0, 0.99, "probe_smoothing")
         require_non_negative(self.rpc_delay, "rpc_delay")
 
 
 @dataclass(frozen=True)
 class TransferResult:
-    """Outcome of one dataset transfer."""
+    """Outcome of one dataset transfer (or one supervised attempt).
+
+    ``timed_out`` distinguishes a run that exhausted ``max_seconds`` from a
+    completed one; ``aborted`` marks a run stopped early by a supervisor's
+    watchdog.  ``bytes_transferred`` is the cumulative durable byte count at
+    the destination, including any resumed-from offset.
+    """
 
     completed: bool
     completion_time: float
     total_bytes: float
     metrics: TransferMetrics
     controller_name: str = ""
+    timed_out: bool = False
+    aborted: bool = False
+    bytes_transferred: float = 0.0
+    final_threads: tuple[int, int, int] = (1, 1, 1)
 
     @property
     def effective_throughput(self) -> float:
@@ -135,6 +148,8 @@ class ModularTransferEngine:
         self.config = config or EngineConfig()
         self.utility_fn = utility_fn
         self._rng = as_generator(self.config.seed if rng is None else rng)
+        #: Terminal observation of the most recent run (None before any run).
+        self.last_observation: Observation | None = None
 
     def _file_efficiency(self) -> tuple[float, float, float]:
         src = self.testbed.config.source
@@ -146,22 +161,43 @@ class ModularTransferEngine:
             self.dataset.stage_efficiency(dst.tpt, dst.per_file_cost),
         )
 
-    def _initial_observation(self) -> Observation:
+    def _initial_observation(
+        self, elapsed: float, written: float, threads: tuple[int, int, int]
+    ) -> Observation:
         return Observation(
-            threads=(1, 1, 1),
+            threads=threads,
             throughputs=(0.0, 0.0, 0.0),
             sender_free=self.testbed.sender_buffer.free,
             receiver_free=self.testbed.receiver_buffer.free,
             sender_capacity=self.testbed.sender_buffer.capacity,
             receiver_capacity=self.testbed.receiver_buffer.capacity,
-            elapsed=0.0,
-            bytes_written_total=0.0,
+            elapsed=elapsed,
+            bytes_written_total=written,
         )
 
-    def run(self) -> TransferResult:
-        """Transfer the whole dataset; returns the result with full metrics."""
+    def run(
+        self,
+        *,
+        start_bytes: float = 0.0,
+        start_time: float = 0.0,
+        initial_threads: tuple[int, int, int] = (1, 1, 1),
+        interval_hook: Callable[[Observation], bool] | None = None,
+    ) -> TransferResult:
+        """Transfer the whole dataset; returns the result with full metrics.
+
+        ``start_bytes`` / ``start_time`` resume a checkpointed transfer:
+        bytes already durable at the destination are not re-read, and the
+        virtual clock (which drives fault schedules, background traffic and
+        the ``max_seconds`` budget) continues from ``start_time``.
+        ``interval_hook`` is called with each interval's observation; when
+        it returns ``False`` the run stops early with ``aborted=True`` —
+        this is how :class:`repro.transfer.supervisor.TransferSupervisor`
+        implements stall detection without duplicating the loop.
+        """
         cfg = self.config
-        self.testbed.reset()
+        require_non_negative(start_bytes, "start_bytes")
+        require_non_negative(start_time, "start_time")
+        self.testbed.reset(start_time=start_time)
         self.controller.reset()
         probe = ThroughputProbe(
             cfg.probe_noise,
@@ -171,16 +207,18 @@ class ModularTransferEngine:
         rpc = BufferReportChannel(
             cfg.rpc_delay, initial_value=self.testbed.receiver_buffer.free
         )
+        faults = self.testbed.faults
         metrics = TransferMetrics()
         file_eff = self._file_efficiency()
         total = self.dataset.total_bytes
-        remaining_read = total
-        written = 0.0
-        t = 0.0
-        completed = False
-        observation = self._initial_observation()
+        remaining_read = max(0.0, total - start_bytes)
+        written = float(start_bytes)
+        t = float(start_time)
+        completed = written >= total - 0.5
+        aborted = False
+        observation = self._initial_observation(t, written, initial_threads)
 
-        while t < cfg.max_seconds:
+        while not completed and t < cfg.max_seconds:
             threads = self.controller.propose(observation)
             flows = self.testbed.advance(
                 threads,
@@ -201,7 +239,12 @@ class ModularTransferEngine:
                 t += cfg.decision_interval
 
             measured = probe.observe(flows.throughputs)
-            receiver_free_reported = rpc.exchange(flows.receiver_free)
+            if faults is not None and faults.probe_dropout(t):
+                measured = (float("nan"), float("nan"), float("nan"))
+            receiver_free_reported = rpc.exchange(
+                flows.receiver_free,
+                lost=faults is not None and faults.report_lost(t),
+            )
             utility = (
                 self.utility_fn(measured, flows.threads) if self.utility_fn is not None else None
             )
@@ -227,11 +270,24 @@ class ModularTransferEngine:
             )
             if completed:
                 break
+            if interval_hook is not None and not interval_hook(observation):
+                aborted = True
+                break
 
+        timed_out = not completed and not aborted
+        if timed_out:
+            # The budget ran out: mark the terminal observation done so
+            # controllers/metrics consumers can tell this run is over.
+            observation = replace(observation, done=True)
+        self.last_observation = observation
         return TransferResult(
             completed=completed,
             completion_time=t,
             total_bytes=total,
             metrics=metrics,
             controller_name=type(self.controller).__name__,
+            timed_out=timed_out,
+            aborted=aborted,
+            bytes_transferred=written,
+            final_threads=observation.threads,
         )

@@ -2,13 +2,65 @@
 
 One :class:`TransferMetrics` instance accumulates everything a figure needs:
 per-stage throughput, per-stage concurrency, buffer occupancy, and the
-utility/reward series, all on the virtual clock.
+utility/reward series, all on the virtual clock.  Supervised transfers
+additionally log per-incident :class:`FaultEvent` / :class:`RecoveryRecord`
+entries (time-to-detect, time-to-recover, goodput lost).
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 from repro.utils.timeseries import TimeSeries
 from repro.utils.units import bytes_per_sec_to_mbps
+
+_SERIES_NAMES = (
+    "throughput_read",
+    "throughput_network",
+    "throughput_write",
+    "threads_read",
+    "threads_network",
+    "threads_write",
+    "sender_usage",
+    "receiver_usage",
+    "utility",
+    "bytes_written",
+)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One detected incident: forward progress stopped and a watchdog fired.
+
+    ``kind`` names the injected fault classes active at detection time when
+    attribution is possible (e.g. ``"link_flap"``), else ``"stall"``.
+    """
+
+    kind: str
+    t_onset: float
+    t_detected: float
+
+    @property
+    def time_to_detect(self) -> float:
+        """Seconds between losing forward progress and the watchdog firing."""
+        return self.t_detected - self.t_onset
+
+
+@dataclass(frozen=True)
+class RecoveryRecord:
+    """How one incident was resolved by the supervisor."""
+
+    kind: str
+    t_onset: float
+    t_detected: float
+    t_recovered: float
+    retries: int
+    goodput_lost_bytes: float
+
+    @property
+    def time_to_recover(self) -> float:
+        """Seconds between losing forward progress and progress resuming."""
+        return self.t_recovered - self.t_onset
 
 
 class TransferMetrics:
@@ -25,6 +77,8 @@ class TransferMetrics:
         self.receiver_usage = TimeSeries("receiver_usage")
         self.utility = TimeSeries("utility")
         self.bytes_written = TimeSeries("bytes_written")
+        self.fault_events: list[FaultEvent] = []
+        self.recoveries: list[RecoveryRecord] = []
 
     def record(
         self,
@@ -50,6 +104,28 @@ class TransferMetrics:
             self.utility.append(t, utility)
         if bytes_written_total is not None:
             self.bytes_written.append(t, bytes_written_total)
+
+    def record_fault(self, event: FaultEvent) -> None:
+        """Log a detected incident."""
+        self.fault_events.append(event)
+
+    def record_recovery(self, record: RecoveryRecord) -> None:
+        """Log the resolution of an incident."""
+        self.recoveries.append(record)
+
+    def merge_from(self, other: "TransferMetrics") -> None:
+        """Append another bundle's samples and incidents (times must follow ours).
+
+        The supervisor uses this to stitch per-attempt metrics into one
+        transfer-wide record: attempts run on a shared global clock, so each
+        attempt's series continues where the previous one stopped.
+        """
+        for name in _SERIES_NAMES:
+            ours: TimeSeries = getattr(self, name)
+            for t, v in getattr(other, name):
+                ours.append(t, v)
+        self.fault_events.extend(other.fault_events)
+        self.recoveries.extend(other.recoveries)
 
     # ---------------------------------------------------------------- queries
     @property
@@ -88,19 +164,10 @@ class TransferMetrics:
         return series.std(t_start=t_start)
 
     def to_dict(self) -> dict:
-        """Serialize every series (JSON-friendly)."""
-        return {
-            name: getattr(self, name).to_dict()
-            for name in (
-                "throughput_read",
-                "throughput_network",
-                "throughput_write",
-                "threads_read",
-                "threads_network",
-                "threads_write",
-                "sender_usage",
-                "receiver_usage",
-                "utility",
-                "bytes_written",
-            )
-        }
+        """Serialize every series and incident record (JSON-friendly)."""
+        from repro.utils.config import to_jsonable
+
+        blob = {name: getattr(self, name).to_dict() for name in _SERIES_NAMES}
+        blob["fault_events"] = [to_jsonable(e) for e in self.fault_events]
+        blob["recoveries"] = [to_jsonable(r) for r in self.recoveries]
+        return blob

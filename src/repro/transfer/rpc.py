@@ -5,6 +5,12 @@ call and the receiver sends the result to its peer over the RPC channel."
 On a real WAN that report arrives one round-trip late; the channel models a
 configurable staleness of ``delay`` probe intervals so the agent sees the
 same slightly-stale receiver state it would in production.
+
+Reports can also be *lost*: a congested or flapping control channel drops
+the datagram and the sender keeps acting on the last report it received
+(``exchange(..., lost=True)``) — the failure mode the fault-injection
+subsystem (:mod:`repro.emulator.faults`) exercises via
+:class:`~repro.emulator.faults.ReportLoss` windows.
 """
 
 from __future__ import annotations
@@ -21,17 +27,30 @@ class BufferReportChannel:
         require_non_negative(delay, "delay")
         self.delay = int(delay)
         self._queue: deque[float] = deque([initial_value] * self.delay)
+        self._last_delivered = float(initial_value)
 
-    def exchange(self, fresh_value: float) -> float:
+    @property
+    def last_delivered(self) -> float:
+        """The most recent report the sender actually received."""
+        return self._last_delivered
+
+    def exchange(self, fresh_value: float, *, lost: bool = False) -> float:
         """Push the receiver's newest measurement, pop the one now arriving.
 
-        With ``delay = 0`` this is a passthrough.
+        With ``delay = 0`` this is a passthrough.  With ``lost = True`` the
+        fresh report is dropped in flight: nothing enters the channel and the
+        sender re-reads the stale value it already had.
         """
+        if lost:
+            return self._last_delivered
         if self.delay == 0:
+            self._last_delivered = float(fresh_value)
             return fresh_value
         self._queue.append(fresh_value)
-        return self._queue.popleft()
+        self._last_delivered = float(self._queue.popleft())
+        return self._last_delivered
 
     def reset(self, initial_value: float = 0.0) -> None:
         """Clear the in-flight reports."""
         self._queue = deque([initial_value] * self.delay)
+        self._last_delivered = float(initial_value)

@@ -1,0 +1,347 @@
+"""Resilient transfer supervision: detect → backoff → retry → resume.
+
+:class:`TransferSupervisor` wraps a :class:`~repro.transfer.engine.ModularTransferEngine`
+with the failure handling the paper's production loop (§IV-F) assumes away:
+
+* **stall detection** — a watchdog aborts the attempt when the destination
+  makes no forward progress for ``stall_intervals`` consecutive probe
+  intervals;
+* **bounded retry with exponential backoff + jitter** — each retry restarts
+  the data plane (buffers, connections) after a deterministic, seeded
+  backoff delay on the virtual clock;
+* **checkpoint / resume** — a :class:`TransferCheckpoint` records the bytes
+  durably written and the controller's last thread triple, so a retry never
+  re-transfers completed bytes (only bytes lost in staging buffers are
+  re-sent);
+* **incident accounting** — each incident produces a
+  :class:`~repro.transfer.metrics.FaultEvent` and, once progress resumes, a
+  :class:`~repro.transfer.metrics.RecoveryRecord` (time-to-detect,
+  time-to-recover, goodput lost) in the stitched transfer metrics.
+
+The supervisor state machine::
+
+    RUNNING --(no progress for N intervals)--> DETECTED
+    DETECTED --(retries left)--> BACKOFF --> RESUME(checkpoint) --> RUNNING
+    DETECTED --(retries exhausted)--> FAILED
+    RUNNING --(all bytes written)--> COMPLETED
+    RUNNING --(max_seconds)--> TIMED_OUT
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.transfer.engine import ModularTransferEngine, Observation, TransferResult
+from repro.transfer.metrics import FaultEvent, RecoveryRecord, TransferMetrics
+from repro.utils.config import (
+    dump_json,
+    load_json,
+    require_in_range,
+    require_non_negative,
+    require_positive,
+)
+from repro.utils.units import bytes_per_sec_to_mbps
+
+
+@dataclass(frozen=True)
+class SupervisorConfig:
+    """Supervision knobs.
+
+    ``stall_intervals`` is the watchdog patience in probe intervals;
+    backoff for the *k*-th consecutive fruitless retry is
+    ``min(backoff_max, backoff_base * backoff_factor**(k-1))`` scaled by a
+    seeded jitter factor uniform in ``[1 - jitter, 1 + jitter]``.
+    """
+
+    stall_intervals: int = 5
+    min_progress_bytes: float = 1.0
+    max_retries: int = 4
+    backoff_base: float = 2.0
+    backoff_factor: float = 2.0
+    backoff_max: float = 60.0
+    jitter: float = 0.25
+    seed: int = field(default=0, compare=False)
+
+    def __post_init__(self) -> None:
+        require_positive(self.stall_intervals, "stall_intervals")
+        require_positive(self.min_progress_bytes, "min_progress_bytes")
+        require_non_negative(self.max_retries, "max_retries")
+        require_positive(self.backoff_base, "backoff_base")
+        require_positive(self.backoff_factor, "backoff_factor")
+        require_positive(self.backoff_max, "backoff_max")
+        require_in_range(self.jitter, 0.0, 1.0, "jitter")
+
+
+@dataclass(frozen=True)
+class TransferCheckpoint:
+    """Everything needed to resume an interrupted transfer.
+
+    ``bytes_completed`` counts only bytes durably written at the
+    destination — bytes lost in staging buffers are deliberately excluded
+    and will be re-read on resume.  ``elapsed`` is the global virtual time
+    to restart at (the abort instant plus the backoff delay), and
+    ``threads`` warm-starts the controller's view of concurrency.
+    """
+
+    bytes_completed: float
+    elapsed: float
+    threads: tuple[int, int, int] = (1, 1, 1)
+    attempt: int = 0
+
+    def to_dict(self) -> dict:
+        """JSON-friendly form (inverse of :meth:`from_dict`)."""
+        return {
+            "bytes_completed": self.bytes_completed,
+            "elapsed": self.elapsed,
+            "threads": list(self.threads),
+            "attempt": self.attempt,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TransferCheckpoint":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(
+            bytes_completed=float(data["bytes_completed"]),
+            elapsed=float(data["elapsed"]),
+            threads=tuple(int(n) for n in data.get("threads", (1, 1, 1))),  # type: ignore[arg-type]
+            attempt=int(data.get("attempt", 0)),
+        )
+
+    def save(self, path: str | Path) -> None:
+        """Persist to JSON so a new process can resume the transfer."""
+        dump_json(self.to_dict(), path)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "TransferCheckpoint":
+        """Inverse of :meth:`save`."""
+        return cls.from_dict(load_json(path))
+
+
+@dataclass(frozen=True)
+class AttemptRecord:
+    """One engine run under supervision."""
+
+    index: int
+    start_time: float
+    end_time: float
+    start_bytes: float
+    end_bytes: float
+    outcome: str  # "completed" | "stalled" | "timed_out"
+
+    @property
+    def bytes_transferred(self) -> float:
+        """Durable bytes this attempt added at the destination."""
+        return self.end_bytes - self.start_bytes
+
+
+@dataclass(frozen=True)
+class SupervisedTransferResult:
+    """Outcome of a supervised transfer across all attempts."""
+
+    completed: bool
+    timed_out: bool
+    completion_time: float
+    total_bytes: float
+    metrics: TransferMetrics
+    attempts: tuple[AttemptRecord, ...]
+    retries_used: int
+    last_checkpoint: TransferCheckpoint | None
+    controller_name: str = ""
+
+    @property
+    def effective_throughput(self) -> float:
+        """End-to-end Mbps over the whole supervised transfer."""
+        if self.completion_time <= 0:
+            return 0.0
+        return bytes_per_sec_to_mbps(self.total_bytes / self.completion_time)
+
+
+class _StallDetector:
+    """Watchdog: abort when the destination stops making forward progress."""
+
+    def __init__(self, stall_intervals: int, min_progress_bytes: float) -> None:
+        self.stall_intervals = stall_intervals
+        self.min_progress_bytes = min_progress_bytes
+        self._last_bytes: float | None = None
+        self._stagnant = 0
+        self.progress_stopped_at: float | None = None
+        self.detected_at: float | None = None
+        self.last_good_rate = 0.0  # bytes/s just before the stall
+        self._prev_time: float | None = None
+
+    def __call__(self, observation: Observation) -> bool:
+        written = observation.bytes_written_total
+        t = observation.elapsed
+        if self._last_bytes is None:
+            self._last_bytes = written
+            self._prev_time = t
+            return True
+        progressed = written - self._last_bytes >= self.min_progress_bytes
+        if progressed:
+            dt = max(t - (self._prev_time or 0.0), 1e-9)
+            self.last_good_rate = (written - self._last_bytes) / dt
+            self._stagnant = 0
+            self.progress_stopped_at = None
+        else:
+            self._stagnant += 1
+            if self.progress_stopped_at is None:
+                self.progress_stopped_at = self._prev_time
+            if self._stagnant >= self.stall_intervals:
+                self.detected_at = t
+                return False
+        self._last_bytes = written
+        self._prev_time = t
+        return True
+
+
+class TransferSupervisor:
+    """Runs a transfer to completion across faults, retries and resumes."""
+
+    def __init__(
+        self, engine: ModularTransferEngine, config: SupervisorConfig | None = None
+    ) -> None:
+        self.engine = engine
+        self.config = config or SupervisorConfig()
+
+    def _attribute(self, t: float) -> str:
+        """Name the injected fault(s) active at ``t``, if a schedule exists."""
+        faults = self.engine.testbed.faults
+        if faults is None:
+            return "stall"
+        kinds = faults.active_kinds(t)
+        return ",".join(kinds) if kinds else "stall"
+
+    def run(self, *, resume_from: TransferCheckpoint | None = None) -> SupervisedTransferResult:
+        """Supervised transfer: returns once completed, failed, or out of budget."""
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed)
+        metrics = TransferMetrics()
+        attempts: list[AttemptRecord] = []
+        checkpoint = resume_from
+        pending: FaultEvent | None = None  # detected incident awaiting recovery
+        pending_retries = 0  # retries spent on the pending incident
+        retries_used = checkpoint.attempt if checkpoint is not None else 0
+        consecutive_fruitless = 0
+        result: TransferResult | None = None
+
+        while True:
+            start_bytes = checkpoint.bytes_completed if checkpoint else 0.0
+            start_time = checkpoint.elapsed if checkpoint else 0.0
+            threads = checkpoint.threads if checkpoint else (1, 1, 1)
+            detector = _StallDetector(cfg.stall_intervals, cfg.min_progress_bytes)
+            result = self.engine.run(
+                start_bytes=start_bytes,
+                start_time=start_time,
+                initial_threads=threads,
+                interval_hook=detector,
+            )
+            outcome = (
+                "completed"
+                if result.completed
+                else ("stalled" if result.aborted else "timed_out")
+            )
+            attempts.append(
+                AttemptRecord(
+                    index=len(attempts),
+                    start_time=start_time,
+                    end_time=result.completion_time,
+                    start_bytes=start_bytes,
+                    end_bytes=result.bytes_transferred,
+                    outcome=outcome,
+                )
+            )
+            metrics.merge_from(result.metrics)
+
+            made_progress = (
+                result.bytes_transferred - start_bytes >= cfg.min_progress_bytes
+            )
+            if pending is not None and made_progress:
+                # The resumed attempt moved bytes again: the incident is over.
+                lost = max(0.0, (start_time - pending.t_onset) * detector.last_good_rate)
+                metrics.record_recovery(
+                    RecoveryRecord(
+                        kind=pending.kind,
+                        t_onset=pending.t_onset,
+                        t_detected=pending.t_detected,
+                        t_recovered=start_time,
+                        retries=pending_retries,
+                        goodput_lost_bytes=lost,
+                    )
+                )
+                pending = None
+                pending_retries = 0
+
+            if outcome != "stalled":
+                break
+
+            onset = (
+                detector.progress_stopped_at
+                if detector.progress_stopped_at is not None
+                else start_time
+            )
+            detected = (
+                detector.detected_at
+                if detector.detected_at is not None
+                else result.completion_time
+            )
+            if pending is None:
+                pending = FaultEvent(
+                    kind=self._attribute(detected), t_onset=onset, t_detected=detected
+                )
+                metrics.record_fault(pending)
+
+            if retries_used >= cfg.max_retries:
+                break
+
+            consecutive_fruitless = consecutive_fruitless + 1 if not made_progress else 1
+            delay = min(
+                cfg.backoff_max,
+                cfg.backoff_base * cfg.backoff_factor ** (consecutive_fruitless - 1),
+            )
+            delay *= 1.0 + cfg.jitter * float(rng.uniform(-1.0, 1.0))
+            retries_used += 1
+            pending_retries += 1
+            resume_at = result.completion_time + delay
+            if resume_at >= self.engine.config.max_seconds:
+                break  # no budget left to retry into
+            checkpoint = TransferCheckpoint(
+                bytes_completed=result.bytes_transferred,
+                elapsed=resume_at,
+                threads=result.final_threads,
+                attempt=retries_used,
+            )
+
+        last_checkpoint = (
+            None
+            if result.completed
+            else TransferCheckpoint(
+                bytes_completed=result.bytes_transferred,
+                elapsed=result.completion_time,
+                threads=result.final_threads,
+                attempt=retries_used,
+            )
+        )
+        return SupervisedTransferResult(
+            completed=result.completed,
+            timed_out=result.timed_out,
+            completion_time=result.completion_time,
+            total_bytes=result.total_bytes,
+            metrics=metrics,
+            attempts=tuple(attempts),
+            retries_used=retries_used,
+            last_checkpoint=last_checkpoint,
+            controller_name=result.controller_name,
+        )
+
+
+__all__ = [
+    "AttemptRecord",
+    "SupervisedTransferResult",
+    "SupervisorConfig",
+    "TransferCheckpoint",
+    "TransferSupervisor",
+    "_StallDetector",
+]

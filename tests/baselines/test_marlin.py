@@ -1,8 +1,5 @@
 """Marlin baseline: per-stage gradient descent behaviour."""
 
-import numpy as np
-import pytest
-
 from repro.baselines import MarlinConfig, MarlinController
 from repro.transfer.engine import Observation
 

@@ -1,7 +1,6 @@
 """Online single-parameter DRL baseline (Hasibul et al. [17])."""
 
 import numpy as np
-import pytest
 
 from repro.baselines import OnlineDRLController
 from repro.core.ppo import PPOConfig

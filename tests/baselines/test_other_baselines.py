@@ -1,7 +1,6 @@
 """Joint GD, Globus, static, heuristic baselines."""
 
 import numpy as np
-import pytest
 
 from repro.baselines import (
     GlobusController,

@@ -1,7 +1,6 @@
 """Discrete-action variant (Fig. 4) and online fine-tuning (§V-C)."""
 
 import numpy as np
-import pytest
 
 from repro.core.discrete import DiscreteActionAdapter, DiscretePPOAgent, DiscretePolicyNetwork
 from repro.core.env import SimulatorEnv, TestbedEnv

@@ -1,12 +1,10 @@
 """The exploration/logging phase (§IV-A)."""
 
-import numpy as np
 import pytest
 
 from repro.core.exploration import ExplorationProfile, run_exploration
 from repro.core.utility import UtilityFunction
 from repro.emulator import Testbed, fig5_read_bottleneck
-from repro.utils.errors import SimulationError
 
 
 @pytest.fixture(scope="module")

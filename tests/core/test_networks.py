@@ -1,7 +1,6 @@
 """Policy and value networks (§IV-D3/4)."""
 
 import numpy as np
-import pytest
 
 from repro.core.networks import PolicyNetwork, ValueNetwork
 from repro.nn.distributions import DiagonalGaussian

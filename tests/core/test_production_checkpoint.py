@@ -67,6 +67,46 @@ class TestAutoMDTController:
         # must accept both extremes without error.
         assert len(a) == len(b) == 3
 
+    def test_nan_throughputs_yield_finite_state(self):
+        """Probe dropouts hand the controller NaN readings; the state must
+        stay finite or the Gaussian head emits NaN thread counts."""
+        ctrl = self.make(deterministic=True)
+        nan = float("nan")
+        state = ctrl._state_from_observation(make_obs(throughputs=(nan, nan, nan)))
+        assert np.all(np.isfinite(state))
+        np.testing.assert_allclose(state[3:6], [0.0, 0.0, 0.0])
+
+    def test_degenerate_buffer_reports_yield_finite_state(self):
+        nan = float("nan")
+        obs = Observation(
+            threads=(5, 5, 5),
+            throughputs=(500, 500, 500),
+            sender_free=nan,
+            receiver_free=float("inf"),
+            sender_capacity=0.0,
+            receiver_capacity=nan,
+            elapsed=10.0,
+            bytes_written_total=1e9,
+        )
+        state = self.make()._state_from_observation(obs)
+        assert np.all(np.isfinite(state))
+
+    def test_propose_on_pathological_observation_returns_valid_triple(self):
+        ctrl = self.make(deterministic=True)
+        nan = float("nan")
+        obs = Observation(
+            threads=(5, 5, 5),
+            throughputs=(nan, float("inf"), -1.0),
+            sender_free=nan,
+            receiver_free=nan,
+            sender_capacity=0.0,
+            receiver_capacity=0.0,
+            elapsed=10.0,
+            bytes_written_total=0.0,
+        )
+        triple = ctrl.propose(obs)
+        assert all(isinstance(n, int) and 1 <= n <= 30 for n in triple)
+
 
 class TestCheckpoint:
     def test_roundtrip(self, tmp_path):

@@ -1,6 +1,5 @@
 """The utility/reward function (§IV-B)."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

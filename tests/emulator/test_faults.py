@@ -1,0 +1,146 @@
+"""Fault schedule semantics: windows, restarts, determinism."""
+
+import pytest
+
+from repro.emulator import (
+    FaultSchedule,
+    LinkFlap,
+    NetworkConfig,
+    ProbeDropout,
+    ReceiverRestart,
+    ReportLoss,
+    StorageConfig,
+    StorageStall,
+    Testbed,
+    TestbedConfig,
+)
+from repro.utils.errors import ConfigError
+from repro.utils.units import GiB
+
+
+class TestWindows:
+    def test_half_open_interval(self):
+        flap = LinkFlap(10.0, 5.0, requires_restart=False)
+        assert not flap.active(9.99)
+        assert flap.active(10.0)
+        assert flap.active(14.99)
+        assert not flap.active(15.0)
+        assert flap.end == 15.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            LinkFlap(-1.0, 5.0)
+        with pytest.raises(ConfigError):
+            LinkFlap(0.0, 0.0)
+        with pytest.raises(ConfigError):
+            LinkFlap(0.0, 5.0, severity=1.5)
+        with pytest.raises(ConfigError):
+            StorageStall(0.0, 5.0, factor=-0.1)
+        with pytest.raises(ValueError):
+            StorageStall(0.0, 5.0, stage="bogus")
+        with pytest.raises(ConfigError):
+            ReceiverRestart(at=-1.0)
+
+
+class TestNetworkScale:
+    def test_zero_during_flap(self):
+        sched = FaultSchedule(LinkFlap(10.0, 5.0))
+        assert sched.network_scale(5.0) == 1.0
+        assert sched.network_scale(12.0) == 0.0
+
+    def test_partial_severity(self):
+        sched = FaultSchedule(LinkFlap(10.0, 5.0, severity=0.5, requires_restart=False))
+        assert sched.network_scale(12.0) == pytest.approx(0.5)
+        assert sched.network_scale(20.0) == 1.0
+
+    def test_requires_restart_keeps_path_dead_after_window(self):
+        sched = FaultSchedule(LinkFlap(10.0, 5.0))
+        assert sched.network_scale(100.0) == 0.0
+        assert sched.active_kinds(100.0) == ("link_flap",)
+
+    def test_restart_after_window_repairs_path(self):
+        sched = FaultSchedule(LinkFlap(10.0, 5.0))
+        sched.notify_restart(18.0)
+        assert sched.network_scale(18.0) == 1.0
+        assert sched.active_kinds(18.0) == ()
+
+    def test_restart_before_window_end_does_not_repair(self):
+        sched = FaultSchedule(LinkFlap(10.0, 5.0))
+        sched.notify_restart(12.0)  # mid-flap: new connections die too
+        assert sched.network_scale(20.0) == 0.0
+
+
+class TestStorageAndControlPlane:
+    def test_storage_scale_is_per_stage(self):
+        sched = FaultSchedule(StorageStall(5.0, 10.0, stage="read", factor=0.25))
+        assert sched.storage_scale("read", 7.0) == pytest.approx(0.25)
+        assert sched.storage_scale("write", 7.0) == 1.0
+        assert sched.storage_scale("read", 20.0) == 1.0
+
+    def test_probe_dropout_and_report_loss_windows(self):
+        sched = FaultSchedule([ProbeDropout(2.0, 3.0), ReportLoss(10.0, 5.0)])
+        assert sched.probe_dropout(3.0)
+        assert not sched.probe_dropout(8.0)
+        assert sched.report_lost(12.0)
+        assert not sched.report_lost(3.0)
+
+
+class TestReceiverRestarts:
+    def test_fires_once_in_interval(self):
+        sched = FaultSchedule(ReceiverRestart(at=15.0))
+        assert sched.take_receiver_restarts(0.0, 15.0) == 0
+        assert sched.take_receiver_restarts(15.0, 15.05) == 1
+        assert sched.take_receiver_restarts(15.0, 15.05) == 0  # never re-fires
+
+    def test_notify_restart_rearms_only_future_events(self):
+        sched = FaultSchedule([ReceiverRestart(at=5.0), ReceiverRestart(at=50.0)])
+        assert sched.take_receiver_restarts(0.0, 60.0) == 2
+        sched.notify_restart(20.0)  # resume at t=20: the t=5 event stays spent
+        assert sched.take_receiver_restarts(0.0, 60.0) == 1
+
+    def test_restart_clears_testbed_receiver_buffer(self):
+        testbed = Testbed(
+            TestbedConfig(
+                source=StorageConfig(tpt=80, bandwidth=1000),
+                destination=StorageConfig(tpt=200, bandwidth=1000),
+                network=NetworkConfig(tpt=160, capacity=1000, ramp_time=0.0),
+                sender_buffer_capacity=1.0 * GiB,
+                receiver_buffer_capacity=1.0 * GiB,
+                max_threads=30,
+            ),
+            rng=0,
+            faults=FaultSchedule(ReceiverRestart(at=0.5)),
+        )
+        testbed.advance((13, 7, 1), 0.4, read_available=5e9)  # throttled write
+        staged_before = testbed.receiver_buffer.usage
+        assert staged_before > 0
+        testbed.advance((13, 7, 1), 0.2, read_available=5e9)  # crosses t=0.5
+        # The restart wiped the staged bytes; only ~0.1 s of new inflow
+        # re-accumulated, far less than the 0.4 s worth staged before.
+        assert testbed.receiver_buffer.usage < staged_before
+
+
+class TestRandomSchedules:
+    def test_same_seed_same_events(self):
+        a = FaultSchedule.random(7, horizon=120.0)
+        b = FaultSchedule.random(7, horizon=120.0)
+        assert a.events == b.events
+
+    def test_different_seed_different_events(self):
+        a = FaultSchedule.random(7, horizon=120.0)
+        b = FaultSchedule.random(8, horizon=120.0)
+        assert a.events != b.events
+
+    def test_kinds_and_horizon_respected(self):
+        sched = FaultSchedule.random(
+            3, horizon=100.0, kinds=("link_flap", "probe_dropout"), events_per_kind=2
+        )
+        assert len(sched.events) == 4
+        kinds = {e.kind for e in sched.events}
+        assert kinds == {"link_flap", "probe_dropout"}
+        for event in sched.events:
+            assert 0.0 <= event.start <= 70.0
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSchedule.random(0, horizon=100.0, kinds=("cosmic_ray",))

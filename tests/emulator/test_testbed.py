@@ -1,6 +1,5 @@
 """Testbed: coupled fluid flows, presets, dynamic throttles."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -2,8 +2,6 @@
 
 import json
 
-import pytest
-
 from repro.harness.cli import build_parser, main
 from repro.harness.experiments import EXPERIMENTS
 from repro.harness.result import ExperimentResult
@@ -45,6 +43,8 @@ class TestRegistry:
             "table1", "training", "finetune",
             "k_sweep", "state_ablation", "monolithic", "sim2real", "filelevel",
             "online_drl", "parallelism",
+            "faults_link_flap", "faults_storage_stall", "faults_receiver_restart",
+            "faults_probe_dropout", "faults_report_loss", "faults_random",
         }
         assert expected == set(EXPERIMENTS)
 

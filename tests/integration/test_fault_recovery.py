@@ -1,0 +1,121 @@
+"""Acceptance: seeded link flap — supervised resumes, unsupervised hangs.
+
+The issue's acceptance scenario end-to-end on the paper's read-bottleneck
+testbed: a link flap at t=10 s kills the established connections.  The bare
+engine hangs on dead sockets until its time budget runs out; the supervised
+engine detects the stall, backs off past the outage, resumes from
+checkpoint, and completes — without re-transferring bytes already durable
+at the destination.  Everything is deterministic given the seed.
+"""
+
+import pytest
+
+from repro.baselines import StaticController
+from repro.emulator import FaultSchedule, LinkFlap, Testbed
+from repro.emulator.presets import fig5_read_bottleneck
+from repro.transfer import (
+    EngineConfig,
+    ModularTransferEngine,
+    SupervisorConfig,
+    TransferSupervisor,
+)
+from repro.transfer.files import uniform_dataset
+
+MAX_SECONDS = 120.0
+TOTAL_BYTES = 5e9
+
+
+def make_engine(seed=0):
+    config = fig5_read_bottleneck()
+    testbed = Testbed(
+        config,
+        rng=seed,
+        faults=FaultSchedule([LinkFlap(start=10.0, duration=8.0)]),
+    )
+    return ModularTransferEngine(
+        testbed,
+        uniform_dataset(5, 1e9, name="acceptance"),
+        StaticController(config.optimal_threads()),
+        EngineConfig(max_seconds=MAX_SECONDS, seed=seed),
+    )
+
+
+@pytest.fixture(scope="module")
+def unsupervised():
+    engine = make_engine()
+    return engine.run(), engine
+
+
+@pytest.fixture(scope="module")
+def supervised():
+    engine = make_engine()
+    result = TransferSupervisor(engine, SupervisorConfig(seed=0)).run()
+    return result, engine
+
+
+class TestUnsupervisedHangs:
+    def test_times_out_without_completing(self, unsupervised):
+        result, _ = unsupervised
+        assert not result.completed
+        assert result.timed_out
+        assert result.completion_time >= MAX_SECONDS
+
+    def test_final_observation_marked_done(self, unsupervised):
+        _, engine = unsupervised
+        assert engine.last_observation is not None
+        assert engine.last_observation.done
+
+    def test_progress_froze_at_the_flap(self, unsupervised):
+        result, _ = unsupervised
+        assert result.bytes_transferred < TOTAL_BYTES / 2
+
+
+class TestSupervisedRecovers:
+    def test_completes_well_within_budget(self, supervised):
+        result, _ = supervised
+        assert result.completed
+        assert not result.timed_out
+        assert result.total_bytes == TOTAL_BYTES
+        assert result.completion_time < MAX_SECONDS
+
+    def test_exactly_one_detected_and_recovered_incident(self, supervised):
+        result, _ = supervised
+        assert len(result.metrics.fault_events) == 1
+        assert result.metrics.fault_events[0].kind == "link_flap"
+        assert len(result.metrics.recoveries) == 1
+        assert result.retries_used == 1
+
+    def test_resume_does_not_retransfer_completed_bytes(self, supervised):
+        result, engine = supervised
+        first, second = result.attempts
+        assert first.outcome == "stalled"
+        assert second.outcome == "completed"
+        assert second.start_bytes == pytest.approx(first.end_bytes)
+        assert first.end_bytes > 0  # the flap hit mid-transfer, not at t=0
+        # The last attempt's testbed counters survive in the engine: it read
+        # only the unfinished remainder from the source, not all 5 GB.
+        assert engine.testbed.total_read == pytest.approx(
+            TOTAL_BYTES - first.end_bytes, rel=1e-6
+        )
+
+    def test_resume_starts_after_the_outage(self, supervised):
+        result, engine = supervised
+        flap = engine.testbed.faults.events[0]
+        assert result.attempts[1].start_time >= flap.end
+
+
+class TestDeterminism:
+    def test_supervised_run_is_reproducible(self, supervised):
+        result, _ = supervised
+        again = TransferSupervisor(make_engine(), SupervisorConfig(seed=0)).run()
+        assert again.completion_time == result.completion_time
+        assert again.attempts == result.attempts
+        assert [
+            (e.kind, e.t_onset, e.t_detected) for e in again.metrics.fault_events
+        ] == [(e.kind, e.t_onset, e.t_detected) for e in result.metrics.fault_events]
+
+    def test_unsupervised_run_is_reproducible(self, unsupervised):
+        result, _ = unsupervised
+        again = make_engine().run()
+        assert again.completion_time == result.completion_time
+        assert again.bytes_transferred == result.bytes_transferred

@@ -5,7 +5,6 @@ small network) so they run in tens of seconds while still exercising every
 stage of Fig. 2: exploration → simulator training → production transfer.
 """
 
-import numpy as np
 import pytest
 
 from repro.baselines import GlobusController, MarlinController, StaticController

@@ -1,7 +1,6 @@
 """Weight initialization schemes."""
 
 import numpy as np
-import pytest
 
 from repro.nn import init
 

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.autograd.tensor import Tensor
 from repro.nn import SGD, Adam, clip_grad_norm
 from repro.nn.module import Parameter
 

@@ -1,13 +1,12 @@
 """Algorithm 1 simulator: conservation, coupling, throughput shapes."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.simulator import IONetworkSimulator, SimulatorConfig
 from repro.utils.errors import SimulationError
-from repro.utils.units import GiB, mbps_to_bytes_per_sec
+from repro.utils.units import GiB
 
 
 def balanced_config(**overrides) -> SimulatorConfig:

@@ -1,6 +1,5 @@
 """Modular transfer engine: completion, metrics, controller protocol."""
 
-import numpy as np
 import pytest
 
 from repro.baselines import StaticController

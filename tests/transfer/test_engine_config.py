@@ -20,11 +20,18 @@ class TestEngineConfig:
             ("max_seconds", -1.0),
             ("probe_noise", -0.1),
             ("rpc_delay", -1),
+            ("probe_smoothing", -0.1),
+            ("probe_smoothing", 1.5),
+            ("probe_smoothing", 1.0),  # EWMA weight 1.0 would never update
         ],
     )
     def test_rejects_invalid(self, field, value):
         with pytest.raises(ConfigError):
             EngineConfig(**{field: value})
+
+    def test_probe_smoothing_bounds_accepted(self):
+        assert EngineConfig(probe_smoothing=0.0).probe_smoothing == 0.0
+        assert EngineConfig(probe_smoothing=0.99).probe_smoothing == 0.99
 
     def test_seed_not_in_equality(self):
         assert EngineConfig(seed=1) == EngineConfig(seed=2)
@@ -48,3 +55,60 @@ class TestTransferResult:
             metrics=TransferMetrics(),
         )
         assert result.effective_throughput == 0.0
+
+    def test_status_flag_defaults(self):
+        result = TransferResult(
+            completed=True,
+            completion_time=10.0,
+            total_bytes=1e9,
+            metrics=TransferMetrics(),
+        )
+        assert not result.timed_out
+        assert not result.aborted
+
+
+class TestTimeoutSemantics:
+    def make_engine(self, max_seconds):
+        from repro.baselines import StaticController
+        from repro.emulator import NetworkConfig, StorageConfig, Testbed, TestbedConfig
+        from repro.transfer.engine import ModularTransferEngine
+        from repro.transfer.files import uniform_dataset
+        from repro.utils.units import GiB
+
+        testbed = Testbed(
+            TestbedConfig(
+                source=StorageConfig(tpt=80, bandwidth=1000),
+                destination=StorageConfig(tpt=200, bandwidth=1000),
+                network=NetworkConfig(tpt=160, capacity=1000, ramp_time=0.0),
+                sender_buffer_capacity=1.0 * GiB,
+                receiver_buffer_capacity=1.0 * GiB,
+                max_threads=30,
+            ),
+            rng=0,
+        )
+        return ModularTransferEngine(
+            testbed,
+            uniform_dataset(5, 1e9),
+            StaticController((13, 7, 5)),
+            EngineConfig(max_seconds=max_seconds),
+        )
+
+    def test_timed_out_set_on_budget_exhaustion(self):
+        engine = self.make_engine(max_seconds=3.0)
+        result = engine.run()
+        assert not result.completed
+        assert result.timed_out
+        assert not result.aborted
+
+    def test_final_observation_marked_done_on_timeout(self):
+        engine = self.make_engine(max_seconds=3.0)
+        engine.run()
+        assert engine.last_observation is not None
+        assert engine.last_observation.done
+
+    def test_completed_run_not_timed_out(self):
+        engine = self.make_engine(max_seconds=600.0)
+        result = engine.run()
+        assert result.completed
+        assert not result.timed_out
+        assert engine.last_observation.done

@@ -1,0 +1,198 @@
+"""GuardedController: sanitation, pathological-output fallback, recovery."""
+
+import math
+
+import pytest
+
+from repro.baselines import StaticController
+from repro.transfer import GuardedController, Observation
+from repro.utils.errors import ConfigError
+
+NAN = float("nan")
+
+
+def make_obs(
+    *,
+    throughputs=(100.0, 100.0, 100.0),
+    sender_free=0.5,
+    receiver_free=0.5,
+    sender_capacity=1.0,
+    receiver_capacity=1.0,
+    elapsed=0.0,
+):
+    return Observation(
+        threads=(1, 1, 1),
+        throughputs=throughputs,
+        sender_free=sender_free,
+        receiver_free=receiver_free,
+        sender_capacity=sender_capacity,
+        receiver_capacity=receiver_capacity,
+        elapsed=elapsed,
+        bytes_written_total=0.0,
+    )
+
+
+class SpyController:
+    """Scripted primary: replays `proposals`, records what it was shown."""
+
+    def __init__(self, proposals):
+        self.proposals = list(proposals)
+        self.seen = []
+        self.resets = 0
+
+    def propose(self, observation):
+        self.seen.append(observation)
+        if len(self.proposals) > 1:
+            return self.proposals.pop(0)
+        return self.proposals[0]
+
+    def reset(self):
+        self.resets += 1
+
+
+def guarded(proposals=((5, 5, 5),), **kwargs):
+    primary = SpyController(proposals)
+    kwargs.setdefault("fallback", StaticController((2, 2, 2)))
+    return GuardedController(primary, **kwargs), primary
+
+
+class TestSanitation:
+    def test_clean_observation_passes_through_untouched(self):
+        guard, primary = guarded()
+        obs = make_obs()
+        assert guard.propose(obs) == (5, 5, 5)
+        assert primary.seen == [obs]
+
+    def test_nan_throughputs_are_zeroed(self):
+        guard, primary = guarded()
+        guard.propose(make_obs(throughputs=(NAN, float("inf"), -50.0)))
+        assert primary.seen[0].throughputs == (0.0, 0.0, 0.0)
+
+    def test_degenerate_capacities_are_replaced(self):
+        guard, primary = guarded()
+        guard.propose(
+            make_obs(sender_capacity=0.0, receiver_capacity=NAN, receiver_free=NAN)
+        )
+        seen = primary.seen[0]
+        assert seen.sender_capacity == 1.0
+        assert seen.receiver_capacity == 1.0
+        assert seen.receiver_free == 1.0  # unreported → assume empty buffer
+
+    def test_free_space_clamped_to_capacity(self):
+        guard, primary = guarded()
+        guard.propose(make_obs(sender_free=5.0, receiver_free=-1.0))
+        seen = primary.seen[0]
+        assert seen.sender_free == seen.sender_capacity
+        assert seen.receiver_free == 0.0
+
+    def test_everything_primary_sees_is_finite(self):
+        guard, primary = guarded()
+        guard.propose(
+            make_obs(
+                throughputs=(NAN, NAN, NAN),
+                sender_free=NAN,
+                receiver_free=NAN,
+                sender_capacity=NAN,
+                receiver_capacity=0.0,
+            )
+        )
+        seen = primary.seen[0]
+        fields = (
+            *seen.throughputs,
+            seen.sender_free,
+            seen.receiver_free,
+            seen.sender_capacity,
+            seen.receiver_capacity,
+        )
+        assert all(math.isfinite(v) for v in fields)
+
+
+class TestOutputGuards:
+    def test_malformed_proposal_triggers_immediate_fallback(self):
+        guard, _ = guarded(proposals=[(NAN, 1, 1)])
+        assert guard.propose(make_obs()) == (2, 2, 2)
+        assert guard.degraded
+        assert guard.events == [(0.0, "degraded:malformed_proposal")]
+
+    def test_out_of_range_streak_triggers_fallback(self):
+        guard, _ = guarded(proposals=[(99, 1, 1)], out_of_range_limit=3)
+        assert guard.propose(make_obs()) == (30, 1, 1)  # clamped, streak 1
+        assert guard.propose(make_obs()) == (30, 1, 1)  # streak 2
+        assert guard.propose(make_obs()) == (2, 2, 2)  # streak 3 → fallback
+        assert guard.degraded
+        assert guard.events[-1][1] == "degraded:out_of_range"
+
+    def test_single_excursion_does_not_degrade(self):
+        guard, _ = guarded(
+            proposals=[(99, 1, 1), (5, 5, 5)], out_of_range_limit=3
+        )
+        guard.propose(make_obs())
+        for _ in range(5):
+            assert guard.propose(make_obs()) == (5, 5, 5)
+        assert not guard.degraded
+
+    def test_thrashing_triggers_fallback(self):
+        swings = [(1, 1, 1), (15, 15, 15), (1, 1, 1), (15, 15, 15)]
+        guard, _ = guarded(proposals=swings, thrash_threshold=12, thrash_window=3)
+        results = [guard.propose(make_obs()) for _ in range(4)]
+        assert results[-1] == (2, 2, 2)
+        assert guard.degraded
+        assert guard.events[-1][1] == "degraded:thrashing"
+
+    def test_fallback_engaged_resets_fallback_controller(self):
+        fallback = SpyController([(2, 2, 2)])
+        guard = GuardedController(
+            SpyController([(NAN, 1, 1)]), fallback=fallback
+        )
+        guard.propose(make_obs())
+        assert fallback.resets == 1
+
+
+class TestRecovery:
+    def degraded_guard(self, **kwargs):
+        kwargs.setdefault("recovery_intervals", 2)
+        guard, primary = guarded(proposals=[(NAN, 1, 1), (6, 6, 6)], **kwargs)
+        guard.propose(make_obs())  # malformed → degraded
+        assert guard.degraded
+        return guard, primary
+
+    def test_recovers_after_clean_streak(self):
+        guard, _ = self.degraded_guard(recovery_intervals=2)
+        assert guard.propose(make_obs(elapsed=1.0)) == (2, 2, 2)
+        assert guard.propose(make_obs(elapsed=2.0)) == (2, 2, 2)
+        assert not guard.degraded
+        assert guard.events[-1] == (2.0, "recovered")
+        # Primary is back in charge on the next interval.
+        assert guard.propose(make_obs(elapsed=3.0)) == (6, 6, 6)
+
+    def test_dirty_observations_postpone_recovery(self):
+        guard, _ = self.degraded_guard(recovery_intervals=2)
+        guard.propose(make_obs(throughputs=(NAN, 0.0, 0.0), elapsed=1.0))
+        guard.propose(make_obs(elapsed=2.0))  # clean streak back to 1
+        assert guard.degraded
+        guard.propose(make_obs(elapsed=3.0))
+        assert not guard.degraded
+
+    def test_degraded_intervals_counted(self):
+        guard, _ = self.degraded_guard(recovery_intervals=2)
+        guard.propose(make_obs(elapsed=1.0))
+        guard.propose(make_obs(elapsed=2.0))
+        assert guard.degraded_intervals == 2
+
+
+class TestLifecycle:
+    def test_reset_clears_state_and_resets_both_controllers(self):
+        guard, primary = guarded(proposals=[(NAN, 1, 1)])
+        guard.propose(make_obs())
+        assert guard.degraded
+        guard.reset()
+        assert not guard.degraded
+        assert guard.events == []
+        assert guard.degraded_intervals == 0
+        assert primary.resets == 1
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            GuardedController(SpyController([(1, 1, 1)]), max_threads=0)
+        with pytest.raises(ConfigError):
+            GuardedController(SpyController([(1, 1, 1)]), recovery_intervals=0)

@@ -1,9 +1,19 @@
 """Probing, RPC channel and metrics helpers."""
 
+import math
+
 import numpy as np
 import pytest
 
-from repro.transfer import BufferReportChannel, ThroughputProbe, TransferMetrics
+from repro.transfer import (
+    BufferReportChannel,
+    FaultEvent,
+    RecoveryRecord,
+    ThroughputProbe,
+    TransferMetrics,
+)
+
+NAN = float("nan")
 
 
 class TestThroughputProbe:
@@ -48,6 +58,23 @@ class TestThroughputProbe:
         b = ThroughputProbe(noise_sigma=0.1, rng=5)
         assert a.observe((10, 10, 10)) == b.observe((10, 10, 10))
 
+    def test_nan_inputs_pass_through_without_raising(self):
+        probe = ThroughputProbe(noise_sigma=0.05, rng=0)
+        measured = probe.observe((NAN, 100.0, NAN))
+        assert math.isnan(measured[0])
+        assert math.isfinite(measured[1])
+        assert math.isnan(measured[2])
+
+    def test_nan_poisons_ewma_until_reset(self):
+        # A dropout sample contaminates the smoothed estimate — by design the
+        # probe reports honestly and controllers must sanitize (GuardedController
+        # does); reset() is the engine's way to clear the contamination.
+        probe = ThroughputProbe(smoothing=0.5)
+        probe.observe((NAN, NAN, NAN))
+        assert math.isnan(probe.observe((100.0, 100.0, 100.0))[0])
+        probe.reset()
+        assert probe.observe((100.0, 100.0, 100.0)) == (100.0, 100.0, 100.0)
+
 
 class TestBufferReportChannel:
     def test_zero_delay_passthrough(self):
@@ -70,6 +97,40 @@ class TestBufferReportChannel:
         chan.exchange(5.0)
         chan.reset(initial_value=9.0)
         assert chan.exchange(1.0) == 9.0
+
+    def test_reset_after_partial_drain(self):
+        chan = BufferReportChannel(delay=3, initial_value=0.0)
+        chan.exchange(1.0)
+        chan.exchange(2.0)  # queue partially drained: two initials gone
+        chan.reset(initial_value=7.0)
+        assert chan.last_delivered == 7.0
+        # The full delay applies again after the reset.
+        assert chan.exchange(10.0) == 7.0
+        assert chan.exchange(11.0) == 7.0
+        assert chan.exchange(12.0) == 7.0
+        assert chan.exchange(13.0) == 10.0
+
+    def test_lost_report_repeats_stale_value(self):
+        chan = BufferReportChannel(delay=1, initial_value=0.0)
+        assert chan.exchange(10.0) == 0.0
+        # The fresh report (20) is dropped in flight: nothing enters the
+        # queue and the sender re-reads what it already had.
+        assert chan.exchange(20.0, lost=True) == 0.0
+        assert chan.exchange(30.0) == 10.0  # 20 never arrives
+
+    def test_lost_with_zero_delay(self):
+        chan = BufferReportChannel(delay=0, initial_value=5.0)
+        assert chan.exchange(1.0) == 1.0
+        assert chan.exchange(2.0, lost=True) == 1.0
+        assert chan.exchange(3.0) == 3.0
+
+    def test_last_delivered_tracks(self):
+        chan = BufferReportChannel(delay=1, initial_value=0.0)
+        assert chan.last_delivered == 0.0
+        chan.exchange(4.0)
+        assert chan.last_delivered == 0.0
+        chan.exchange(5.0)
+        assert chan.last_delivered == 4.0
 
 
 class TestTransferMetrics:
@@ -118,3 +179,45 @@ class TestTransferMetrics:
         m = TransferMetrics()
         assert m.duration == 0.0
         assert m.concurrency_cost() == 0.0
+
+
+class TestIncidentRecords:
+    def test_fault_event_time_to_detect(self):
+        event = FaultEvent(kind="link_flap", t_onset=10.0, t_detected=15.0)
+        assert event.time_to_detect == pytest.approx(5.0)
+
+    def test_recovery_time_to_recover(self):
+        record = RecoveryRecord(
+            kind="link_flap",
+            t_onset=10.0,
+            t_detected=15.0,
+            t_recovered=21.0,
+            retries=1,
+            goodput_lost_bytes=5e8,
+        )
+        assert record.time_to_recover == pytest.approx(11.0)
+
+    def test_merge_from_stitches_series_and_incidents(self):
+        first, second = TransferMetrics(), TransferMetrics()
+        for t in (1.0, 2.0):
+            first.record(
+                t, throughputs=(1, 1, 1), threads=(1, 1, 1),
+                sender_usage=0, receiver_usage=0, bytes_written_total=t,
+            )
+        for t in (3.0, 4.0):
+            second.record(
+                t, throughputs=(2, 2, 2), threads=(2, 2, 2),
+                sender_usage=0, receiver_usage=0, bytes_written_total=t,
+            )
+        second.record_fault(FaultEvent("stall", 2.5, 3.0))
+        first.merge_from(second)
+        assert list(first.bytes_written.times) == [1.0, 2.0, 3.0, 4.0]
+        assert len(first.fault_events) == 1
+
+    def test_to_dict_includes_incidents(self):
+        m = TransferMetrics()
+        m.record_fault(FaultEvent("link_flap", 1.0, 2.0))
+        m.record_recovery(RecoveryRecord("link_flap", 1.0, 2.0, 4.0, 1, 0.0))
+        blob = m.to_dict()
+        assert blob["fault_events"][0]["kind"] == "link_flap"
+        assert blob["recoveries"][0]["t_recovered"] == 4.0
