@@ -1,0 +1,158 @@
+"""Self-measured telemetry overhead: instrumented vs bare transfer loop.
+
+The observability layer (``repro.obs``) promises to cost **< 3%** of
+transfer throughput when enabled and ~nothing when disabled.  This bench
+enforces that budget with an estimator that survives noisy shared
+machines: each run is timed with ``time.process_time`` (CPU seconds of
+this process — other tenants and scheduler preemption don't count), runs
+alternate in tight off/on pairs so frequency drift hits both arms, and
+the reported overhead is the **median of per-pair CPU-time ratios**.
+Wall-clock minima are reported alongside for reference.
+
+Run standalone (what the CI ``bench-smoke`` job does)::
+
+    PYTHONPATH=src python benchmarks/bench_observability.py --quick --out /tmp/obs-run
+
+exits 1 if measured overhead exceeds ``--budget`` (default 0.03), printing
+a JSON report either way.  Also collectable by pytest, where the same
+measurement runs in quick mode.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro import obs
+from repro.baselines.static import StaticController
+from repro.emulator.presets import fig5_read_bottleneck
+from repro.emulator.testbed import Testbed
+from repro.transfer.engine import EngineConfig, ModularTransferEngine
+from repro.workloads import large_dataset
+
+
+def _build_engine(seed: int = 0) -> ModularTransferEngine:
+    config = fig5_read_bottleneck()
+    return ModularTransferEngine(
+        Testbed(config, rng=seed),
+        large_dataset(total_bytes=200e9),
+        StaticController((8, 8, 8)),
+        # Budget never binds: the bench measures loop cost, not completion.
+        EngineConfig(max_seconds=1e9, probe_noise=0.01, seed=seed),
+    )
+
+
+def _timed_run(engine: ModularTransferEngine, run_dir: Path | None) -> tuple[float, float]:
+    """One full transfer; returns (cpu, wall) seconds (telemetry iff run_dir).
+
+    CPU time is the budget metric: the transfer loop is compute-bound, and
+    on a shared machine wall time mostly measures the neighbours.
+    """
+    if run_dir is None:
+        c0, t0 = time.process_time(), time.perf_counter()
+        engine.run()
+        return time.process_time() - c0, time.perf_counter() - t0
+    with obs.session(run_dir, label="bench_observability"):
+        c0, t0 = time.process_time(), time.perf_counter()
+        engine.run()
+        return time.process_time() - c0, time.perf_counter() - t0
+
+
+def measure_overhead(*, pairs: int = 20, out_dir: str | Path = "/tmp/obs-bench") -> dict:
+    """Tightly-paired off/on timing; returns the report dict.
+
+    ``overhead`` is ``median(on_i / off_i) - 1`` over ``pairs`` adjacent
+    (bare, instrumented) run pairs, on CPU time.  ``self_measured_fraction``
+    is what the session *thinks* it cost (serialisation + write time over
+    run CPU); with deferred serialisation most of that is paid after the
+    transfer loop, so it need not bound the externally measured figure.
+    """
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    engine = _build_engine()
+    # Warm-up: one bare + one instrumented transfer pays one-time costs
+    # (numpy init, module imports, file creation) outside the timed pairs.
+    _timed_run(engine, None)
+    _timed_run(engine, out_dir / "warmup")
+
+    ratios: list[float] = []
+    off_cpu: list[float] = []
+    on_cpu: list[float] = []
+    off_wall: list[float] = []
+    on_wall: list[float] = []
+    self_fracs: list[float] = []
+    for i in range(pairs):
+        cpu_off, wall_off = _timed_run(engine, None)
+        run_dir = out_dir / f"run{i % 4}"
+        events = run_dir / obs.EVENTS_FILENAME
+        if events.exists():
+            events.unlink()
+        cpu_on, wall_on = _timed_run(engine, run_dir)
+        off_cpu.append(cpu_off)
+        on_cpu.append(cpu_on)
+        off_wall.append(wall_off)
+        on_wall.append(wall_on)
+        ratios.append(cpu_on / cpu_off)
+        sess_overhead = _read_overhead(events)
+        if sess_overhead is not None:
+            self_fracs.append(sess_overhead / cpu_on)
+
+    ratios.sort()
+    median_ratio = ratios[len(ratios) // 2]
+    return {
+        "pairs": pairs,
+        "intervals_per_run": int(engine.last_observation.elapsed),
+        "best_off_cpu_s": round(min(off_cpu), 4),
+        "best_on_cpu_s": round(min(on_cpu), 4),
+        "best_off_wall_s": round(min(off_wall), 4),
+        "best_on_wall_s": round(min(on_wall), 4),
+        "overhead": round(median_ratio - 1.0, 5),
+        "overhead_best_cpu": round(min(on_cpu) / min(off_cpu) - 1.0, 5),
+        "self_measured_fraction": round(min(self_fracs), 5) if self_fracs else None,
+        "events_dir": str(out_dir),
+    }
+
+
+def _read_overhead(events_path: Path) -> float | None:
+    """The closing meta record's self-measured ``overhead_seconds``."""
+    from repro.obs.events import read_events
+
+    for record in reversed(read_events(events_path)):
+        if record.get("type") == "meta" and "overhead_seconds" in record:
+            return float(record["overhead_seconds"])
+    return None
+
+
+def test_overhead_budget(tmp_path):
+    """Pytest entry: quick-mode measurement must meet the 3% budget."""
+    report = measure_overhead(pairs=12, out_dir=tmp_path)
+    assert report["overhead"] < 0.03, report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="fewer pairs (CI smoke)")
+    parser.add_argument("--pairs", type=int, default=None, help="override pair count")
+    parser.add_argument("--out", default="/tmp/obs-bench", help="run directory root")
+    parser.add_argument("--budget", type=float, default=0.03, help="max overhead fraction")
+    args = parser.parse_args(argv)
+    pairs = args.pairs if args.pairs is not None else (12 if args.quick else 30)
+    report = measure_overhead(pairs=pairs, out_dir=args.out)
+    report["budget"] = args.budget
+    report["within_budget"] = report["overhead"] < args.budget
+    print(json.dumps(report, indent=2))
+    if not report["within_budget"]:
+        print(
+            f"FAIL: telemetry overhead {report['overhead']:.2%} exceeds "
+            f"budget {args.budget:.0%}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -16,6 +16,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro import obs
 from repro.core.checkpoint import CheckpointMeta, load_checkpoint, save_checkpoint
 from repro.core.env import SimulatorEnv
 from repro.core.exploration import ExplorationProfile, run_exploration
@@ -65,9 +66,10 @@ class AutoMDT:
     # ------------------------------------------------------------ exploration
     def explore(self, testbed: Testbed, *, duration: float = 600.0) -> ExplorationProfile:
         """Run the §IV-A random-threads logging phase on ``testbed``."""
-        self.profile = run_exploration(
-            testbed, duration=duration, rng=self._rngs.stream("exploration")
-        )
+        with obs.span("pipeline/exploration", duration=duration):
+            self.profile = run_exploration(
+                testbed, duration=duration, rng=self._rngs.stream("exploration")
+            )
         return self.profile
 
     def set_profile(self, profile: ExplorationProfile) -> None:
@@ -90,18 +92,19 @@ class AutoMDT:
 
     def train_offline(self, env: SimulatorEnv | None = None) -> TrainingResult:
         """Algorithm 2 in the Algorithm-1 simulator; keeps the best model."""
-        env = env or self.make_training_env()
-        self.agent = PPOAgent(
-            env.state_dim, env.action_dim, self.ppo_config, rng=self._rngs.stream("agent")
-        )
-        self.training_result = train(
-            self.agent,
-            env,
-            self.training_config,
-            max_episode_reward=float(self.training_config.steps_per_episode),
-        )
-        # Production deploys the best checkpoint (§IV-F), not the last state.
-        self.agent.load_state_dict(self.training_result.best_state)
+        with obs.span("pipeline/simulator-training"):
+            env = env or self.make_training_env()
+            self.agent = PPOAgent(
+                env.state_dim, env.action_dim, self.ppo_config, rng=self._rngs.stream("agent")
+            )
+            self.training_result = train(
+                self.agent,
+                env,
+                self.training_config,
+                max_episode_reward=float(self.training_config.steps_per_episode),
+            )
+            # Production deploys the best checkpoint (§IV-F), not the last state.
+            self.agent.load_state_dict(self.training_result.best_state)
         return self.training_result
 
     # -------------------------------------------------------------- deployment
@@ -109,6 +112,11 @@ class AutoMDT:
         """Production controller over the trained policy (§IV-F)."""
         if self.agent is None or self.profile is None:
             raise ConfigError("train_offline() (or load()) must run before deployment")
+        obs.event(
+            "pipeline/deployment",
+            deterministic=deterministic,
+            max_threads=self.profile.max_threads,
+        )
         return AutoMDTController(
             self.agent.policy,
             max_threads=self.profile.max_threads,

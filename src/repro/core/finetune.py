@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.core.env import TestbedEnv
 from repro.core.ppo import PPOAgent
 from repro.core.training import TrainingConfig, TrainingResult, train
@@ -91,6 +92,17 @@ def finetune_online(
       so a fine-tune that drifted on 1,200 noisy online samples never
       replaces a better offline model.
     """
+    with obs.span("pipeline/fine-tune", episodes=episodes, learning_rate=learning_rate):
+        return _finetune(agent, env, episodes, eval_episodes, learning_rate)
+
+
+def _finetune(
+    agent: PPOAgent,
+    env: TestbedEnv,
+    episodes: int,
+    eval_episodes: int,
+    learning_rate: float,
+) -> FinetuneComparison:
     base_snapshot = agent.state_dict()
     base_reward, base_concurrency = evaluate_policy(agent, env, episodes=eval_episodes)
     cfg = TrainingConfig(

@@ -32,6 +32,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.autograd.tensor import Tensor, clip, minimum, no_grad
 from repro.core.networks import PolicyNetwork, ValueNetwork
 from repro.nn.optim import Adam, clip_grad_norm
@@ -173,6 +174,8 @@ class PPOAgent:
             self.policy.parameters() + self.value.parameters(), lr=cfg.learning_rate
         )
         self.memory = RolloutMemory()
+        #: Completed :meth:`update` calls — the x-axis of loss curves.
+        self.updates = 0
 
     def set_lr_progress(self, fraction: float) -> None:
         """Linearly anneal the learning rate; ``fraction`` in [0, 1]."""
@@ -203,9 +206,24 @@ class PPOAgent:
     def update(self) -> dict[str, float]:
         """One Algorithm-2 update over the episode stored in ``self.memory``.
 
-        Returns diagnostics (losses, entropy, mean ratio).  The memory is
-        left intact; callers clear it when starting the next episode.
+        Returns diagnostics — losses, entropy, mean ratio, plus the PPO
+        health signals ``approx_kl`` (mean old−new log-prob gap) and
+        ``clip_fraction`` (share of ratios outside the clip band).  The
+        memory is left intact; callers clear it when starting the next
+        episode.  Under an active observability session the update runs in a
+        ``ppo/update`` span and every diagnostic is emitted as a metric
+        series keyed by update index.
         """
+        with obs.span("ppo/update", transitions=len(self.memory)):
+            stats = self._update()
+        self.updates += 1
+        sess = obs.active()
+        if sess is not None:
+            for key, value in stats.items():
+                sess.metric(f"ppo/{key}", value, t=float(self.updates))
+        return stats
+
+    def _update(self) -> dict[str, float]:
         cfg = self.config
         states, actions, old_log_probs, returns = self.memory.arrays()
         returns_t = Tensor(returns)
@@ -239,13 +257,20 @@ class PPOAgent:
             clip_grad_norm(self.optimizer.parameters, cfg.max_grad_norm)
             self.optimizer.step()
 
+            ratio_data = np.asarray(ratio.data)
             stats = {
                 "loss": loss.item(),
                 "actor_loss": actor_loss.item(),
                 "critic_loss": critic_loss.item(),
                 "entropy": float(entropy.data),
-                "mean_ratio": float(ratio.data.mean()),
+                "mean_ratio": float(ratio_data.mean()),
                 "mean_return": float(returns.mean()),
+                # Mean(log π_old − log π): the standard cheap KL(π_old ‖ π)
+                # estimate; grows as the update walks away from π_old.
+                "approx_kl": float(np.mean(old_log_probs - np.asarray(log_probs.data))),
+                "clip_fraction": float(
+                    np.mean(np.abs(ratio_data - 1.0) > cfg.clip_epsilon)
+                ),
             }
 
         # π_old ← π (Algorithm 2, line 28).

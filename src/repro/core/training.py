@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.core.ppo import PPOAgent
 from repro.utils.config import require_in_range, require_positive
 
@@ -104,7 +105,24 @@ def train(
         if max_episode_reward is not None
         else float(cfg.steps_per_episode)
     )
+    with obs.span(
+        "train/offline",
+        max_episodes=cfg.max_episodes,
+        steps_per_episode=cfg.steps_per_episode,
+        r_max=r_max,
+    ):
+        return _train_loop(agent, env, cfg, r_max, progress)
+
+
+def _train_loop(
+    agent: PPOAgent,
+    env,
+    cfg: TrainingConfig,
+    r_max: float,
+    progress: Callable[[int, float, float], None] | None,
+) -> TrainingResult:
     target = cfg.convergence_threshold * r_max
+    sess = obs.active()
 
     rewards: list[float] = []
     best_reward = -np.inf
@@ -138,6 +156,16 @@ def train(
             agent.memory.clear()
 
         rewards.append(episode_reward)
+        if sess is not None:
+            # Reward vs R_max per episode — the convergence curve (§IV-E).
+            sess.sample(
+                "train/episode",
+                t=float(episode),
+                reward=episode_reward,
+                reward_fraction=episode_reward / r_max if r_max else 0.0,
+                best_reward=max(best_reward, episode_reward),
+            )
+            sess.count("train/episodes")
         if episode_reward > best_reward:
             best_reward = episode_reward
             best_episode = episode

@@ -8,6 +8,13 @@ Commands::
     automdt explore --preset fig5-read [--duration 120] [--out profile.json]
     automdt train --preset fig5-read [--episodes 4000] --out ckpt
     automdt transfer --preset fig5-read --checkpoint ckpt [--gb 25] [--mixed]
+    automdt obs summary RUN_DIR                    # inspect an instrumented run
+    automdt obs tail RUN_DIR [-n 20]
+    automdt obs diff RUN_A RUN_B
+
+``run`` and ``transfer`` accept ``--obs RUN_DIR`` to record a telemetry
+event log (spans, PPO losses, per-interval transfer samples, supervisor
+incidents) that the ``obs`` subcommands reconstruct.
 """
 
 from __future__ import annotations
@@ -16,8 +23,11 @@ import argparse
 import json
 import sys
 import time
+from contextlib import nullcontext
 
+from repro import obs
 from repro.harness.experiments import EXPERIMENTS
+from repro.obs.cli import add_obs_parser, run_obs
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -39,6 +49,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated seeds; aggregates mean/std over runs",
     )
     run.add_argument("--out", default=None, help="directory for JSON result dumps")
+    run.add_argument(
+        "--obs", default=None, metavar="DIR",
+        help="record a telemetry event log into DIR (see 'automdt obs')",
+    )
 
     explore = sub.add_parser("explore", help="run the §IV-A logging phase on a preset")
     explore.add_argument("--preset", required=True)
@@ -60,6 +74,12 @@ def build_parser() -> argparse.ArgumentParser:
     transfer.add_argument("--mixed", action="store_true", help="mixed file sizes")
     transfer.add_argument("--seed", type=int, default=1)
     transfer.add_argument("--deterministic", action="store_true")
+    transfer.add_argument(
+        "--obs", default=None, metavar="DIR",
+        help="record a telemetry event log into DIR (see 'automdt obs')",
+    )
+
+    add_obs_parser(sub)
     return parser
 
 
@@ -205,16 +225,24 @@ def _cmd_transfer(args) -> int:
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
-    if args.command == "list":
-        return _cmd_list()
-    if args.command == "run":
-        return _cmd_run(args)
-    if args.command == "explore":
-        return _cmd_explore(args)
-    if args.command == "train":
-        return _cmd_train(args)
-    if args.command == "transfer":
-        return _cmd_transfer(args)
+    obs_dir = getattr(args, "obs", None)
+    target = getattr(args, "experiment", None) or getattr(args, "preset", None) or ""
+    telemetry = (
+        obs.session(obs_dir, label=f"{args.command}:{target}") if obs_dir else nullcontext()
+    )
+    with telemetry:
+        if args.command == "list":
+            return _cmd_list()
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "explore":
+            return _cmd_explore(args)
+        if args.command == "train":
+            return _cmd_train(args)
+        if args.command == "transfer":
+            return _cmd_transfer(args)
+        if args.command == "obs":
+            return run_obs(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

@@ -1,0 +1,98 @@
+"""``repro.obs`` — the unified, zero-dependency observability layer.
+
+The paper's headline claim is *low overhead*; this package is how the
+reproduction measures its own.  Four pieces, threaded through every stage of
+the pipeline (exploration → simulator-training → fine-tune → deployment →
+transfer):
+
+* :class:`MetricsRegistry` — counters, gauges, fixed-bucket histograms and
+  labelled families, exportable as a Prometheus text snapshot;
+* :class:`Tracer` / :func:`span` — nested spans recording wall *and* virtual
+  time, plus point-in-time events (supervisor incidents);
+* the JSONL **event log** (:class:`JsonlEventWriter` / :func:`read_events`)
+  — one append-mode file per run directory, resume-safe;
+* **exporters and the CLI** (``automdt obs summary|tail|diff|export``) —
+  reconstruct phases, loss curves and incident timelines from a log.
+
+Instrumentation is free when disabled: every module-level helper is a single
+``None`` check, and ``benchmarks/bench_observability.py`` holds the enabled
+path under a 3% throughput budget.
+
+Usage::
+
+    from repro import obs
+
+    with obs.session("runs/demo", label="demo"):
+        with obs.span("transfer/run"):
+            obs.metric("throughput_mbps", 812.5, t=1.0)
+    print(obs.render_summary(obs.summarize_run("runs/demo")))
+"""
+
+from repro.obs.events import JsonlEventWriter, read_events, tail_events
+from repro.obs.registry import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricsRegistry,
+)
+from repro.obs.session import (
+    EVENTS_FILENAME,
+    PROMETHEUS_FILENAME,
+    ObsSession,
+    active,
+    configure,
+    count,
+    enabled,
+    event,
+    metric,
+    observe,
+    sample,
+    session,
+    set_virtual_time,
+    shutdown,
+    span,
+)
+from repro.obs.summary import (
+    IncidentSummary,
+    RunSummary,
+    diff_runs,
+    render_summary,
+    summarize_run,
+)
+from repro.obs.tracing import SpanRecord, Tracer
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "EVENTS_FILENAME",
+    "PROMETHEUS_FILENAME",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "IncidentSummary",
+    "JsonlEventWriter",
+    "MetricFamily",
+    "MetricsRegistry",
+    "ObsSession",
+    "RunSummary",
+    "SpanRecord",
+    "Tracer",
+    "active",
+    "configure",
+    "count",
+    "diff_runs",
+    "enabled",
+    "event",
+    "metric",
+    "observe",
+    "read_events",
+    "render_summary",
+    "sample",
+    "session",
+    "set_virtual_time",
+    "shutdown",
+    "span",
+    "summarize_run",
+    "tail_events",
+]

@@ -1,0 +1,77 @@
+"""The ``obs`` CLI subcommands: inspect a run directory's event log.
+
+Wired into the main ``automdt`` parser by :mod:`repro.harness.cli`::
+
+    automdt obs summary RUN_DIR          # phases, series, incidents
+    automdt obs tail RUN_DIR [-n 20]     # last N raw events
+    automdt obs diff RUN_A RUN_B         # compare two runs
+    automdt obs export RUN_DIR           # series CSV + Prometheus snapshot
+
+``RUN_DIR`` is a directory produced by ``automdt run <exp> --obs RUN_DIR``
+(or any path to an ``events.jsonl``).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+__all__ = ["add_obs_parser", "run_obs"]
+
+
+def add_obs_parser(sub) -> None:
+    """Register the ``obs`` subcommand on an argparse subparsers object."""
+    obs = sub.add_parser("obs", help="inspect observability run directories")
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+
+    summary = obs_sub.add_parser("summary", help="phases, metric series, incidents")
+    summary.add_argument("run", help="run directory or events.jsonl path")
+
+    tail = obs_sub.add_parser("tail", help="print the last N raw events")
+    tail.add_argument("run", help="run directory or events.jsonl path")
+    tail.add_argument("-n", type=int, default=20, help="number of events (default 20)")
+
+    diff = obs_sub.add_parser("diff", help="compare two runs' series and spans")
+    diff.add_argument("run_a", help="baseline run directory or events.jsonl")
+    diff.add_argument("run_b", help="comparison run directory or events.jsonl")
+
+    export = obs_sub.add_parser("export", help="write series CSV + Prometheus snapshot")
+    export.add_argument("run", help="run directory or events.jsonl path")
+    export.add_argument("--csv", default=None, help="CSV output path")
+
+
+def run_obs(args) -> int:
+    """Dispatch an ``obs`` subcommand; returns the process exit code."""
+    from repro.obs.summary import diff_runs, render_summary, summarize_run
+
+    try:
+        if args.obs_command == "summary":
+            print(render_summary(summarize_run(args.run)))
+            return 0
+        if args.obs_command == "tail":
+            from repro.obs.events import tail_events
+            from repro.obs.summary import resolve_events_path
+
+            for record in tail_events(resolve_events_path(args.run), args.n):
+                print(json.dumps(record, separators=(",", ":")))
+            return 0
+        if args.obs_command == "diff":
+            print(
+                diff_runs(
+                    summarize_run(args.run_a),
+                    summarize_run(args.run_b),
+                    label_a=str(args.run_a),
+                    label_b=str(args.run_b),
+                )
+            )
+            return 0
+        if args.obs_command == "export":
+            from repro.obs.exporters import export_run_csv, write_prometheus_from_events
+
+            print(f"wrote {export_run_csv(args.run, args.csv)}")
+            print(f"wrote {write_prometheus_from_events(args.run)}")
+            return 0
+    except (FileNotFoundError, ValueError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    raise AssertionError(f"unhandled obs command {args.obs_command!r}")  # pragma: no cover

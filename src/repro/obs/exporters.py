@@ -1,0 +1,75 @@
+"""Exporters: turn one run's event log into external formats.
+
+Three targets, matching the three consumers the repo already has:
+
+* **JSONL** is the native format (the event log itself *is* the export);
+* **Prometheus text format** — a point-in-time snapshot of the registry,
+  written automatically as ``metrics.prom`` when a session closes, or
+  rebuildable from the log with :func:`write_prometheus_from_events`;
+* **CSV** via :func:`export_run_csv` — the reconstructed series in the same
+  outer-joined layout :func:`repro.analysis.export.series_to_csv` produces
+  for experiment results, so downstream plotting scripts consume both.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.summary import RunSummary, resolve_events_path, summarize_run
+from repro.utils.timeseries import TimeSeries
+
+__all__ = [
+    "export_run_csv",
+    "registry_from_summary",
+    "run_to_timeseries",
+    "write_prometheus_from_events",
+]
+
+
+def run_to_timeseries(path: str | Path) -> dict[str, TimeSeries]:
+    """All metric/sample series of a run, keyed by series name."""
+    return summarize_run(path).metrics
+
+
+def export_run_csv(path: str | Path, out: str | Path | None = None) -> Path:
+    """Write the run's reconstructed series to one CSV; returns the path.
+
+    ``out`` defaults to ``series.csv`` next to the event log.
+    """
+    from repro.analysis.export import series_to_csv
+
+    events_path = resolve_events_path(path)
+    out = Path(out) if out is not None else events_path.parent / "series.csv"
+    return series_to_csv(run_to_timeseries(events_path), out)
+
+
+def registry_from_summary(summary: RunSummary) -> MetricsRegistry:
+    """Rebuild a best-effort registry from reconstructed series.
+
+    Series become gauges holding their last value plus ``<name>:mean``
+    gauges; span aggregates become ``span_wall_seconds`` family entries.
+    Lossy by design — counters and histograms only live in ``metrics.prom``
+    snapshots — but enough to regenerate a snapshot from an archived log.
+    """
+    registry = MetricsRegistry()
+    for name, series in summary.metrics.items():
+        if len(series):
+            registry.gauge(name).set(series.last)
+            registry.gauge(f"{name}:mean").set(series.mean())
+    spans = registry.gauge("span_wall_seconds", label_names=("span",))
+    for agg in summary.spans.values():
+        spans.labels(span=agg.name).set(agg.wall_seconds)
+    counters = registry.counter("incidents_total", label_names=("kind",))
+    for incident in summary.incidents:
+        counters.labels(kind=incident.kind).inc()
+    return registry
+
+
+def write_prometheus_from_events(path: str | Path, out: str | Path | None = None) -> Path:
+    """Regenerate a Prometheus snapshot from an archived event log."""
+    events_path = resolve_events_path(path)
+    out = Path(out) if out is not None else events_path.parent / "metrics.from-events.prom"
+    registry = registry_from_summary(summarize_run(events_path))
+    out.write_text(registry.to_prometheus())
+    return out

@@ -1,0 +1,319 @@
+"""Zero-dependency metrics primitives: counters, gauges, histograms, families.
+
+The registry is the aggregation half of :mod:`repro.obs` — scalar state that
+is cheap to update on a hot path and exported once, at the end of a run, as a
+Prometheus text-format snapshot or a JSON dict.  Time-*series* data (loss
+curves, per-interval throughput) goes through the event log instead (see
+:mod:`repro.obs.events`); the registry deliberately holds no per-sample
+history so that a million updates cost a million float adds, not a million
+appends.
+
+All metrics are clock-agnostic: nothing here reads wall or virtual time, so
+the same registry works under the emulator's virtual clock and real time.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from collections.abc import Iterator, Sequence
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+]
+
+#: Default histogram bucket upper bounds — spans µs-scale decision latencies
+#: (the paper's 0.00011 s agent claim) up to multi-second stalls.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0,
+)
+
+
+class Counter:
+    """Monotonically increasing value (events seen, bytes moved, retries)."""
+
+    __slots__ = ("name", "labels", "_value")
+    kind = "counter"
+
+    def __init__(self, name: str, labels: dict[str, str] | None = None) -> None:
+        self.name = name
+        self.labels = labels or {}
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative: counters never go down)."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (got {amount})")
+        self._value += amount
+
+    @property
+    def value(self) -> float:
+        """Current total."""
+        return self._value
+
+
+class Gauge:
+    """Value that can go up and down (queue depth, buffer occupancy)."""
+
+    __slots__ = ("name", "labels", "_value")
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: dict[str, str] | None = None) -> None:
+        self.name = name
+        self.labels = labels or {}
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        """Replace the current value."""
+        self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (may be negative)."""
+        self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        """Subtract ``amount``."""
+        self._value -= amount
+
+    @property
+    def value(self) -> float:
+        """Current value."""
+        return self._value
+
+
+class Histogram:
+    """Fixed-bucket histogram (cumulative-bucket export, Prometheus style).
+
+    Buckets are upper bounds; an implicit ``+Inf`` bucket catches the rest.
+    Observing costs one binary search plus two adds — no per-sample storage.
+    """
+
+    __slots__ = ("name", "labels", "buckets", "_counts", "_sum", "_count")
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        labels: dict[str, str] | None = None,
+        *,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        if not buckets or list(buckets) != sorted(buckets):
+            raise ValueError(f"histogram {name!r} buckets must be sorted and non-empty")
+        self.name = name
+        self.labels = labels or {}
+        self.buckets = tuple(float(b) for b in buckets)
+        self._counts = [0] * (len(self.buckets) + 1)  # last slot = +Inf
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        value = float(value)
+        if value != value:  # NaN (e.g. a dropped probe reading): not a sample
+            return
+        self._counts[bisect_left(self.buckets, value)] += 1
+        self._sum += value
+        self._count += 1
+
+    def observe_many(self, values) -> None:
+        """Record a batch of samples in one vectorized pass.
+
+        For end-of-run exports replaying a whole series (the transfer
+        engine's throughput histogram): one numpy ``searchsorted`` +
+        ``bincount`` instead of a binary search per sample.  NaNs are
+        skipped, matching :meth:`observe`.
+        """
+        import numpy as np
+
+        arr = np.asarray(values, dtype=float)
+        arr = arr[arr == arr]  # drop NaN
+        if arr.size == 0:
+            return
+        idx = np.searchsorted(self.buckets, arr, side="left")
+        for slot, n in zip(*np.unique(idx, return_counts=True)):
+            self._counts[int(slot)] += int(n)
+        self._sum += float(arr.sum())
+        self._count += int(arr.size)
+
+    @property
+    def count(self) -> int:
+        """Number of samples observed."""
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        """Sum of all observed samples."""
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        """Mean sample (nan when empty)."""
+        return self._sum / self._count if self._count else float("nan")
+
+    def bucket_counts(self) -> list[tuple[float, int]]:
+        """Cumulative ``(upper_bound, count)`` pairs, ending at ``+Inf``."""
+        out: list[tuple[float, int]] = []
+        running = 0
+        for bound, n in zip((*self.buckets, float("inf")), self._counts):
+            running += n
+            out.append((bound, running))
+        return out
+
+
+class MetricFamily:
+    """A named metric with label dimensions; children are created on demand."""
+
+    def __init__(self, cls: type, name: str, label_names: Sequence[str], **kwargs) -> None:
+        self._cls = cls
+        self.name = name
+        self.label_names = tuple(label_names)
+        self._kwargs = kwargs
+        self._children: dict[tuple[str, ...], object] = {}
+
+    @property
+    def kind(self) -> str:
+        """The metric kind of this family's children."""
+        return self._cls.kind  # type: ignore[attr-defined]
+
+    def labels(self, **labels: str):
+        """The child metric for one label combination (created if new)."""
+        if set(labels) != set(self.label_names):
+            raise ValueError(
+                f"family {self.name!r} expects labels {self.label_names}, got {sorted(labels)}"
+            )
+        key = tuple(str(labels[n]) for n in self.label_names)
+        child = self._children.get(key)
+        if child is None:
+            child = self._cls(self.name, dict(zip(self.label_names, key)), **self._kwargs)
+            self._children[key] = child
+        return child
+
+    def children(self) -> Iterator:
+        """All instantiated children, in creation order."""
+        return iter(self._children.values())
+
+
+class MetricsRegistry:
+    """Holds every metric of one run and renders the export formats.
+
+    ``counter`` / ``gauge`` / ``histogram`` are get-or-create: calling twice
+    with the same name returns the same object, so instrumentation sites
+    don't need to coordinate.  Re-using a name with a different kind raises.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, object] = {}
+
+    def _get_or_create(self, cls: type, name: str, label_names, kwargs):
+        existing = self._metrics.get(name)
+        if existing is not None:
+            want_family = bool(label_names)
+            is_family = isinstance(existing, MetricFamily)
+            kind = existing.kind  # type: ignore[union-attr]
+            if kind != cls.kind or want_family != is_family:
+                raise ValueError(
+                    f"metric {name!r} already registered as {kind}"
+                    f"{' family' if is_family else ''}"
+                )
+            return existing
+        metric = (
+            MetricFamily(cls, name, label_names, **kwargs)
+            if label_names
+            else cls(name, **kwargs)
+        )
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str, *, label_names: Sequence[str] = ()) -> Counter:
+        """Get or create a counter (or counter family when labelled)."""
+        return self._get_or_create(Counter, name, tuple(label_names), {})
+
+    def gauge(self, name: str, *, label_names: Sequence[str] = ()) -> Gauge:
+        """Get or create a gauge (or gauge family when labelled)."""
+        return self._get_or_create(Gauge, name, tuple(label_names), {})
+
+    def histogram(
+        self,
+        name: str,
+        *,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+        label_names: Sequence[str] = (),
+    ) -> Histogram:
+        """Get or create a histogram (or histogram family when labelled)."""
+        return self._get_or_create(
+            Histogram, name, tuple(label_names), {"buckets": tuple(buckets)}
+        )
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __iter__(self) -> Iterator:
+        return iter(self._metrics.values())
+
+    def _flat(self) -> Iterator:
+        for metric in self._metrics.values():
+            if isinstance(metric, MetricFamily):
+                yield from metric.children()
+            else:
+                yield metric
+
+    # ------------------------------------------------------------- exporters
+    def snapshot(self) -> dict:
+        """JSON-friendly dump of every metric's current state."""
+        out: dict[str, list[dict]] = {}
+        for m in self._flat():
+            entry: dict = {"kind": m.kind, "labels": m.labels}
+            if isinstance(m, Histogram):
+                entry.update(
+                    count=m.count,
+                    sum=m.sum,
+                    buckets=[[b, n] for b, n in m.bucket_counts()],
+                )
+            else:
+                entry["value"] = m.value
+            out.setdefault(m.name, []).append(entry)
+        return out
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition format (one snapshot, no timestamps)."""
+        lines: list[str] = []
+        for name, metric in self._metrics.items():
+            prom = name.replace("/", "_").replace(".", "_").replace("-", "_")
+            lines.append(f"# TYPE {prom} {metric.kind}")  # type: ignore[union-attr]
+            children = (
+                metric.children() if isinstance(metric, MetricFamily) else [metric]
+            )
+            for m in children:
+                label_str = _format_labels(m.labels)
+                if isinstance(m, Histogram):
+                    for bound, count in m.bucket_counts():
+                        le = "+Inf" if bound == float("inf") else _format_value(bound)
+                        extra = dict(m.labels, le=le)
+                        lines.append(f"{prom}_bucket{_format_labels(extra)} {count}")
+                    lines.append(f"{prom}_sum{label_str} {_format_value(m.sum)}")
+                    lines.append(f"{prom}_count{label_str} {m.count}")
+                else:
+                    lines.append(f"{prom}{label_str} {_format_value(m.value)}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _format_labels(labels: dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{_escape(v)}"' for k, v in labels.items())
+    return "{" + inner + "}"
+
+
+def _escape(value: str) -> str:
+    return str(value).replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
+def _format_value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))

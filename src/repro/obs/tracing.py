@@ -1,0 +1,164 @@
+"""Span-based tracing over both the wall clock and the virtual clock.
+
+A :class:`Tracer` maintains a stack of open spans (the pipeline runs
+single-threaded, so a plain stack is the whole context machinery) and emits
+one record per closed span to a sink callable — normally the JSONL event log
+of an :class:`repro.obs.session.ObsSession`.  Spans nest: the exploration →
+simulator-training → fine-tune → deployment → transfer phases each open a
+span, and inner instrumentation (``ppo/update``, ``transfer/run``) lands
+underneath whatever phase is active.
+
+Every span records wall time (``time.perf_counter``) *and*, when a virtual
+clock is attached, the emulator/simulator virtual time — so "this PPO update
+took 3 ms of wall time during virtual second 42" is one record.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from functools import wraps
+
+__all__ = ["SpanRecord", "Tracer"]
+
+
+@dataclass
+class SpanRecord:
+    """One (possibly still open) span."""
+
+    name: str
+    parent: str | None = None
+    wall_start: float = 0.0
+    wall_end: float | None = None
+    virtual_start: float | None = None
+    virtual_end: float | None = None
+    attrs: dict = field(default_factory=dict)
+    events: list[dict] = field(default_factory=list)
+    error: str | None = None
+
+    @property
+    def wall_duration(self) -> float | None:
+        """Wall seconds spent inside the span (None while open)."""
+        if self.wall_end is None:
+            return None
+        return self.wall_end - self.wall_start
+
+    @property
+    def virtual_duration(self) -> float | None:
+        """Virtual seconds elapsed inside the span (None without a clock)."""
+        if self.virtual_end is None or self.virtual_start is None:
+            return None
+        return self.virtual_end - self.virtual_start
+
+    def to_dict(self) -> dict:
+        """The event-log record for this span."""
+        record = {
+            "type": "span",
+            "name": self.name,
+            "parent": self.parent,
+            "wall_start": self.wall_start,
+            "wall_end": self.wall_end,
+            "t_start": self.virtual_start,
+            "t_end": self.virtual_end,
+        }
+        if self.attrs:
+            record["attrs"] = self.attrs
+        if self.error is not None:
+            record["error"] = self.error
+        return record
+
+
+class Tracer:
+    """Nested-span recorder; works standalone or attached to a session."""
+
+    def __init__(
+        self,
+        sink: Callable[[dict], None] | None = None,
+        *,
+        wall_clock: Callable[[], float] = time.perf_counter,
+        virtual_clock: Callable[[], float | None] | None = None,
+        keep_finished: bool = True,
+    ) -> None:
+        self.sink = sink
+        self.wall_clock = wall_clock
+        self.virtual_clock = virtual_clock
+        self.keep_finished = keep_finished
+        self._stack: list[SpanRecord] = []
+        self.finished: list[SpanRecord] = []
+
+    def _virtual_now(self) -> float | None:
+        return self.virtual_clock() if self.virtual_clock is not None else None
+
+    @property
+    def current(self) -> SpanRecord | None:
+        """The innermost open span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    @contextmanager
+    def span(self, name: str, **attrs):
+        """Open a span for the duration of the ``with`` block.
+
+        Exceptions propagate; the span is closed with ``error`` set to the
+        exception's repr so the event log shows *where* a run died.
+        """
+        record = SpanRecord(
+            name=name,
+            parent=self._stack[-1].name if self._stack else None,
+            wall_start=self.wall_clock(),
+            virtual_start=self._virtual_now(),
+            attrs=dict(attrs),
+        )
+        self._stack.append(record)
+        try:
+            yield record
+        except BaseException as exc:
+            record.error = repr(exc)
+            raise
+        finally:
+            record.wall_end = self.wall_clock()
+            record.virtual_end = self._virtual_now()
+            popped = self._stack.pop()
+            assert popped is record
+            if self.keep_finished:
+                self.finished.append(record)
+            if self.sink is not None:
+                self.sink(record.to_dict())
+
+    def traced(self, name: str | None = None, **attrs):
+        """Decorator form of :meth:`span` (span named after the function)."""
+
+        def decorate(fn):
+            span_name = name or fn.__qualname__
+
+            @wraps(fn)
+            def wrapper(*args, **kwargs):
+                with self.span(span_name, **attrs):
+                    return fn(*args, **kwargs)
+
+            return wrapper
+
+        return decorate
+
+    def event(self, name: str, *, t: float | None = None, **attrs) -> dict:
+        """Record a point-in-time event, attached to the current span.
+
+        ``t`` is the virtual timestamp; when omitted the virtual clock (if
+        any) is sampled.  The event is appended to the open span's ``events``
+        and emitted to the sink as its own record.
+        """
+        record = {
+            "type": "event",
+            "name": name,
+            "t": t if t is not None else self._virtual_now(),
+            "wall": self.wall_clock(),
+            "span": self._stack[-1].name if self._stack else None,
+        }
+        if attrs:
+            record["attrs"] = attrs
+        if self._stack:
+            self._stack[-1].events.append(record)
+        if self.sink is not None:
+            self.sink(record)
+        return record

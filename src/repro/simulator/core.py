@@ -25,12 +25,16 @@ from __future__ import annotations
 import heapq
 from dataclasses import dataclass
 
+from repro import obs
 from repro.simulator.config import SimulatorConfig
 from repro.utils.errors import SimulationError
 from repro.utils.units import bytes_per_sec_to_mbps, mbps_to_bytes_per_sec
 
 _READ, _NETWORK, _WRITE = 0, 1, 2
 STAGE_NAMES = ("read", "network", "write")
+
+#: Histogram buckets for event-queue depth (tasks = scheduled thread slots).
+_QUEUE_DEPTH_BUCKETS = (2.0, 5.0, 10.0, 20.0, 40.0, 80.0, 160.0, 320.0)
 
 
 @dataclass(frozen=True)
@@ -82,6 +86,11 @@ class IONetworkSimulator:
         self._sender_usage = float(sender_usage)
         self._receiver_usage = float(receiver_usage)
         self._elapsed = 0.0
+        #: Diagnostics of the most recent :meth:`step_second` call — how many
+        #: blocked tasks re-queued after the ε back-off, and the deepest the
+        #: event queue got.  Exported to :mod:`repro.obs` when enabled.
+        self.last_blocked_retries = 0
+        self.last_queue_peak = 0
 
     def _validate_usage(self, sender: float, receiver: float) -> None:
         if not (0.0 <= sender <= self.config.sender_buffer_capacity):
@@ -147,6 +156,8 @@ class IONetworkSimulator:
 
         bytes_moved = [0.0, 0.0, 0.0]
         last_finish = [0.0, 0.0, 0.0]
+        blocked_retries = 0
+        queue_peak = 0
 
         # Schedule the initial task for every thread at t = 0 (Algorithm 1,
         # line 29).  The sequence number breaks ties deterministically.
@@ -159,6 +170,8 @@ class IONetworkSimulator:
         heapq.heapify(queue)
 
         while queue:
+            if len(queue) > queue_peak:
+                queue_peak = len(queue)
             t, _, stage = heapq.heappop(queue)
             amount = 0.0
             if stage == _READ:
@@ -186,6 +199,7 @@ class IONetworkSimulator:
                 t_next = t + d_task + overhead
             else:
                 # Blocked: retry after the ε back-off.
+                blocked_retries += 1
                 t_next = t + eps
             if t_next < horizon:
                 heapq.heappush(queue, (t_next, seq, stage))
@@ -201,6 +215,13 @@ class IONetworkSimulator:
         self._sender_usage = sender
         self._receiver_usage = receiver
         self._elapsed += horizon
+        self.last_blocked_retries = blocked_retries
+        self.last_queue_peak = queue_peak
+        sess = obs.active()
+        if sess is not None:
+            sess.count("sim/steps")
+            sess.count("sim/blocked_retries", blocked_retries)
+            sess.observe("sim/queue_peak", queue_peak, buckets=_QUEUE_DEPTH_BUCKETS)
 
         return StageMetrics(
             throughput_read=throughputs[_READ],

@@ -45,6 +45,19 @@ class FaultEvent:
         """Seconds between losing forward progress and the watchdog firing."""
         return self.t_detected - self.t_onset
 
+    def to_dict(self) -> dict:
+        """JSON-friendly form (inverse of :meth:`from_dict`)."""
+        return {"kind": self.kind, "t_onset": self.t_onset, "t_detected": self.t_detected}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultEvent":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(
+            kind=str(data["kind"]),
+            t_onset=float(data["t_onset"]),
+            t_detected=float(data["t_detected"]),
+        )
+
 
 @dataclass(frozen=True)
 class RecoveryRecord:
@@ -61,6 +74,29 @@ class RecoveryRecord:
     def time_to_recover(self) -> float:
         """Seconds between losing forward progress and progress resuming."""
         return self.t_recovered - self.t_onset
+
+    def to_dict(self) -> dict:
+        """JSON-friendly form (inverse of :meth:`from_dict`)."""
+        return {
+            "kind": self.kind,
+            "t_onset": self.t_onset,
+            "t_detected": self.t_detected,
+            "t_recovered": self.t_recovered,
+            "retries": self.retries,
+            "goodput_lost_bytes": self.goodput_lost_bytes,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RecoveryRecord":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(
+            kind=str(data["kind"]),
+            t_onset=float(data["t_onset"]),
+            t_detected=float(data["t_detected"]),
+            t_recovered=float(data["t_recovered"]),
+            retries=int(data["retries"]),
+            goodput_lost_bytes=float(data["goodput_lost_bytes"]),
+        )
 
 
 class TransferMetrics:
@@ -165,9 +201,22 @@ class TransferMetrics:
 
     def to_dict(self) -> dict:
         """Serialize every series and incident record (JSON-friendly)."""
-        from repro.utils.config import to_jsonable
-
         blob = {name: getattr(self, name).to_dict() for name in _SERIES_NAMES}
-        blob["fault_events"] = [to_jsonable(e) for e in self.fault_events]
-        blob["recoveries"] = [to_jsonable(r) for r in self.recoveries]
+        blob["fault_events"] = [e.to_dict() for e in self.fault_events]
+        blob["recoveries"] = [r.to_dict() for r in self.recoveries]
         return blob
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TransferMetrics":
+        """Rebuild a bundle from :meth:`to_dict` output (archived runs).
+
+        Tolerates missing keys so partial/older dumps still load: absent
+        series stay empty, absent incident lists stay empty.
+        """
+        metrics = cls()
+        for name in _SERIES_NAMES:
+            if name in data:
+                setattr(metrics, name, TimeSeries.from_dict(data[name]))
+        metrics.fault_events = [FaultEvent.from_dict(d) for d in data.get("fault_events", [])]
+        metrics.recoveries = [RecoveryRecord.from_dict(d) for d in data.get("recoveries", [])]
+        return metrics

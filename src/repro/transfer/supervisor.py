@@ -34,6 +34,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro import obs
 from repro.transfer.engine import ModularTransferEngine, Observation, TransferResult
 from repro.transfer.metrics import FaultEvent, RecoveryRecord, TransferMetrics
 from repro.utils.config import (
@@ -215,7 +216,25 @@ class TransferSupervisor:
         return ",".join(kinds) if kinds else "stall"
 
     def run(self, *, resume_from: TransferCheckpoint | None = None) -> SupervisedTransferResult:
-        """Supervised transfer: returns once completed, failed, or out of budget."""
+        """Supervised transfer: returns once completed, failed, or out of budget.
+
+        Under an active observability session the whole supervised transfer
+        runs inside a ``transfer/supervised`` span; each incident emits an
+        ``incident/detected`` event when the watchdog fires and an
+        ``incident/recovered`` event once progress resumes, carrying the
+        onset/detect/recover timestamps the post-mortem needs.
+        """
+        # Pin virtual_start to this supervised transfer's clock origin (a
+        # stale clock from an earlier run would yield a negative duration).
+        obs.set_virtual_time(resume_from.elapsed if resume_from is not None else 0.0)
+        with obs.span(
+            "transfer/supervised",
+            controller=type(self.engine.controller).__name__,
+            resumed=resume_from is not None,
+        ):
+            return self._run(resume_from)
+
+    def _run(self, resume_from: TransferCheckpoint | None) -> SupervisedTransferResult:
         cfg = self.config
         rng = np.random.default_rng(cfg.seed)
         metrics = TransferMetrics()
@@ -261,16 +280,16 @@ class TransferSupervisor:
             if pending is not None and made_progress:
                 # The resumed attempt moved bytes again: the incident is over.
                 lost = max(0.0, (start_time - pending.t_onset) * detector.last_good_rate)
-                metrics.record_recovery(
-                    RecoveryRecord(
-                        kind=pending.kind,
-                        t_onset=pending.t_onset,
-                        t_detected=pending.t_detected,
-                        t_recovered=start_time,
-                        retries=pending_retries,
-                        goodput_lost_bytes=lost,
-                    )
+                recovery = RecoveryRecord(
+                    kind=pending.kind,
+                    t_onset=pending.t_onset,
+                    t_detected=pending.t_detected,
+                    t_recovered=start_time,
+                    retries=pending_retries,
+                    goodput_lost_bytes=lost,
                 )
+                metrics.record_recovery(recovery)
+                obs.event("incident/recovered", t=start_time, **recovery.to_dict())
                 pending = None
                 pending_retries = 0
 
@@ -292,8 +311,14 @@ class TransferSupervisor:
                     kind=self._attribute(detected), t_onset=onset, t_detected=detected
                 )
                 metrics.record_fault(pending)
+                obs.event("incident/detected", t=detected, **pending.to_dict())
+                obs.count("supervisor/incidents")
 
             if retries_used >= cfg.max_retries:
+                obs.event(
+                    "supervisor/gave_up", t=result.completion_time,
+                    retries_used=retries_used, kind=pending.kind,
+                )
                 break
 
             consecutive_fruitless = consecutive_fruitless + 1 if not made_progress else 1
@@ -305,6 +330,11 @@ class TransferSupervisor:
             retries_used += 1
             pending_retries += 1
             resume_at = result.completion_time + delay
+            obs.event(
+                "supervisor/backoff", t=result.completion_time,
+                delay=delay, resume_at=resume_at, retry=retries_used,
+            )
+            obs.count("supervisor/retries")
             if resume_at >= self.engine.config.max_seconds:
                 break  # no budget left to retry into
             checkpoint = TransferCheckpoint(

@@ -6,6 +6,15 @@ wraps any controller and appends one JSON line per decision with the
 observation it saw and the triple it chose, and :func:`load_trace` /
 :func:`summarize_trace` turn a trace back into numbers.
 
+The trace *format* is the :mod:`repro.obs` event log: each record is a JSON
+object with ``"type": "decision"``, written through
+:class:`repro.obs.events.JsonlEventWriter` in append mode.  That makes
+traces resume-safe by default — a checkpoint-resume (the supervisor's
+``start_bytes`` path) or a mid-session ``reset()`` extends the file instead
+of truncating the history — and means ``automdt obs summary`` reads decision
+traces and full observability logs with one parser.  Traces written by older
+versions (no ``type`` field) still load.
+
 Usage::
 
     controller = TraceRecorder(pipeline.controller(), "run.jsonl")
@@ -15,67 +24,74 @@ Usage::
 
 from __future__ import annotations
 
-import json
 from dataclasses import dataclass
 from pathlib import Path
 
 import numpy as np
 
+from repro.obs.events import JsonlEventWriter, read_events
 from repro.transfer.engine import Controller, Observation
 
 
 class TraceRecorder:
-    """Controller wrapper that logs every (observation, decision) pair."""
+    """Controller wrapper that logs every (observation, decision) pair.
 
-    def __init__(self, inner: Controller, path: str | Path, *, flush_every: int = 64) -> None:
+    ``mode="a"`` (default) appends to an existing trace, so one logical
+    transfer that spans several engine runs — checkpoint-resumes, resets —
+    produces one continuous file.  Pass ``mode="w"`` to truncate once at the
+    first write, or call :meth:`truncate` to discard explicitly.
+    """
+
+    def __init__(
+        self,
+        inner: Controller,
+        path: str | Path,
+        *,
+        flush_every: int = 64,
+        mode: str = "a",
+    ) -> None:
         self.inner = inner
         self.path = Path(path)
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        self.flush_every = int(flush_every)
-        self._buffer: list[str] = []
-        self._fh = None
-
-    def _ensure_open(self) -> None:
-        if self._fh is None:
-            self._fh = self.path.open("w")
+        self._writer = JsonlEventWriter(self.path, mode=mode, flush_every=flush_every)
 
     def propose(self, observation: Observation) -> tuple[int, int, int]:
         """Delegate to the wrapped controller and log the exchange."""
         decision = self.inner.propose(observation)
-        record = {
-            "t": observation.elapsed,
-            "threads_before": list(observation.threads),
-            "throughputs": [round(v, 3) for v in observation.throughputs],
-            "sender_free": observation.sender_free,
-            "receiver_free": observation.receiver_free,
-            "bytes_written": observation.bytes_written_total,
-            "decision": list(decision),
-        }
-        self._buffer.append(json.dumps(record))
-        if len(self._buffer) >= self.flush_every:
-            self.flush()
+        self._writer.write(
+            {
+                "type": "decision",
+                "t": observation.elapsed,
+                "threads_before": list(observation.threads),
+                "throughputs": [round(v, 3) for v in observation.throughputs],
+                "sender_free": observation.sender_free,
+                "receiver_free": observation.receiver_free,
+                "bytes_written": observation.bytes_written_total,
+                "decision": list(decision),
+            }
+        )
         return decision
 
     def reset(self) -> None:
-        """Reset the inner controller and start a fresh trace file."""
+        """Reset the inner controller; the trace keeps appending.
+
+        Resume-safe by construction: an engine restart (or the supervisor
+        resuming from checkpoint) must not erase the decisions already on
+        disk.  Use :meth:`truncate` for the old start-a-fresh-file behaviour.
+        """
         self.inner.reset()
-        self.close()
-        self._ensure_open()
+        self.flush()
+
+    def truncate(self) -> None:
+        """Discard everything recorded so far and start an empty trace."""
+        self._writer.truncate()
 
     def flush(self) -> None:
         """Write buffered records to disk."""
-        if self._buffer:
-            self._ensure_open()
-            self._fh.write("\n".join(self._buffer) + "\n")
-            self._fh.flush()
-            self._buffer.clear()
+        self._writer.flush()
 
     def close(self) -> None:
         """Flush and close the trace file."""
-        self.flush()
-        if self._fh is not None:
-            self._fh.close()
-            self._fh = None
+        self._writer.close()
 
     def __enter__(self) -> "TraceRecorder":
         return self
@@ -104,13 +120,19 @@ class TraceSummary:
 
 
 def load_trace(path: str | Path) -> list[dict]:
-    """Read a JSONL trace back into a list of records."""
-    records = []
-    for line in Path(path).read_text().splitlines():
-        line = line.strip()
-        if line:
-            records.append(json.loads(line))
-    return records
+    """Read a JSONL trace back into a list of decision records.
+
+    Tolerant where a post-mortem needs it to be: an empty file yields
+    ``[]``, a truncated final line (process killed mid-append) is dropped,
+    and non-decision observability records sharing the log (spans, metrics)
+    are filtered out — so the trace of a crashed, resumed, fully
+    instrumented run still loads.
+    """
+    return [
+        record
+        for record in read_events(path)
+        if "decision" in record and record.get("type", "decision") == "decision"
+    ]
 
 
 def summarize_trace(records: list[dict]) -> TraceSummary:

@@ -1,5 +1,7 @@
 """PPO agent: memory, returns, update mechanics."""
 
+import math
+
 import numpy as np
 import pytest
 
@@ -103,7 +105,12 @@ class TestAgentUpdate:
         agent = PPOAgent(config=tiny_config(), rng=0)
         self.fill_memory(agent)
         stats = agent.update()
-        assert set(stats) >= {"loss", "actor_loss", "critic_loss", "entropy", "mean_ratio"}
+        assert set(stats) >= {
+            "loss", "actor_loss", "critic_loss", "entropy", "mean_ratio",
+            "approx_kl", "clip_fraction",
+        }
+        assert math.isfinite(stats["approx_kl"])
+        assert 0.0 <= stats["clip_fraction"] <= 1.0
 
     def test_update_changes_parameters(self):
         agent = PPOAgent(config=tiny_config(), rng=0)

@@ -1,0 +1,121 @@
+"""Metrics registry: counters, gauges, histograms, families, exporters."""
+
+import pytest
+
+from repro.obs.registry import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter("x")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_rejects_decrease(self):
+        with pytest.raises(ValueError):
+            Counter("x").inc(-1)
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("x")
+        g.set(5.0)
+        g.inc(2.0)
+        g.dec(3.0)
+        assert g.value == 4.0
+
+
+class TestHistogram:
+    def test_bucket_placement(self):
+        h = Histogram("lat", buckets=(1.0, 10.0))
+        for v in (0.5, 5.0, 50.0):
+            h.observe(v)
+        assert h.count == 3
+        assert h.sum == pytest.approx(55.5)
+        assert h.bucket_counts() == [(1.0, 1), (10.0, 2), (float("inf"), 3)]
+
+    def test_nan_skipped(self):
+        h = Histogram("lat", buckets=(1.0,))
+        h.observe(float("nan"))
+        assert h.count == 0
+
+    def test_mean_empty_is_nan(self):
+        h = Histogram("lat", buckets=(1.0,))
+        assert h.mean != h.mean
+
+    def test_unsorted_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("lat", buckets=(10.0, 1.0))
+
+    def test_observe_many_matches_observe(self):
+        values = [0.5, 5.0, 50.0, 0.001, float("nan"), 9.99, 10.0]
+        one = Histogram("a", buckets=(1.0, 10.0))
+        bulk = Histogram("b", buckets=(1.0, 10.0))
+        for v in values:
+            one.observe(v)
+        bulk.observe_many(values)
+        assert bulk.count == one.count
+        assert bulk.sum == pytest.approx(one.sum)
+        assert bulk.bucket_counts() == one.bucket_counts()
+
+    def test_observe_many_empty(self):
+        h = Histogram("a", buckets=(1.0,))
+        h.observe_many([])
+        h.observe_many([float("nan")])
+        assert h.count == 0
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_object(self):
+        reg = MetricsRegistry()
+        assert reg.counter("n") is reg.counter("n")
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("n")
+        with pytest.raises(ValueError):
+            reg.gauge("n")
+
+    def test_family_children_by_labels(self):
+        reg = MetricsRegistry()
+        fam = reg.counter("incidents", label_names=("kind",))
+        fam.labels(kind="link_flap").inc()
+        fam.labels(kind="link_flap").inc()
+        fam.labels(kind="stall").inc()
+        assert fam.labels(kind="link_flap").value == 2
+
+    def test_family_wrong_labels_raises(self):
+        reg = MetricsRegistry()
+        fam = reg.gauge("g", label_names=("stage",))
+        with pytest.raises(ValueError):
+            fam.labels(other="x")
+
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(2)
+        reg.histogram("h", buckets=(1.0,)).observe(0.5)
+        snap = reg.snapshot()
+        assert snap["c"][0]["value"] == 2
+        assert snap["h"][0]["count"] == 1
+
+    def test_prometheus_text_format(self):
+        reg = MetricsRegistry()
+        reg.counter("transfer/bytes").inc(100)
+        reg.histogram("lat", buckets=(1.0,)).observe(0.5)
+        fam = reg.gauge("stage_usage", label_names=("stage",))
+        fam.labels(stage="read").set(0.7)
+        text = reg.to_prometheus()
+        assert "# TYPE transfer_bytes counter" in text
+        assert "transfer_bytes 100" in text
+        assert 'lat_bucket{le="+Inf"} 1' in text
+        assert 'stage_usage{stage="read"} 0.7' in text
+
+    def test_default_buckets_sorted(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)

@@ -1,0 +1,122 @@
+"""ObsSession lifecycle, module-level helpers, no-op fast path."""
+
+import pytest
+
+from repro import obs
+from repro.obs.events import read_events
+from repro.obs.session import EVENTS_FILENAME, PROMETHEUS_FILENAME, ObsSession
+
+
+@pytest.fixture(autouse=True)
+def _clean_global_session():
+    obs.shutdown()
+    yield
+    obs.shutdown()
+
+
+class TestDisabledFastPath:
+    def test_helpers_are_noops(self):
+        assert not obs.enabled()
+        assert obs.active() is None
+        obs.metric("x", 1.0)
+        obs.sample("s", t=0.0, v=1.0)
+        obs.count("c")
+        obs.observe("h", 0.5)
+        obs.event("e")
+        obs.set_virtual_time(1.0)
+        with obs.span("nothing"):
+            pass  # shared null context
+
+    def test_span_returns_shared_null_context(self):
+        assert obs.span("a") is obs.span("b")
+
+
+class TestSessionLifecycle:
+    def test_session_writes_log_and_snapshot(self, tmp_path):
+        with obs.session(tmp_path, label="t") as sess:
+            assert obs.enabled() and obs.active() is sess
+            with obs.span("phase", attempt=1):
+                obs.metric("m", 2.0, t=1.0)
+                obs.count("c", 3)
+        assert not obs.enabled()
+        records = read_events(tmp_path / EVENTS_FILENAME)
+        types = [r["type"] for r in records]
+        assert types[0] == "meta" and types[-1] == "meta"
+        assert "span" in types and "metric" in types
+        closing = records[-1]
+        assert closing["closed"] is True
+        assert closing["events_emitted"] == len(records) - 1
+        assert closing["overhead_seconds"] >= 0.0
+        prom = (tmp_path / PROMETHEUS_FILENAME).read_text()
+        assert "c 3" in prom
+
+    def test_in_memory_session_has_no_writer(self):
+        sess = ObsSession()
+        sess.metric("m", 1.0)
+        sess.count("c")
+        with sess.span("a"):
+            pass
+        assert sess.overhead_seconds == 0.0
+        assert sess.tracer.finished[0].name == "a"
+        sess.close()  # no run_dir: nothing written, no error
+
+    def test_configure_closes_previous(self, tmp_path):
+        first = obs.configure(tmp_path / "a")
+        obs.configure(tmp_path / "b")
+        # The first session was closed: its log ends with the closing meta.
+        assert read_events(tmp_path / "a" / EVENTS_FILENAME)[-1]["closed"] is True
+        assert first._closed
+        obs.shutdown()
+        obs.shutdown()  # idempotent
+
+    def test_exception_still_closes(self, tmp_path):
+        with pytest.raises(RuntimeError):
+            with obs.session(tmp_path):
+                raise RuntimeError("boom")
+        assert read_events(tmp_path / EVENTS_FILENAME)[-1]["closed"] is True
+
+
+class TestEmission:
+    def test_metric_sets_gauge_and_logs(self, tmp_path):
+        with obs.session(tmp_path) as sess:
+            obs.metric("queue/depth", 4.0, t=2.0)
+            assert sess.registry.gauge("queue/depth").value == 4.0
+        rec = next(
+            r for r in read_events(tmp_path / EVENTS_FILENAME) if r["type"] == "metric"
+        )
+        assert (rec["name"], rec["t"], rec["value"]) == ("queue/depth", 2.0, 4.0)
+
+    def test_sample_multifield(self, tmp_path):
+        with obs.session(tmp_path):
+            obs.sample("train/episode", t=0.0, reward=1.5, best_reward=2.0)
+        rec = next(
+            r for r in read_events(tmp_path / EVENTS_FILENAME) if r["type"] == "sample"
+        )
+        assert rec["reward"] == 1.5 and rec["best_reward"] == 2.0
+
+    def test_sample_columns_counts_events(self, tmp_path):
+        fmt = '{"type":"sample","name":"s","t":%.3f,"v":%.3f}'
+        with obs.session(tmp_path) as sess:
+            before = sess.events_emitted
+            sess.sample_columns(fmt, ([0.0, 1.0], [5.0, 6.0]), 2)
+            assert sess.events_emitted == before + 2
+        samples = [
+            r for r in read_events(tmp_path / EVENTS_FILENAME) if r["type"] == "sample"
+        ]
+        assert [r["v"] for r in samples] == [5.0, 6.0]
+
+    def test_virtual_time_defaults_sample_t(self, tmp_path):
+        with obs.session(tmp_path):
+            obs.set_virtual_time(42.0)
+            obs.metric("m", 1.0)
+        rec = next(
+            r for r in read_events(tmp_path / EVENTS_FILENAME) if r["type"] == "metric"
+        )
+        assert rec["t"] == 42.0
+
+    def test_append_default_across_sessions(self, tmp_path):
+        for _ in range(2):
+            with obs.session(tmp_path):
+                obs.metric("m", 1.0, t=0.0)
+        records = read_events(tmp_path / EVENTS_FILENAME)
+        assert sum(1 for r in records if r["type"] == "metric") == 2

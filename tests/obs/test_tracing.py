@@ -1,0 +1,103 @@
+"""Span tracer: nesting, wall + virtual durations, errors, events."""
+
+import pytest
+
+from repro.obs.tracing import Tracer
+
+
+def make_tracer(sink=None):
+    wall = {"t": 0.0}
+    virtual = {"t": None}
+
+    def wall_clock():
+        wall["t"] += 1.0
+        return wall["t"]
+
+    tracer = Tracer(
+        sink=sink, wall_clock=wall_clock, virtual_clock=lambda: virtual["t"]
+    )
+    return tracer, virtual
+
+
+class TestSpans:
+    def test_records_wall_duration(self):
+        tracer, _ = make_tracer()
+        with tracer.span("a"):
+            pass
+        (span,) = tracer.finished
+        assert span.wall_duration == 1.0
+
+    def test_nesting_sets_parent(self):
+        tracer, _ = make_tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                assert tracer.current.name == "inner"
+        names = {s.name: s for s in tracer.finished}
+        assert names["inner"].parent == "outer"
+        assert names["outer"].parent is None
+
+    def test_virtual_clock_sampled_at_boundaries(self):
+        tracer, virtual = make_tracer()
+        virtual["t"] = 10.0
+        with tracer.span("a"):
+            virtual["t"] = 25.0
+        (span,) = tracer.finished
+        assert span.virtual_duration == 15.0
+
+    def test_no_virtual_clock_means_none(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        assert tracer.finished[0].virtual_duration is None
+
+    def test_exception_recorded_and_propagated(self):
+        records = []
+        tracer, _ = make_tracer(sink=records.append)
+        with pytest.raises(RuntimeError):
+            with tracer.span("doomed"):
+                raise RuntimeError("boom")
+        assert "RuntimeError" in tracer.finished[0].error
+        assert records[0]["error"] == tracer.finished[0].error
+        assert tracer.current is None  # stack unwound
+
+    def test_sink_record_shape(self):
+        records = []
+        tracer, virtual = make_tracer(sink=records.append)
+        virtual["t"] = 5.0
+        with tracer.span("a", attempt=2):
+            pass
+        (rec,) = records
+        assert rec["type"] == "span"
+        assert rec["name"] == "a"
+        assert rec["attrs"] == {"attempt": 2}
+        assert rec["t_start"] == rec["t_end"] == 5.0
+
+    def test_decorator(self):
+        tracer, _ = make_tracer()
+
+        @tracer.traced()
+        def work(x):
+            return x * 2
+
+        assert work(3) == 6
+        assert tracer.finished[0].name.endswith("work")
+
+
+class TestEvents:
+    def test_event_attaches_to_open_span(self):
+        records = []
+        tracer, virtual = make_tracer(sink=records.append)
+        virtual["t"] = 7.0
+        with tracer.span("phase"):
+            tracer.event("incident/detected", kind="stall")
+        event = next(r for r in records if r["type"] == "event")
+        assert event["span"] == "phase"
+        assert event["t"] == 7.0
+        assert event["attrs"] == {"kind": "stall"}
+        assert tracer.finished[0].events == [event]
+
+    def test_event_with_explicit_time(self):
+        tracer, _ = make_tracer()
+        record = tracer.event("e", t=3.5)
+        assert record["t"] == 3.5
+        assert record["span"] is None

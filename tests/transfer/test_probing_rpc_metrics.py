@@ -221,3 +221,38 @@ class TestIncidentRecords:
         blob = m.to_dict()
         assert blob["fault_events"][0]["kind"] == "link_flap"
         assert blob["recoveries"][0]["t_recovered"] == 4.0
+
+    def test_fault_event_dict_round_trip(self):
+        event = FaultEvent("link_flap", 10.0, 15.5)
+        assert FaultEvent.from_dict(event.to_dict()) == event
+
+    def test_recovery_record_dict_round_trip(self):
+        record = RecoveryRecord("stall", 10.0, 15.5, 21.25, 2, 5e8)
+        assert RecoveryRecord.from_dict(record.to_dict()) == record
+
+    def test_metrics_dict_round_trip_survives_json(self):
+        import json
+
+        m = TransferMetrics()
+        for t in (1.0, 2.0):
+            m.record(
+                t, throughputs=(1.5, 2.5, 3.5), threads=(1, 2, 3),
+                sender_usage=0.1, receiver_usage=0.2,
+                utility=0.5, bytes_written_total=t * 1e9,
+            )
+        m.record_fault(FaultEvent("link_flap", 1.0, 2.0))
+        m.record_recovery(RecoveryRecord("link_flap", 1.0, 2.0, 4.0, 1, 1e8))
+        rebuilt = TransferMetrics.from_dict(json.loads(json.dumps(m.to_dict())))
+        assert list(rebuilt.throughput_write.values) == list(m.throughput_write.values)
+        assert list(rebuilt.utility.times) == [1.0, 2.0]
+        assert rebuilt.fault_events == m.fault_events
+        assert rebuilt.recoveries == m.recoveries
+
+    def test_from_dict_tolerates_partial_blob(self):
+        rebuilt = TransferMetrics.from_dict(
+            {"throughput_write": {"name": "throughput_write",
+                                  "times": [0.0], "values": [100.0]}}
+        )
+        assert len(rebuilt.throughput_write) == 1
+        assert len(rebuilt.threads_read) == 0
+        assert rebuilt.fault_events == [] and rebuilt.recoveries == []

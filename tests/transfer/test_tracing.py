@@ -40,9 +40,10 @@ class TestTraceRecorder:
         path, _ = self.run_traced(tmp_path)
         record = load_trace(path)[0]
         assert set(record) == {
-            "t", "threads_before", "throughputs", "sender_free",
+            "type", "t", "threads_before", "throughputs", "sender_free",
             "receiver_free", "bytes_written", "decision",
         }
+        assert record["type"] == "decision"
         assert record["decision"] == [13, 7, 5]
 
     def test_valid_jsonl(self, tmp_path):
@@ -50,9 +51,12 @@ class TestTraceRecorder:
         for line in path.read_text().strip().splitlines():
             json.loads(line)
 
-    def test_reset_truncates(self, tmp_path):
+    def test_reset_appends(self, tmp_path):
+        # Resume-safety: a second engine run through the same recorder
+        # extends the trace instead of erasing the first run's records.
         path = tmp_path / "t.jsonl"
         recorder = TraceRecorder(StaticController((2, 2, 2)), path)
+        counts = []
         for _ in range(2):
             engine = ModularTransferEngine(
                 Testbed(fig5_read_bottleneck(), rng=0),
@@ -61,10 +65,33 @@ class TestTraceRecorder:
                 EngineConfig(max_seconds=120),
             )
             engine.run()
+            recorder.flush()
+            counts.append(len(load_trace(path)))
+        recorder.close()
+        assert counts[1] == 2 * counts[0]
+        # The resume boundary is visible as a time reset mid-file.
+        records = load_trace(path)
+        assert records[counts[0]]["t"] == 0.0
+        assert records[counts[0] - 1]["t"] > 0.0
+
+    def test_truncate_discards_history(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        recorder = TraceRecorder(StaticController((2, 2, 2)), path)
+        for i in range(2):
+            engine = ModularTransferEngine(
+                Testbed(fig5_read_bottleneck(), rng=0),
+                uniform_dataset(1, 5e8),
+                recorder,
+                EngineConfig(max_seconds=120),
+            )
+            if i == 1:
+                recorder.truncate()
+            engine.run()
         recorder.close()
         records = load_trace(path)
-        # Only the second run's records (reset truncated the file).
+        # Only the second run's records survive the explicit truncate.
         assert records[0]["t"] == 0.0
+        assert sum(1 for r in records if r["t"] == 0.0) == 1
 
     def test_context_manager(self, tmp_path):
         path = tmp_path / "cm.jsonl"
@@ -74,6 +101,44 @@ class TestTraceRecorder:
             obs = Observation((1, 1, 1), (0, 0, 0), 1, 1, 1, 1, 0.0, 0.0)
             recorder.propose(obs)
         assert len(load_trace(path)) == 1
+
+
+class TestLoadTraceEdgeCases:
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert load_trace(path) == []
+
+    def test_truncated_final_line_dropped(self, tmp_path):
+        path, _ = TestTraceRecorder().run_traced(tmp_path)
+        full = load_trace(path)
+        # Simulate a process killed mid-append: chop the last line in half.
+        text = path.read_text()
+        path.write_text(text[: len(text) - len(text.splitlines()[-1]) // 2 - 1])
+        assert len(load_trace(path)) == len(full) - 1
+
+    def test_mid_file_corruption_raises(self, tmp_path):
+        path, _ = TestTraceRecorder().run_traced(tmp_path)
+        lines = path.read_text().splitlines()
+        lines[1] = lines[1][:5]  # damage an interior line
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError):
+            load_trace(path)
+
+    def test_filters_non_decision_records(self, tmp_path):
+        path, _ = TestTraceRecorder().run_traced(tmp_path)
+        n = len(load_trace(path))
+        with path.open("a") as fh:
+            fh.write('{"type":"metric","name":"x","t":1.0,"value":2.0}\n')
+        assert len(load_trace(path)) == n
+
+    def test_legacy_records_without_type(self, tmp_path):
+        path = tmp_path / "old.jsonl"
+        path.write_text(
+            '{"t":0.0,"decision":[1,1,1],"throughputs":[0,0,0]}\n'
+        )
+        records = load_trace(path)
+        assert len(records) == 1 and records[0]["decision"] == [1, 1, 1]
 
 
 class TestSummarizeTrace:
