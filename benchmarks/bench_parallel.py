@@ -1,0 +1,285 @@
+"""Process-pool benchmark: serial vs parallel sweeps + simulator hot path.
+
+Three sections, one machine-readable report (``BENCH_parallel.json`` at the
+repo root, like the other ``BENCH_*.json`` artifacts):
+
+* ``sweep`` — a real multi-seed experiment sweep (``figure1``) through
+  :func:`repro.harness.multirun.run_seeded`, serial vs ``--workers``
+  processes.  CPU-bound: the speedup ceiling is the machine's core count,
+  which the report records (a 1-core CI box honestly reports ~1×).
+* ``io_bound`` — the same pool driving sleep-dominated tasks, isolating
+  the orchestration overhead from the compute ceiling: even on one core
+  the pool overlaps waiting, so this section demonstrates the dispatch
+  machinery works at near-ideal speedup.
+* ``sim_hotpath`` — ``IONetworkSimulator.step_second`` with the rate
+  cache on vs off over held thread triples (the training-loop access
+  pattern), asserting throughput values are bit-identical.
+
+Run standalone (what the CI ``bench-smoke`` job does)::
+
+    PYTHONPATH=src python benchmarks/bench_parallel.py --quick
+
+Exits 1 if parallel results diverge from serial or the cached simulator
+changes any throughput value; speed numbers are reported, not gated —
+they are hardware statements, not correctness ones.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+# ------------------------------------------------------------------ sections
+def _sleep_task(seconds: float) -> float:
+    time.sleep(seconds)
+    return seconds
+
+
+def bench_io_bound(*, tasks: int = 8, seconds: float = 0.25, workers: int = 4) -> dict:
+    """Sleep-dominated tasks: pool overlap without a core-count ceiling."""
+    from repro.parallel import ParallelMap
+
+    items = [seconds] * tasks
+    t0 = time.perf_counter()
+    serial = ParallelMap(_sleep_task, workers=1).map_values(items)
+    serial_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    parallel = ParallelMap(_sleep_task, workers=workers).map_values(items)
+    parallel_s = time.perf_counter() - t0
+    assert serial == parallel
+    return {
+        "tasks": tasks,
+        "seconds_per_task": seconds,
+        "workers": workers,
+        "serial_wall_s": round(serial_s, 3),
+        "parallel_wall_s": round(parallel_s, 3),
+        "speedup": round(serial_s / parallel_s, 2),
+        "ideal_speedup": min(workers, tasks),
+    }
+
+
+def bench_sweep(*, seeds: int = 10, workers: int = 4) -> dict:
+    """Real experiment sweep (figure1 × seeds), serial vs process pool."""
+    from repro.harness.experiments import experiment_figure1
+    from repro.harness.multirun import run_seeded
+
+    seed_list = list(range(seeds))
+    t0 = time.perf_counter()
+    serial = run_seeded(experiment_figure1, seed_list, workers=1)
+    serial_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    parallel = run_seeded(experiment_figure1, seed_list, workers=workers)
+    parallel_s = time.perf_counter() - t0
+    identical = serial.stats == parallel.stats
+    return {
+        "experiment": "figure1",
+        "seeds": seeds,
+        "workers": workers,
+        "serial_wall_s": round(serial_s, 3),
+        "parallel_wall_s": round(parallel_s, 3),
+        "speedup": round(serial_s / parallel_s, 2),
+        "aggregates_identical": identical,
+    }
+
+
+def _make_reference_simulator(config):
+    """The pre-optimisation ``step_second`` as a benchmark baseline.
+
+    Replicates the original loop — rates/chunks/queue rebuilt per call,
+    heapify, list-indexed accumulators, ``len()``-tracked queue peak — so
+    the hot-path section measures before/after rather than just the cache
+    toggle within the optimised code.
+    """
+    import heapq
+
+    from repro.simulator.core import (
+        _NETWORK,
+        _READ,
+        _WRITE,
+        IONetworkSimulator,
+        StageMetrics,
+    )
+    from repro.utils.units import bytes_per_sec_to_mbps, mbps_to_bytes_per_sec
+
+    class ReferenceSimulator(IONetworkSimulator):
+        def step_second(self, threads):
+            cfg = self.config
+            n = self._clamp_threads(threads)
+            rates = [
+                mbps_to_bytes_per_sec(min(tpt, bw / n_i))
+                for tpt, bw, n_i in zip(cfg.tpt, cfg.bandwidth, n)
+            ]
+            chunks = [
+                max(cfg.min_chunk_bytes, rate * cfg.chunk_seconds) for rate in rates
+            ]
+            horizon, eps, overhead = cfg.duration, cfg.epsilon, cfg.task_overhead
+            sender_cap = cfg.sender_buffer_capacity
+            receiver_cap = cfg.receiver_buffer_capacity
+            sender, receiver = self._sender_usage, self._receiver_usage
+            bytes_moved = [0.0, 0.0, 0.0]
+            last_finish = [0.0, 0.0, 0.0]
+            blocked_retries = 0
+            queue_peak = 0
+            queue = []
+            seq = 0
+            for stage in (_READ, _NETWORK, _WRITE):
+                for _ in range(n[stage]):
+                    queue.append((0.0, seq, stage))
+                    seq += 1
+            heapq.heapify(queue)
+            while queue:
+                if len(queue) > queue_peak:
+                    queue_peak = len(queue)
+                t, _, stage = heapq.heappop(queue)
+                amount = 0.0
+                if stage == _READ:
+                    free = sender_cap - sender
+                    if free > 0.0:
+                        amount = min(chunks[_READ], free)
+                        sender += amount
+                elif stage == _NETWORK:
+                    free = receiver_cap - receiver
+                    if sender > 0.0 and free > 0.0:
+                        amount = min(chunks[_NETWORK], sender, free)
+                        sender -= amount
+                        receiver += amount
+                else:
+                    if receiver > 0.0:
+                        amount = min(chunks[_WRITE], receiver)
+                        receiver -= amount
+                if amount > 0.0:
+                    d_task = amount / rates[stage]
+                    bytes_moved[stage] += amount
+                    finish = t + d_task
+                    if finish > last_finish[stage]:
+                        last_finish[stage] = finish
+                    t_next = t + d_task + overhead
+                else:
+                    blocked_retries += 1
+                    t_next = t + eps
+                if t_next < horizon:
+                    heapq.heappush(queue, (t_next, seq, stage))
+                    seq += 1
+            throughputs = [
+                bytes_per_sec_to_mbps(bytes_moved[s] / max(horizon, last_finish[s]))
+                for s in range(3)
+            ]
+            self._sender_usage, self._receiver_usage = sender, receiver
+            self._elapsed += horizon
+            self.last_blocked_retries = blocked_retries
+            self.last_queue_peak = queue_peak
+            return StageMetrics(
+                throughput_read=throughputs[_READ],
+                throughput_network=throughputs[_NETWORK],
+                throughput_write=throughputs[_WRITE],
+                sender_usage=sender,
+                receiver_usage=receiver,
+                sender_free=sender_cap - sender,
+                receiver_free=receiver_cap - receiver,
+                threads=n,
+            )
+
+    return ReferenceSimulator(config)
+
+
+def bench_sim_hotpath(*, steps: int = 2000, held_triples: int = 8) -> dict:
+    """step_second: pre-optimisation baseline vs cache off vs cache on."""
+    from repro.simulator.config import SimulatorConfig
+    from repro.simulator.core import IONetworkSimulator
+
+    config = SimulatorConfig(
+        tpt_read=80.0, tpt_network=160.0, tpt_write=200.0,
+        bandwidth_read=1000.0, bandwidth_network=1000.0, bandwidth_write=1000.0,
+        max_threads=20, label="bench-parallel",
+    )
+    rng = np.random.default_rng(0)
+    base = [tuple(int(v) for v in rng.integers(1, 21, 3)) for _ in range(held_triples)]
+    sequence = (base * (steps // held_triples + 1))[:steps]
+
+    def run(make) -> tuple[float, list]:
+        sim = make()
+        outputs = []
+        t0 = time.perf_counter()
+        for triple in sequence:
+            outputs.append(sim.step_second(triple).throughputs)
+        return time.perf_counter() - t0, outputs
+
+    arms = {
+        "reference": lambda: _make_reference_simulator(config),
+        "cache_off": lambda: IONetworkSimulator(config, cache_rates=False),
+        "cache_on": lambda: IONetworkSimulator(config, cache_rates=True),
+    }
+    for make in arms.values():  # warm-up pass per arm
+        run(make)
+    walls, outs = {}, {}
+    for name, make in arms.items():
+        walls[name], outs[name] = run(make)
+    return {
+        "steps": steps,
+        "held_triples": held_triples,
+        "reference_wall_s": round(walls["reference"], 3),
+        "cache_off_wall_s": round(walls["cache_off"], 3),
+        "cache_on_wall_s": round(walls["cache_on"], 3),
+        "speedup_vs_reference": round(walls["reference"] / walls["cache_on"], 2),
+        "cache_speedup": round(walls["cache_off"] / walls["cache_on"], 2),
+        "throughput_identical": outs["reference"] == outs["cache_off"] == outs["cache_on"],
+    }
+
+
+# ------------------------------------------------------------------- report
+def run_bench(*, quick: bool = False, workers: int = 4,
+              out: str | Path | None = None) -> dict:
+    from repro.parallel import available_workers
+
+    report = {
+        "bench": "parallel",
+        "cpu_count": available_workers(),
+        "quick": quick,
+        "sweep": bench_sweep(seeds=4 if quick else 10, workers=workers),
+        "io_bound": bench_io_bound(
+            tasks=4 if quick else 8,
+            seconds=0.2 if quick else 0.25,
+            workers=workers,
+        ),
+        "sim_hotpath": bench_sim_hotpath(steps=800 if quick else 2000),
+    }
+    report["ok"] = bool(
+        report["sweep"]["aggregates_identical"]
+        and report["sim_hotpath"]["throughput_identical"]
+    )
+    out = Path(out) if out is not None else REPO_ROOT / "BENCH_parallel.json"
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    report["out"] = str(out)
+    return report
+
+
+def test_parallel_bench_quick(tmp_path):
+    """Pytest entry: quick-mode correctness gates must hold."""
+    report = run_bench(quick=True, workers=2, out=tmp_path / "BENCH_parallel.json")
+    assert report["ok"], report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="smaller budgets (CI smoke)")
+    parser.add_argument("--workers", type=int, default=4, help="pool size for the sweeps")
+    parser.add_argument("--out", default=None, help="report path (default: repo root)")
+    args = parser.parse_args(argv)
+    report = run_bench(quick=args.quick, workers=args.workers, out=args.out)
+    print(json.dumps(report, indent=2))
+    if not report["ok"]:
+        print("FAIL: parallel or cached results diverged from serial", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -4,13 +4,26 @@ Not a paper figure — the performance study of the repo's own training
 path.  The vectorized trainer batches B environments per policy forward
 (hpc-parallel vectorization) and must (a) be faster per episode and (b)
 still converge on the reference scenario.
+
+Besides the pytest-benchmark entries, running the module standalone
+(``PYTHONPATH=src python benchmarks/bench_vectorized.py [--quick]``)
+writes a machine-readable ``BENCH_vectorized.json`` at the repo root,
+matching the other ``BENCH_*.json`` artifacts.
 """
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
 
 import numpy as np
 
 from repro.core import PPOAgent, PPOConfig, SimulatorEnv, TrainingConfig, train
 from repro.core.vectorized import VectorizedSimulatorEnv, train_vectorized
 from repro.simulator import SimulatorConfig
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
 
 
 def _config():
@@ -78,3 +91,67 @@ def test_vectorized_faster_and_still_learns(benchmark):
     assert vector_rate > serial_rate
     # And both runs produce comparable learning signal at this tiny budget.
     assert vector.episode_rewards[-40:].mean() > serial.episode_rewards[:40].mean() - 1.0
+
+
+# --------------------------------------------------------------- standalone
+def run_bench(*, episodes: int = EPISODES, batch_size: int = 8,
+              out: str | Path | None = None) -> dict:
+    """Head-to-head serial vs vectorized; writes ``BENCH_vectorized.json``."""
+    t0 = time.perf_counter()
+    serial = train(
+        PPOAgent(config=PPOConfig(), rng=0),
+        SimulatorEnv(_config(), rng=0),
+        TrainingConfig(max_episodes=episodes, stagnation_episodes=episodes),
+    )
+    serial_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    vector = train_vectorized(
+        PPOAgent(config=PPOConfig(), rng=0),
+        VectorizedSimulatorEnv(_config(), batch_size=batch_size, rng=0),
+        TrainingConfig(max_episodes=episodes, stagnation_episodes=episodes),
+    )
+    vector_s = time.perf_counter() - t0
+
+    report = {
+        "bench": "vectorized",
+        "episodes": episodes,
+        "batch_size": batch_size,
+        "serial_wall_s": round(serial_s, 3),
+        "vectorized_wall_s": round(vector_s, 3),
+        "serial_eps_per_sec": round(episodes / serial_s, 1),
+        "vectorized_eps_per_sec": round(vector.episodes_run / vector_s, 1),
+        "serial_total_steps": serial.total_steps,
+        "vectorized_total_steps": vector.total_steps,
+        "rewards_finite": bool(np.isfinite(vector.episode_rewards).all()),
+    }
+    report["speedup"] = round(
+        (vector.episodes_run / vector_s) / (episodes / serial_s), 2
+    )
+    report["ok"] = report["rewards_finite"] and report["speedup"] > 1.0
+    out = Path(out) if out is not None else REPO_ROOT / "BENCH_vectorized.json"
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    report["out"] = str(out)
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="smaller budget (CI smoke)")
+    parser.add_argument("--batch-size", type=int, default=8)
+    parser.add_argument("--out", default=None, help="report path (default: repo root)")
+    args = parser.parse_args(argv)
+    report = run_bench(
+        episodes=48 if args.quick else EPISODES,
+        batch_size=args.batch_size,
+        out=args.out,
+    )
+    print(json.dumps(report, indent=2))
+    if not report["ok"]:
+        print("FAIL: vectorized trainer slower than serial or non-finite", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

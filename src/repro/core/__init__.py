@@ -16,6 +16,11 @@ from repro.core.agent import AutoMDT
 from repro.core.env import SimulatorEnv, TestbedEnv
 from repro.core.exploration import ExplorationProfile, run_exploration
 from repro.core.networks import PolicyNetwork, ValueNetwork
+from repro.core.population import (
+    PopulationMember,
+    PopulationResult,
+    train_population,
+)
 from repro.core.ppo import PPOAgent, PPOConfig, RolloutMemory
 from repro.core.production import AutoMDTController
 from repro.core.training import TrainingConfig, TrainingResult, train
@@ -40,4 +45,7 @@ __all__ = [
     "UtilityFunction",
     "VectorizedSimulatorEnv",
     "train_vectorized",
+    "PopulationMember",
+    "PopulationResult",
+    "train_population",
 ]

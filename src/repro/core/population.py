@@ -1,0 +1,149 @@
+"""Population training: K agents on K scenario variants, best-by-eval.
+
+The paper trains one agent on one exploration-derived scenario.  A
+population run hedges that choice: each member trains on its own
+:class:`~repro.simulator.config.SimulatorConfig` variant (e.g. perturbed
+throttle estimates, different buffer provisioning) with fully independent
+RNG streams, every trained member is evaluated with a deterministic policy
+on its own scenario, and the best evaluation reward wins.
+
+Members are independent, so the population fans out over
+:class:`repro.parallel.ParallelMap` — member seeds come from
+:func:`repro.parallel.seeds.derive_seed`, a pure function of the root seed
+and the member index, which makes ``workers=K`` bit-identical to
+``workers=1``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.env import SimulatorEnv
+from repro.core.ppo import PPOAgent, PPOConfig
+from repro.core.training import TrainingConfig, TrainingResult, train
+from repro.parallel import ParallelMap, derive_seed
+from repro.simulator.config import SimulatorConfig
+
+__all__ = ["PopulationMember", "PopulationResult", "train_population"]
+
+
+@dataclass
+class PopulationMember:
+    """One trained member of the population."""
+
+    index: int
+    config: SimulatorConfig
+    seed: int
+    training: TrainingResult
+    eval_reward: float
+
+
+@dataclass
+class PopulationResult:
+    """All members plus the evaluation winner."""
+
+    members: list[PopulationMember]
+    best_index: int
+
+    @property
+    def best(self) -> PopulationMember:
+        return self.members[self.best_index]
+
+    def eval_rewards(self) -> list[float]:
+        return [m.eval_reward for m in self.members]
+
+
+def _evaluate(
+    agent: PPOAgent, env: SimulatorEnv, episodes: int
+) -> float:
+    """Mean deterministic episode reward of the *best* training checkpoint."""
+    total = 0.0
+    for _ in range(episodes):
+        state = env.reset()
+        for _ in range(env.episode_steps):
+            action, _lp = agent.act(state, deterministic=True)
+            state, reward, done, _info = env.step(action)
+            total += reward
+            if done:
+                break
+    return total / episodes
+
+
+def _train_member(payload, seed: int) -> tuple[TrainingResult, float]:
+    """Train + evaluate one member; runs inside a pool worker.
+
+    ``seed`` is the pool-derived member seed; the env / agent / eval RNG
+    streams are split from it with :func:`derive_seed` so they stay
+    decorrelated yet reproducible from (root_seed, index) alone.
+    """
+    index, config, training_config, ppo_config, eval_episodes = payload
+    del index  # identification only; determinism comes from ``seed``
+    env = SimulatorEnv(config, rng=derive_seed(seed, 0))
+    agent = PPOAgent(
+        env.state_dim, env.action_dim, ppo_config, rng=derive_seed(seed, 1)
+    )
+    result = train(agent, env, training_config)
+
+    agent.load_state_dict(result.best_state)
+    eval_env = SimulatorEnv(config, rng=derive_seed(seed, 2))
+    eval_reward = _evaluate(agent, eval_env, eval_episodes)
+    return result, eval_reward
+
+
+def train_population(
+    variants: Sequence[SimulatorConfig],
+    *,
+    root_seed: int = 0,
+    training_config: TrainingConfig | None = None,
+    ppo_config: PPOConfig | None = None,
+    eval_episodes: int = 8,
+    workers: int = 1,
+    timeout: float | None = None,
+    retries: int = 0,
+) -> PopulationResult:
+    """Train one agent per scenario variant and pick the best by evaluation.
+
+    ``workers`` follows :class:`ParallelMap` semantics (``0`` = all cores,
+    ``1`` = serial).  Any member failing (crash, timeout) raises
+    :class:`repro.parallel.ParallelMapError` — a population with silently
+    missing members would bias the "best" selection.
+    """
+    if not variants:
+        raise ValueError("need at least one scenario variant")
+    training_config = training_config or TrainingConfig()
+    ppo_config = ppo_config or PPOConfig()
+
+    payloads = [
+        (i, config, training_config, ppo_config, int(eval_episodes))
+        for i, config in enumerate(variants)
+    ]
+    pool = ParallelMap(
+        _train_member,
+        workers=workers,
+        root_seed=root_seed,
+        timeout=timeout,
+        retries=retries,
+    )
+    outcomes = pool.map(payloads)
+    failures = [o for o in outcomes if not o.ok]
+    if failures:
+        from repro.parallel import ParallelMapError
+
+        raise ParallelMapError(failures)
+
+    members = [
+        PopulationMember(
+            index=i,
+            config=variants[i],
+            seed=outcome.seed,
+            training=outcome.value[0],
+            eval_reward=float(outcome.value[1]),
+        )
+        for i, outcome in enumerate(outcomes)
+    ]
+    rewards = np.asarray([m.eval_reward for m in members])
+    best_index = int(rewards.argmax())  # ties resolve to the lowest index
+    return PopulationResult(members=members, best_index=best_index)

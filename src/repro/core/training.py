@@ -63,20 +63,31 @@ class TrainingResult:
     best_state: dict
     max_episode_reward: float
     steps_per_episode: int = 10
+    #: environment steps actually taken; 0 in results from older checkpoints,
+    #: in which case the legacy ``episodes × M`` estimate is used.
+    total_steps: int = 0
 
     @property
     def simulated_seconds(self) -> float:
-        """Virtual seconds of transfer the training consumed (1 s per step)."""
+        """Virtual seconds of transfer the training consumed (1 s per step).
+
+        Counts the steps the loop actually took — episodes ending early on
+        ``done`` used to be billed for their full ``steps_per_episode``,
+        overstating the simulated budget (and the online-cost estimate
+        derived from it).
+        """
+        if self.total_steps:
+            return float(self.total_steps)
         return float(self.episodes_run * self.steps_per_episode)
 
     def online_training_estimate(self, seconds_per_step: float = 3.0) -> float:
         """What the same training would cost *online*, in seconds (§IV).
 
         The paper estimates 3 s per online iteration: an online run of the
-        same episode budget would take ``episodes × M × 3`` seconds (their
-        450,000 s ≈ 5 days for 15,000 episodes).
+        same step budget would take ``steps × 3`` seconds (their 450,000 s
+        ≈ 5 days for 15,000 × 10-step episodes).
         """
-        return self.episodes_run * self.steps_per_episode * seconds_per_step
+        return self.simulated_seconds * seconds_per_step
 
 
 def train(
@@ -134,6 +145,7 @@ def _train_loop(
     started = time.perf_counter()
 
     episode = 0
+    total_steps = 0
     agent.memory.clear()
     while episode < cfg.max_episodes:
         state = env.reset()
@@ -144,6 +156,7 @@ def _train_loop(
             agent.memory.store(state, action, log_prob, reward)
             state = next_state
             episode_reward += reward
+            total_steps += 1
             if done:
                 break
         agent.memory.end_episode(agent.config.gamma)
@@ -203,4 +216,5 @@ def _train_loop(
         best_state=best_state,
         max_episode_reward=r_max,
         steps_per_episode=cfg.steps_per_episode,
+        total_steps=total_steps,
     )

@@ -145,6 +145,7 @@ def train_vectorized(
     started = time.perf_counter()
 
     episode = 0
+    total_steps = 0
     while episode < cfg.max_episodes:
         states = env.reset()
         batch_states: list[np.ndarray] = []
@@ -167,6 +168,7 @@ def train_vectorized(
 
         # Store as B consecutive episodes (time-major -> env-major).
         steps = len(batch_rewards)
+        total_steps += steps * B
         states_arr = np.stack(batch_states)  # (T, B, 8)
         actions_arr = np.stack(batch_actions)
         lps_arr = np.stack(batch_log_probs)
@@ -216,4 +218,5 @@ def train_vectorized(
         best_state=best_state,
         max_episode_reward=r_max,
         steps_per_episode=cfg.steps_per_episode,
+        total_steps=total_steps,
     )

@@ -11,6 +11,8 @@ to JSON.
 """
 
 from repro.harness.artifacts import trained_automdt
+from repro.harness.grid import GridResult, parse_seeds, run_grid
+from repro.harness.multirun import AggregateResult, aggregate, run_seeded
 from repro.harness.experiments import (
     EXPERIMENTS,
     experiment_faults,
@@ -32,6 +34,12 @@ from repro.harness.experiments import (
 
 __all__ = [
     "trained_automdt",
+    "AggregateResult",
+    "GridResult",
+    "aggregate",
+    "parse_seeds",
+    "run_grid",
+    "run_seeded",
     "EXPERIMENTS",
     "experiment_faults",
     "experiment_figure1",

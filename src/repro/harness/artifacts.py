@@ -106,7 +106,22 @@ def trained_automdt(
     pipeline.explore(exploration_testbed, duration=exploration_seconds)
     pipeline.train_offline()
     cache.mkdir(parents=True, exist_ok=True)
-    pipeline.save(base)
+    _publish(pipeline, base)
     if on_train is not None:
         on_train(pipeline)
     return pipeline
+
+
+def _publish(pipeline: AutoMDT, base: Path) -> None:
+    """Atomically install a checkpoint under its cache key.
+
+    Parallel sweep workers may train the same (testbed, budget, seed)
+    combination concurrently; training is deterministic so their outputs
+    are identical, but a reader must never observe a half-written file.
+    Each worker saves under a private prefix and renames into place, with
+    the ``.npz`` — the existence check's gate — renamed last.
+    """
+    tmp = base.with_name(f"{base.name}.tmp{os.getpid()}")
+    pipeline.save(tmp)
+    for suffix in (".profile.json", ".json", ".npz"):
+        os.replace(tmp.with_suffix(suffix), base.with_suffix(suffix))

@@ -5,6 +5,8 @@ Commands::
     automdt list                                   # experiments + presets
     automdt run figure3 [--full] [--seed N] [--seeds 0,1,2] [--out DIR]
     automdt run all [--full]                       # everything, in order
+    automdt sweep all --seeds 0-9 --workers 4      # grid over a process pool
+    automdt sweep figure1,faults_random --seeds 0-4 --workers 0   # 0 = all cores
     automdt explore --preset fig5-read [--duration 120] [--out profile.json]
     automdt train --preset fig5-read [--episodes 4000] --out ckpt
     automdt transfer --preset fig5-read --checkpoint ckpt [--gb 25] [--mixed]
@@ -46,12 +48,46 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--seed", type=int, default=0, help="root RNG seed")
     run.add_argument(
         "--seeds", default=None,
-        help="comma-separated seeds; aggregates mean/std over runs",
+        help="seed list/range ('0,1,2' or '0-9'); aggregates mean/std over runs",
+    )
+    run.add_argument(
+        "--workers", type=int, default=1,
+        help="process-pool size for --seeds sweeps (0 = all cores)",
     )
     run.add_argument("--out", default=None, help="directory for JSON result dumps")
     run.add_argument(
         "--obs", default=None, metavar="DIR",
         help="record a telemetry event log into DIR (see 'automdt obs')",
+    )
+
+    sweep = sub.add_parser(
+        "sweep", help="run an experiments × seeds grid over a process pool"
+    )
+    sweep.add_argument(
+        "experiments",
+        help="comma-separated experiment names from 'list', or 'all'",
+    )
+    sweep.add_argument(
+        "--seeds", default="0",
+        help="seed list/range, e.g. '0-9' or '0,1,5' (default: 0)",
+    )
+    sweep.add_argument(
+        "--workers", type=int, default=1,
+        help="process-pool size; 0 = all cores, 1 = serial (default)",
+    )
+    sweep.add_argument("--full", action="store_true", help="paper-scale budgets (slow)")
+    sweep.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-cell wall-clock budget in seconds",
+    )
+    sweep.add_argument(
+        "--retries", type=int, default=0,
+        help="extra attempts per failed cell (crash/timeout/exception)",
+    )
+    sweep.add_argument("--out", default=None, help="directory for per-cell JSON dumps")
+    sweep.add_argument(
+        "--obs", default=None, metavar="DIR",
+        help="record telemetry (per-worker logs merged after the sweep)",
     )
 
     explore = sub.add_parser("explore", help="run the §IV-A logging phase on a preset")
@@ -114,10 +150,13 @@ def _cmd_run(args) -> int:
     for name in names:
         started = time.perf_counter()
         if args.seeds:
+            from repro.harness.grid import parse_seeds
             from repro.harness.multirun import run_seeded
 
-            seeds = [int(s) for s in args.seeds.split(",") if s.strip()]
-            aggregate = run_seeded(EXPERIMENTS[name], seeds, fast=not args.full)
+            seeds = parse_seeds(args.seeds)
+            aggregate = run_seeded(
+                EXPERIMENTS[name], seeds, workers=args.workers, fast=not args.full
+            )
             print(aggregate.table())
             if args.out:
                 for run in aggregate.runs:
@@ -129,6 +168,49 @@ def _cmd_run(args) -> int:
                 print(f"saved {result.save(args.out)}")
         print(f"[{name} finished in {time.perf_counter() - started:.1f}s]\n")
     return 0
+
+
+def _cmd_sweep(args) -> int:
+    from repro.harness.grid import parse_seeds, run_grid
+
+    names = (
+        list(EXPERIMENTS)
+        if args.experiments == "all"
+        else [n.strip() for n in args.experiments.split(",") if n.strip()]
+    )
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {unknown}; try 'automdt list'", file=sys.stderr)
+        return 2
+    try:
+        seeds = parse_seeds(args.seeds)
+    except ValueError as exc:
+        print(f"bad --seeds: {exc}", file=sys.stderr)
+        return 2
+
+    result = run_grid(
+        names,
+        seeds,
+        fast=not args.full,
+        workers=args.workers,
+        timeout=args.timeout,
+        retries=args.retries,
+        out=args.out,
+    )
+    for name in names:
+        agg = result.aggregates.get(name)
+        if agg is not None:
+            print(agg.table())
+    print(result.table())
+    if args.out:
+        print(f"per-cell results saved under {args.out}")
+    for name, seed, outcome in result.failures:
+        print(
+            f"FAILED {name} seed {seed}: {outcome.error} "
+            f"({outcome.attempts} attempt(s))",
+            file=sys.stderr,
+        )
+    return 0 if result.ok else 1
 
 
 def _cmd_explore(args) -> int:
@@ -226,7 +308,12 @@ def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
     obs_dir = getattr(args, "obs", None)
-    target = getattr(args, "experiment", None) or getattr(args, "preset", None) or ""
+    target = (
+        getattr(args, "experiment", None)
+        or getattr(args, "experiments", None)
+        or getattr(args, "preset", None)
+        or ""
+    )
     telemetry = (
         obs.session(obs_dir, label=f"{args.command}:{target}") if obs_dir else nullcontext()
     )
@@ -235,6 +322,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_list()
         if args.command == "run":
             return _cmd_run(args)
+        if args.command == "sweep":
+            return _cmd_sweep(args)
         if args.command == "explore":
             return _cmd_explore(args)
         if args.command == "train":

@@ -1,0 +1,170 @@
+"""Experiment grid runner: experiments × seeds over the process pool.
+
+``automdt sweep`` is the CLI face of this module.  A grid flattens to one
+task per (experiment, seed) cell and fans the cells out across a
+:class:`repro.parallel.ParallelMap` pool — better load balance than
+parallelising seeds within one experiment at a time, because a slow cell
+(e.g. ``table1``) overlaps with every other experiment's cells instead of
+serialising behind its siblings.
+
+Each cell calls the registered experiment exactly as the serial harness
+would, so a parallel grid reproduces the serial numbers bit-for-bit; cells
+that fail (crash, timeout, exception) are reported per-cell instead of
+sinking the sweep.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.harness.multirun import AggregateResult, aggregate
+from repro.harness.result import ExperimentResult
+from repro.parallel import ParallelMap, TaskOutcome, merge_worker_logs
+from repro.utils.tables import render_table
+
+__all__ = ["GridResult", "parse_seeds", "run_grid"]
+
+
+def parse_seeds(spec: str | Sequence[int]) -> list[int]:
+    """Parse a seed spec: ``"0-9"``, ``"0,1,5"``, ``"0-3,8"`` or an int list.
+
+    Ranges are inclusive on both ends, matching how sweep sizes are quoted
+    ("seeds 0-9" is a 10-seed sweep).
+    """
+    if not isinstance(spec, str):
+        return [int(s) for s in spec]
+    seeds: list[int] = []
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if "-" in part[1:]:  # allow a leading minus sign
+            lo_text, hi_text = part[1:].split("-", 1)
+            lo, hi = int(part[0] + lo_text), int(hi_text)
+            if hi < lo:
+                raise ValueError(f"descending seed range {part!r}")
+            seeds.extend(range(lo, hi + 1))
+        else:
+            seeds.append(int(part))
+    if not seeds:
+        raise ValueError(f"no seeds in spec {spec!r}")
+    return seeds
+
+
+def _grid_call(cell: tuple[str, int, bool]) -> ExperimentResult:
+    """One grid cell — top-level so the pool's fork/serial paths match."""
+    from repro.harness.experiments import EXPERIMENTS
+
+    name, seed, fast = cell
+    return EXPERIMENTS[name](fast=fast, seed=seed)
+
+
+@dataclass
+class GridResult:
+    """Everything one grid sweep produced."""
+
+    experiments: tuple[str, ...]
+    seeds: tuple[int, ...]
+    #: per-experiment aggregate over the seeds that succeeded
+    aggregates: dict[str, AggregateResult] = field(default_factory=dict)
+    #: failed cells; ``TaskOutcome.value`` is None, ``.error`` says why
+    failures: list[tuple[str, int, TaskOutcome]] = field(default_factory=list)
+    workers: int = 1
+    wall_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def table(self) -> str:
+        """One row per experiment: cells, failures, headline wall time."""
+        rows = []
+        failed_by_name: dict[str, int] = {}
+        for name, _seed, _outcome in self.failures:
+            failed_by_name[name] = failed_by_name.get(name, 0) + 1
+        for name in self.experiments:
+            agg = self.aggregates.get(name)
+            rows.append([
+                name,
+                len(agg.runs) if agg is not None else 0,
+                failed_by_name.get(name, 0),
+                len(agg.stats) if agg is not None else 0,
+            ])
+        return render_table(
+            ["experiment", "runs", "failed", "metrics"],
+            rows,
+            title=(
+                f"sweep over seeds {list(self.seeds)} — "
+                f"{self.workers} worker(s), {self.wall_seconds:.1f}s"
+            ),
+        )
+
+
+def run_grid(
+    experiments: Sequence[str],
+    seeds: Sequence[int],
+    *,
+    fast: bool = True,
+    workers: int = 1,
+    timeout: float | None = None,
+    retries: int = 0,
+    out: str | Path | None = None,
+) -> GridResult:
+    """Run every (experiment, seed) cell, optionally in parallel.
+
+    ``workers`` follows :class:`ParallelMap` semantics (``0`` = all cores,
+    ``1`` = serial in-process).  If a global obs session with a run
+    directory is active, pool workers write per-worker event logs there and
+    they are merged back after the sweep.  With ``out`` set, every
+    successful cell is saved as ``<out>/<experiment>_seed<k>.json``.
+    """
+    from repro import obs
+    from repro.harness.experiments import EXPERIMENTS
+
+    unknown = [n for n in experiments if n not in EXPERIMENTS]
+    if unknown:
+        raise ValueError(f"unknown experiment(s): {unknown}")
+    seeds = [int(s) for s in seeds]
+    if not seeds:
+        raise ValueError("need at least one seed")
+
+    cells = [(name, seed, fast) for name in experiments for seed in seeds]
+    sess = obs.active()
+    run_dir = sess.run_dir if sess is not None else None
+
+    started = time.perf_counter()
+    pool = ParallelMap(
+        _grid_call, workers=workers, timeout=timeout, retries=retries, obs_dir=run_dir
+    )
+    try:
+        outcomes = pool.map(cells)
+    finally:
+        if run_dir is not None:
+            merge_worker_logs(run_dir)
+    wall = time.perf_counter() - started
+
+    result = GridResult(
+        experiments=tuple(experiments),
+        seeds=tuple(seeds),
+        workers=pool.workers,
+        wall_seconds=wall,
+    )
+    runs_by_name: dict[str, list[tuple[int, ExperimentResult]]] = {}
+    for (name, seed, _fast), outcome in zip(cells, outcomes):
+        if outcome.ok:
+            runs_by_name.setdefault(name, []).append((seed, outcome.value))
+        else:
+            result.failures.append((name, seed, outcome))
+    for name, seeded_runs in runs_by_name.items():
+        result.aggregates[name] = aggregate(
+            name, [s for s, _ in seeded_runs], [r for _, r in seeded_runs]
+        )
+    if out is not None:
+        for name, seeded_runs in runs_by_name.items():
+            for seed, run in seeded_runs:
+                run.name = f"{name}_seed{seed}"
+                run.save(out)
+    return result

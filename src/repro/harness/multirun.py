@@ -68,20 +68,15 @@ class AggregateResult:
         return self.stats[metric]["mean"]
 
 
-def run_seeded(
-    experiment: Callable[..., ExperimentResult],
-    seeds: Sequence[int],
-    **kwargs,
+def aggregate(
+    name: str, seeds: Sequence[int], runs: Sequence[ExperimentResult]
 ) -> AggregateResult:
-    """Run ``experiment(seed=s, **kwargs)`` for each seed and aggregate.
+    """Fold per-seed :class:`ExperimentResult` runs into mean/std/min/max.
 
     Metrics that are missing (e.g. a "time to reach" that is None for some
     seed) are aggregated over the runs where they exist; ``n`` records how
     many runs contributed.
     """
-    if not seeds:
-        raise ValueError("need at least one seed")
-    runs = [experiment(seed=int(s), **kwargs) for s in seeds]
     samples: dict[str, list[float]] = {}
     for run in runs:
         for key, value in flatten_summary(run.summary).items():
@@ -97,5 +92,50 @@ def run_seeded(
         for key, vals in samples.items()
     }
     return AggregateResult(
-        name=runs[0].name, seeds=tuple(int(s) for s in seeds), runs=runs, stats=stats
+        name=name, seeds=tuple(int(s) for s in seeds), runs=list(runs), stats=stats
     )
+
+
+def run_seeded(
+    experiment: Callable[..., ExperimentResult],
+    seeds: Sequence[int],
+    *,
+    workers: int = 1,
+    timeout: float | None = None,
+    retries: int = 0,
+    **kwargs,
+) -> AggregateResult:
+    """Run ``experiment(seed=s, **kwargs)`` for each seed and aggregate.
+
+    With ``workers > 1`` (or ``0`` for all cores) the seeds fan out across
+    a :class:`repro.parallel.ParallelMap` process pool.  Each experiment is
+    already a pure function of its seed, so the parallel aggregate is
+    bit-identical to the serial one; any failed seed raises
+    :class:`repro.parallel.ParallelMapError` rather than silently shrinking
+    the sample.  If a global obs session with a run directory is active,
+    workers log to per-worker event files which are merged back afterwards.
+    """
+    if not seeds:
+        raise ValueError("need at least one seed")
+    seed_list = [int(s) for s in seeds]
+    if workers == 1:
+        runs = [experiment(seed=s, **kwargs) for s in seed_list]
+    else:
+        from repro import obs
+        from repro.parallel import ParallelMap, merge_worker_logs
+
+        sess = obs.active()
+        run_dir = sess.run_dir if sess is not None else None
+
+        def call(seed: int) -> ExperimentResult:
+            return experiment(seed=seed, **kwargs)
+
+        pool = ParallelMap(
+            call, workers=workers, timeout=timeout, retries=retries, obs_dir=run_dir
+        )
+        try:
+            runs = pool.map_values(seed_list)
+        finally:
+            if run_dir is not None:
+                merge_worker_logs(run_dir)
+    return aggregate(runs[0].name, seed_list, runs)

@@ -44,6 +44,7 @@ from repro.obs.session import (
     active,
     configure,
     count,
+    discard,
     enabled,
     event,
     metric,
@@ -82,6 +83,7 @@ __all__ = [
     "configure",
     "count",
     "diff_runs",
+    "discard",
     "enabled",
     "event",
     "metric",

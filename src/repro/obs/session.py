@@ -50,15 +50,21 @@ class ObsSession:
     Without ``run_dir`` the session is purely in-memory — the registry and
     the tracer's ``finished`` spans are still queryable, which is what unit
     tests and ad-hoc notebook use want.
+
+    ``events_filename`` overrides the log name inside ``run_dir`` — pool
+    workers use it to write ``events-worker<k>.jsonl`` next to the parent's
+    ``events.jsonl`` (see :mod:`repro.parallel.obslog`).
     """
 
     def __init__(self, run_dir: str | Path | None = None, *, label: str = "",
-                 flush_every: int = 4096, mode: str = "a") -> None:
+                 flush_every: int = 4096, mode: str = "a",
+                 events_filename: str | None = None) -> None:
         self.run_dir = Path(run_dir) if run_dir is not None else None
         self.label = label
         self.registry = MetricsRegistry()
         self.writer = (
-            JsonlEventWriter(self.run_dir / EVENTS_FILENAME, mode=mode, flush_every=flush_every)
+            JsonlEventWriter(self.run_dir / (events_filename or EVENTS_FILENAME),
+                             mode=mode, flush_every=flush_every)
             if self.run_dir is not None
             else None
         )
@@ -210,12 +216,14 @@ _NULL = nullcontext()
 
 
 def configure(run_dir: str | Path | None = None, *, label: str = "",
-              flush_every: int = 256, mode: str = "a") -> ObsSession:
+              flush_every: int = 256, mode: str = "a",
+              events_filename: str | None = None) -> ObsSession:
     """Install a global session (closing any previous one) and return it."""
     global _session
     if _session is not None:
         _session.close()
-    _session = ObsSession(run_dir, label=label, flush_every=flush_every, mode=mode)
+    _session = ObsSession(run_dir, label=label, flush_every=flush_every, mode=mode,
+                          events_filename=events_filename)
     return _session
 
 
@@ -224,6 +232,23 @@ def shutdown() -> None:
     global _session
     if _session is not None:
         _session.close()
+        _session = None
+
+
+def discard() -> None:
+    """Drop the global session WITHOUT flushing or closing its log.
+
+    Post-fork hygiene for pool workers: a forked child inherits the
+    parent's session — including the event-log buffer and open file
+    handle.  Closing it normally would write the parent's buffered
+    records a second time from the child; ``discard`` empties the buffer
+    and forgets the session so the child can :func:`configure` its own.
+    """
+    global _session
+    if _session is not None:
+        if _session.writer is not None:
+            _session.writer._buffer.clear()
+            _session.writer._fh = None  # the fd still belongs to the parent
         _session = None
 
 

@@ -1,0 +1,60 @@
+"""Per-worker telemetry logs and their merge back into the main event log.
+
+A parallel sweep cannot share one ``events.jsonl`` between processes —
+interleaved buffered writes would tear each other's lines.  Instead each
+pool worker opens its own ``events-worker<k>.jsonl`` in the same run
+directory (see :func:`repro.parallel.pool._worker_main`), and after the
+sweep the parent folds every worker file back into ``events.jsonl`` with
+:func:`merge_worker_logs`.  ``automdt obs summary`` then sees one log, as
+it would for a serial run; worker records carry their own ``meta`` lines
+(label ``worker<k>``) but the parent's closing meta still lands last, so
+the run-level label and self-measured overhead remain the parent's.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro import obs
+from repro.obs.events import read_events
+from repro.obs.session import EVENTS_FILENAME
+
+__all__ = ["merge_worker_logs", "worker_log_name"]
+
+_WORKER_GLOB = "events-worker*.jsonl"
+
+
+def worker_log_name(worker_id: int) -> str:
+    """Event-log filename for pool worker ``worker_id``."""
+    return f"events-worker{int(worker_id)}.jsonl"
+
+
+def merge_worker_logs(run_dir: str | Path, *, remove: bool = True) -> int:
+    """Append every worker log's records into the run's ``events.jsonl``.
+
+    Worker files are read with the torn-tail-tolerant reader (a killed
+    worker leaves at most one truncated line), merged in worker order, and
+    removed by default so a resumed run cannot double-merge.  If the
+    parent currently holds an open session on this run directory it is
+    flushed first, keeping the merged file's record order close to wall
+    order.  Returns the number of records merged.
+    """
+    run_dir = Path(run_dir)
+    sess = obs.active()
+    if sess is not None and sess.run_dir is not None and Path(sess.run_dir) == run_dir:
+        sess.flush()
+    lines: list[str] = []
+    merged = 0
+    for path in sorted(run_dir.glob(_WORKER_GLOB)):
+        records = read_events(path)
+        lines.extend(json.dumps(r, separators=(",", ":")) for r in records)
+        merged += len(records)
+        if remove:
+            path.unlink()
+    if lines:
+        # O_APPEND keeps this safe alongside the parent session's own
+        # (flushed) append handle on the same file.
+        with (run_dir / EVENTS_FILENAME).open("a") as fh:
+            fh.write("\n".join(lines) + "\n")
+    return merged

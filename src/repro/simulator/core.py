@@ -72,7 +72,19 @@ class IONetworkSimulator:
         Static scenario description (per-thread speeds, ceilings, buffers).
     sender_usage, receiver_usage:
         Initial staging-buffer occupancy in bytes (default empty).
+    cache_rates:
+        Memoize per-thread rates, chunk sizes and the initial task queue
+        per clamped thread triple (default on).  The config is frozen, so
+        these are pure functions of the triple; training loops revisit a
+        handful of triples millions of times and the recomputation used to
+        dominate :meth:`step_second` setup.  Results are bit-identical
+        either way.
     """
+
+    #: Distinct thread triples memoized before the cache resets.  Policies
+    #: visit far fewer than this (≤ max_threads³ bounded by exploration);
+    #: the cap only guards pathological sweeps over huge ``max_threads``.
+    _RATE_CACHE_MAX = 1024
 
     def __init__(
         self,
@@ -80,12 +92,18 @@ class IONetworkSimulator:
         *,
         sender_usage: float = 0.0,
         receiver_usage: float = 0.0,
+        cache_rates: bool = True,
     ) -> None:
         self.config = config
         self._validate_usage(sender_usage, receiver_usage)
         self._sender_usage = float(sender_usage)
         self._receiver_usage = float(receiver_usage)
         self._elapsed = 0.0
+        self.cache_rates = bool(cache_rates)
+        #: (n_r, n_n, n_w) -> (rates, chunks, initial queue); see step_second.
+        self._rate_cache: dict[tuple[int, int, int], tuple] = {}
+        # Bound method lookup hoisted out of the per-step path.
+        self._obs_active = obs.active
         #: Diagnostics of the most recent :meth:`step_second` call — how many
         #: blocked tasks re-queued after the ε back-off, and the deepest the
         #: event queue got.  Exported to :mod:`repro.obs` when enabled.
@@ -139,12 +157,28 @@ class IONetworkSimulator:
         cfg = self.config
         n = self._clamp_threads(threads)
 
-        # Effective per-thread byte rates with the aggregate ceiling applied.
-        rates = [
-            mbps_to_bytes_per_sec(min(tpt, bw / n_i))
-            for tpt, bw, n_i in zip(cfg.tpt, cfg.bandwidth, n)
-        ]
-        chunks = [max(cfg.min_chunk_bytes, rate * cfg.chunk_seconds) for rate in rates]
+        cached = self._rate_cache.get(n) if self.cache_rates else None
+        if cached is None:
+            # Effective per-thread byte rates with the aggregate ceiling
+            # applied, the chunk each thread moves per task, and the t = 0
+            # task queue (Algorithm 1, line 29) — all pure in (config, n).
+            rates = [
+                mbps_to_bytes_per_sec(min(tpt, bw / n_i))
+                for tpt, bw, n_i in zip(cfg.tpt, cfg.bandwidth, n)
+            ]
+            chunks = [
+                max(cfg.min_chunk_bytes, rate * cfg.chunk_seconds) for rate in rates
+            ]
+            init_queue: list[tuple[float, int, int]] = []
+            for stage in (_READ, _NETWORK, _WRITE):
+                for _ in range(n[stage]):
+                    init_queue.append((0.0, len(init_queue), stage))
+            if self.cache_rates:
+                if len(self._rate_cache) >= self._RATE_CACHE_MAX:
+                    self._rate_cache.clear()
+                self._rate_cache[n] = (rates, chunks, init_queue)
+        else:
+            rates, chunks, init_queue = cached
 
         horizon = cfg.duration
         eps = cfg.epsilon
@@ -154,62 +188,81 @@ class IONetworkSimulator:
         sender = self._sender_usage
         receiver = self._receiver_usage
 
-        bytes_moved = [0.0, 0.0, 0.0]
-        last_finish = [0.0, 0.0, 0.0]
+        # Hot loop: ~duration/(chunk_seconds + overhead) events per thread
+        # per call, millions of calls per training run.  Per-stage scalars
+        # replace list indexing, heap functions are bound locally, and
+        # ``min`` unrolls to comparisons — all value-identical to the
+        # straightforward form this replaced.
+        heappop, heappush = heapq.heappop, heapq.heappush
+        rate_r, rate_n, rate_w = rates
+        chunk_r, chunk_n, chunk_w = chunks
+        moved_r = moved_n = moved_w = 0.0
+        fin_r = fin_n = fin_w = 0.0
         blocked_retries = 0
-        queue_peak = 0
 
-        # Schedule the initial task for every thread at t = 0 (Algorithm 1,
-        # line 29).  The sequence number breaks ties deterministically.
-        queue: list[tuple[float, int, int]] = []
-        seq = 0
-        for stage in (_READ, _NETWORK, _WRITE):
-            for _ in range(n[stage]):
-                queue.append((0.0, seq, stage))
-                seq += 1
-        heapq.heapify(queue)
+        # The initial queue is already a valid min-heap: every priority is
+        # 0.0 and sequence numbers ascend, so no heapify is needed.  The
+        # sequence number breaks ties deterministically.  Each iteration
+        # pops one task and pushes at most one back, so the queue never
+        # grows past its starting depth — the peak *is* the initial size.
+        queue = init_queue.copy()
+        seq = len(queue)
+        queue_peak = seq
 
         while queue:
-            if len(queue) > queue_peak:
-                queue_peak = len(queue)
-            t, _, stage = heapq.heappop(queue)
-            amount = 0.0
+            t, _, stage = heappop(queue)
             if stage == _READ:
                 free = sender_cap - sender
                 if free > 0.0:
-                    amount = min(chunks[_READ], free)
+                    amount = chunk_r if chunk_r <= free else free
                     sender += amount
+                    moved_r += amount
+                    finish = t + amount / rate_r
+                    if finish > fin_r:
+                        fin_r = finish
+                    t_next = finish + overhead
+                else:
+                    blocked_retries += 1
+                    t_next = t + eps
             elif stage == _NETWORK:
                 free = receiver_cap - receiver
                 if sender > 0.0 and free > 0.0:
-                    amount = min(chunks[_NETWORK], sender, free)
+                    amount = chunk_n
+                    if sender < amount:
+                        amount = sender
+                    if free < amount:
+                        amount = free
                     sender -= amount
                     receiver += amount
+                    moved_n += amount
+                    finish = t + amount / rate_n
+                    if finish > fin_n:
+                        fin_n = finish
+                    t_next = finish + overhead
+                else:
+                    blocked_retries += 1
+                    t_next = t + eps
             else:  # _WRITE
                 if receiver > 0.0:
-                    amount = min(chunks[_WRITE], receiver)
+                    amount = chunk_w if chunk_w <= receiver else receiver
                     receiver -= amount
-
-            if amount > 0.0:
-                d_task = amount / rates[stage]
-                bytes_moved[stage] += amount
-                finish = t + d_task
-                if finish > last_finish[stage]:
-                    last_finish[stage] = finish
-                t_next = t + d_task + overhead
-            else:
-                # Blocked: retry after the ε back-off.
-                blocked_retries += 1
-                t_next = t + eps
+                    moved_w += amount
+                    finish = t + amount / rate_w
+                    if finish > fin_w:
+                        fin_w = finish
+                    t_next = finish + overhead
+                else:
+                    blocked_retries += 1
+                    t_next = t + eps
             if t_next < horizon:
-                heapq.heappush(queue, (t_next, seq, stage))
+                heappush(queue, (t_next, seq, stage))
                 seq += 1
 
         # Normalize throughputs by their finish times (line 37): a stage that
         # ran past the horizon gets credited over its true elapsed time.
         throughputs = [
-            bytes_per_sec_to_mbps(bytes_moved[s] / max(horizon, last_finish[s]))
-            for s in range(3)
+            bytes_per_sec_to_mbps(moved / (horizon if horizon >= fin else fin))
+            for moved, fin in ((moved_r, fin_r), (moved_n, fin_n), (moved_w, fin_w))
         ]
 
         self._sender_usage = sender
@@ -217,7 +270,7 @@ class IONetworkSimulator:
         self._elapsed += horizon
         self.last_blocked_retries = blocked_retries
         self.last_queue_peak = queue_peak
-        sess = obs.active()
+        sess = self._obs_active()
         if sess is not None:
             sess.count("sim/steps")
             sess.count("sim/blocked_retries", blocked_retries)

@@ -37,6 +37,7 @@ import numpy as np
 from repro import obs
 from repro.transfer.engine import ModularTransferEngine, Observation, TransferResult
 from repro.transfer.metrics import FaultEvent, RecoveryRecord, TransferMetrics
+from repro.utils.backoff import backoff_delay
 from repro.utils.config import (
     dump_json,
     load_json,
@@ -322,11 +323,11 @@ class TransferSupervisor:
                 break
 
             consecutive_fruitless = consecutive_fruitless + 1 if not made_progress else 1
-            delay = min(
-                cfg.backoff_max,
-                cfg.backoff_base * cfg.backoff_factor ** (consecutive_fruitless - 1),
+            delay = backoff_delay(
+                consecutive_fruitless,
+                base=cfg.backoff_base, factor=cfg.backoff_factor,
+                max_delay=cfg.backoff_max, jitter=cfg.jitter, rng=rng,
             )
-            delay *= 1.0 + cfg.jitter * float(rng.uniform(-1.0, 1.0))
             retries_used += 1
             pending_retries += 1
             resume_at = result.completion_time + delay

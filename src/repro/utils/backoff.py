@@ -1,0 +1,35 @@
+"""Exponential backoff with seeded jitter — shared retry arithmetic.
+
+One formula serves every layer that retries: the transfer supervisor's
+stall-recovery loop (virtual-clock delays between resume attempts) and the
+process pool's task retries (wall-clock delays before re-dispatch).  Both
+use ``min(max_delay, base * factor**(attempt-1))`` scaled by a seeded
+jitter factor uniform in ``[1 - jitter, 1 + jitter]``; centralising it
+keeps the two layers' retry behaviour identical and testable in one place.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def backoff_delay(
+    attempt: int,
+    *,
+    base: float = 2.0,
+    factor: float = 2.0,
+    max_delay: float = 60.0,
+    jitter: float = 0.0,
+    rng: np.random.Generator | None = None,
+) -> float:
+    """Delay before the ``attempt``-th consecutive retry (1-based).
+
+    The undithered delay is ``min(max_delay, base * factor**(attempt-1))``;
+    with ``jitter > 0`` and an ``rng`` it is scaled by a uniform draw from
+    ``[1 - jitter, 1 + jitter]`` (one ``rng.uniform`` call, so callers that
+    share a generator stay bit-reproducible across refactors).
+    """
+    delay = min(float(max_delay), float(base) * float(factor) ** max(0, attempt - 1))
+    if jitter and rng is not None:
+        delay *= 1.0 + float(jitter) * float(rng.uniform(-1.0, 1.0))
+    return delay

@@ -119,6 +119,20 @@ class TestTrainingLoop:
         assert result.simulated_seconds == 50.0
         assert result.online_training_estimate(3.0) == 150.0
 
+    def test_simulated_seconds_counts_actual_steps_on_early_done(self):
+        """Episodes that end early must not be billed the full budget."""
+        result = train(
+            tiny_agent(),
+            BanditEnv(steps=3),  # done after 3 steps, budget allows 10
+            TrainingConfig(max_episodes=10, steps_per_episode=10, stagnation_episodes=10),
+            max_episode_reward=10.0,
+        )
+        assert result.total_steps == result.episodes_run * 3
+        assert result.simulated_seconds == float(result.total_steps)
+        assert result.online_training_estimate(2.0) == 2.0 * result.total_steps
+        # The naive episodes × budget estimate would have overcounted:
+        assert result.simulated_seconds < result.episodes_run * 10.0
+
     def test_progress_callback(self):
         calls = []
         train(

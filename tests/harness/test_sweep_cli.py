@@ -1,0 +1,55 @@
+"""``automdt sweep`` and the parallel flags of ``automdt run``."""
+
+from repro.harness.cli import main
+
+
+class TestSweepCommand:
+    def test_sweep_serial(self, capsys):
+        assert main(["sweep", "figure1", "--seeds", "0-1"]) == 0
+        out = capsys.readouterr().out
+        assert "figure1 over seeds [0, 1]" in out
+        assert "sweep over seeds" in out
+
+    def test_sweep_parallel_workers(self, capsys):
+        assert main(["sweep", "figure1", "--seeds", "0,1", "--workers", "2"]) == 0
+        assert "2 worker(s)" in capsys.readouterr().out
+
+    def test_sweep_multiple_experiments(self, capsys):
+        assert main(["sweep", "figure1,parallelism", "--seeds", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "figure1" in out
+        assert "parallelism" in out
+
+    def test_sweep_saves_results(self, tmp_path, capsys):
+        out_dir = tmp_path / "results"
+        assert main(["sweep", "figure1", "--seeds", "0-1", "--out", str(out_dir)]) == 0
+        assert (out_dir / "figure1_seed0.json").exists()
+        assert (out_dir / "figure1_seed1.json").exists()
+
+    def test_sweep_unknown_experiment(self, capsys):
+        assert main(["sweep", "nope"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_sweep_bad_seeds(self, capsys):
+        assert main(["sweep", "figure1", "--seeds", "9-0"]) == 2
+        assert "bad --seeds" in capsys.readouterr().err
+
+    def test_sweep_obs_merges_worker_logs(self, tmp_path, capsys):
+        obs_dir = tmp_path / "obsrun"
+        code = main([
+            "sweep", "figure1", "--seeds", "0-1", "--workers", "2",
+            "--obs", str(obs_dir),
+        ])
+        assert code == 0
+        assert (obs_dir / "events.jsonl").exists()
+        assert not list(obs_dir.glob("events-worker*.jsonl"))
+
+
+class TestRunSeedsFlag:
+    def test_run_with_seed_range(self, capsys):
+        assert main(["run", "figure1", "--seeds", "0-1"]) == 0
+        assert "figure1 over seeds [0, 1]" in capsys.readouterr().out
+
+    def test_run_with_seed_range_parallel(self, capsys):
+        assert main(["run", "figure1", "--seeds", "0,1", "--workers", "2"]) == 0
+        assert "figure1 over seeds [0, 1]" in capsys.readouterr().out

@@ -1,0 +1,47 @@
+"""Deterministic seed derivation: pure in (root, index), well-spread."""
+
+import pytest
+
+from repro.parallel.seeds import derive_seed, derive_seeds, spawn_key
+
+
+class TestDeriveSeed:
+    def test_pure_function(self):
+        assert derive_seed(42, 3) == derive_seed(42, 3)
+
+    def test_distinct_across_indices(self):
+        seeds = [derive_seed(0, i) for i in range(1000)]
+        assert len(set(seeds)) == 1000
+
+    def test_distinct_across_roots(self):
+        assert derive_seed(0, 0) != derive_seed(1, 0)
+
+    def test_independent_of_enumeration_order(self):
+        """Seed for task i never depends on how many tasks exist."""
+        few = [derive_seed(7, i) for i in range(4)]
+        many = [derive_seed(7, i) for i in range(64)]
+        assert many[:4] == few
+
+    def test_64_bit_range(self):
+        for i in range(100):
+            s = derive_seed(123, i)
+            assert 0 <= s < 2**64
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            derive_seed(0, -1)
+
+    def test_derive_seeds_matches_scalar(self):
+        assert derive_seeds(9, 5) == tuple(derive_seed(9, i) for i in range(5))
+
+
+class TestSpawnKey:
+    def test_single_level_matches_derive_seed(self):
+        assert spawn_key(42, (3,)) == derive_seed(42, 3)
+
+    def test_hierarchical_paths_distinct(self):
+        keys = {spawn_key(0, (i, j)) for i in range(8) for j in range(8)}
+        assert len(keys) == 64
+
+    def test_path_prefix_not_colliding(self):
+        assert spawn_key(0, (1,)) != spawn_key(0, (1, 0))

@@ -1,0 +1,70 @@
+"""The step_second rate cache: bit-identical results, bounded growth."""
+
+import numpy as np
+
+from repro.simulator import SimulatorConfig
+from repro.simulator.core import IONetworkSimulator
+
+
+def _config(**kw):
+    kw.setdefault("tpt_read", 80.0)
+    kw.setdefault("tpt_network", 160.0)
+    kw.setdefault("tpt_write", 200.0)
+    kw.setdefault("bandwidth_read", 1000.0)
+    kw.setdefault("bandwidth_network", 1000.0)
+    kw.setdefault("bandwidth_write", 1000.0)
+    kw.setdefault("max_threads", 20)
+    return SimulatorConfig(**kw)
+
+
+def _random_triples(n, seed=0):
+    rng = np.random.default_rng(seed)
+    return [tuple(int(v) for v in rng.integers(1, 21, 3)) for _ in range(n)]
+
+
+class TestRateCacheEquivalence:
+    def test_cache_on_bit_identical_to_off(self):
+        """Stateful buffer dynamics included: same call sequence, same metrics."""
+        config = _config()
+        cached = IONetworkSimulator(config, cache_rates=True)
+        plain = IONetworkSimulator(config, cache_rates=False)
+        for triple in _random_triples(200):
+            a = cached.step_second(triple)
+            b = plain.step_second(triple)
+            assert a == b  # frozen dataclass: exact field-wise equality
+            assert cached.last_blocked_retries == plain.last_blocked_retries
+            assert cached.last_queue_peak == plain.last_queue_peak
+        assert cached.sender_usage == plain.sender_usage
+        assert cached.receiver_usage == plain.receiver_usage
+
+    def test_repeat_triples_hit_the_cache(self):
+        sim = IONetworkSimulator(_config(), cache_rates=True)
+        for _ in range(5):
+            sim.step_second((4, 4, 4))
+            sim.step_second((8, 2, 6))
+        assert set(sim._rate_cache) == {(4, 4, 4), (8, 2, 6)}
+
+    def test_cache_disabled_stays_empty(self):
+        sim = IONetworkSimulator(_config(), cache_rates=False)
+        sim.step_second((4, 4, 4))
+        assert sim._rate_cache == {}
+
+    def test_cache_keys_are_clamped_triples(self):
+        """Out-of-range thread requests share the clamped triple's entry."""
+        sim = IONetworkSimulator(_config(max_threads=10), cache_rates=True)
+        a = sim.step_second((0, 999, 2.4))
+        sim.reset()
+        b = sim.step_second((1, 10, 2))
+        assert a == b
+        assert set(sim._rate_cache) == {(1, 10, 2)}
+
+    def test_cache_capped(self):
+        sim = IONetworkSimulator(_config(), cache_rates=True)
+        sim._RATE_CACHE_MAX = 4  # instance attr shadows the class cap
+        results = [sim.step_second((n, n, n)).throughputs for n in range(1, 11)]
+        assert len(sim._rate_cache) <= 4
+
+        # Eviction never changes values: replay the sequence cache-free.
+        plain = IONetworkSimulator(_config(), cache_rates=False)
+        replay = [plain.step_second((n, n, n)).throughputs for n in range(1, 11)]
+        assert results == replay
