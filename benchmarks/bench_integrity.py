@@ -1,0 +1,154 @@
+"""Verification overhead: supervised transfer with vs without integrity.
+
+The integrity layer (:mod:`repro.transfer.integrity`) promises that
+per-chunk checksumming, WAL journaling and final verification cost **≤ 5%**
+of transfer-loop CPU time on a clean (fault-free) run — the common case a
+production service pays on every transfer.  Same estimator as
+``bench_observability``: runs alternate in tight (no-verify, verify) pairs
+timed with ``time.process_time``, and the reported overhead is the median
+of per-pair CPU-time ratios, which survives noisy shared machines.
+
+Run standalone (what the CI ``bench-smoke`` job does)::
+
+    PYTHONPATH=src python benchmarks/bench_integrity.py --quick
+
+writes ``BENCH_integrity.json`` at the repo root and exits 1 if the
+measured overhead exceeds ``--budget`` (default 0.05).  Also collectable
+by pytest, where the same measurement runs in quick mode.
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.baselines.static import StaticController
+from repro.emulator.presets import fig5_read_bottleneck
+from repro.emulator.testbed import Testbed
+from repro.transfer.engine import EngineConfig, ModularTransferEngine
+from repro.transfer.integrity import IntegrityConfig, VerifiedTransfer
+from repro.transfer.supervisor import SupervisorConfig, TransferSupervisor
+from repro.workloads import large_dataset
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _make_supervisor(seed: int = 0) -> TransferSupervisor:
+    config = fig5_read_bottleneck()
+    engine = ModularTransferEngine(
+        Testbed(config, rng=seed),
+        large_dataset(total_bytes=200e9),
+        StaticController((8, 8, 8)),
+        # Budget never binds: the bench measures loop cost, not completion.
+        EngineConfig(max_seconds=1e9, probe_noise=0.01, seed=seed),
+    )
+    return TransferSupervisor(engine, SupervisorConfig(seed=seed))
+
+
+def _timed_bare() -> tuple[float, float]:
+    """(cpu, wall) seconds for a supervised transfer without verification."""
+    supervisor = _make_supervisor()
+    # Start every timed leg (both arms) from an empty collector so stray
+    # generation-2 sweeps of earlier legs' garbage don't land on one arm.
+    gc.collect()
+    c0, t0 = time.process_time(), time.perf_counter()
+    result = supervisor.run()
+    assert result.completed
+    return time.process_time() - c0, time.perf_counter() - t0
+
+
+def _timed_verified(run_dir: Path, chunk_size: float) -> tuple[float, float, int]:
+    """(cpu, wall, chunks) for the same transfer under full verification."""
+    verified = VerifiedTransfer.for_supervisor(
+        _make_supervisor(), run_dir, IntegrityConfig(chunk_size=chunk_size)
+    )
+    gc.collect()
+    c0, t0 = time.process_time(), time.perf_counter()
+    result = verified.run()
+    cpu, wall = time.process_time() - c0, time.perf_counter() - t0
+    verified.journal.close()
+    assert result.clean, "clean-path bench run must verify"
+    return cpu, wall, result.chunks_total
+
+
+def measure_overhead(*, pairs: int = 12, chunk_size: float = 128e6) -> dict:
+    """Tightly-paired (bare, verified) timing; returns the report dict."""
+    with tempfile.TemporaryDirectory(prefix="bench-integrity-") as tmp:
+        tmp_dir = Path(tmp)
+        _timed_bare()  # warm-up pays one-time costs outside the pairs
+        _, _, chunks = _timed_verified(tmp_dir / "warmup", chunk_size)
+
+        ratios: list[float] = []
+        off_cpu: list[float] = []
+        on_cpu: list[float] = []
+        off_wall: list[float] = []
+        on_wall: list[float] = []
+        for i in range(pairs):
+            cpu_off, wall_off = _timed_bare()
+            run_dir = tmp_dir / f"run{i % 4}"
+            journal = run_dir / "journal.jsonl"
+            if journal.exists():
+                journal.unlink()
+            cpu_on, wall_on, _ = _timed_verified(run_dir, chunk_size)
+            off_cpu.append(cpu_off)
+            on_cpu.append(cpu_on)
+            off_wall.append(wall_off)
+            on_wall.append(wall_on)
+            ratios.append(cpu_on / cpu_off)
+
+    ratios.sort()
+    median_ratio = ratios[len(ratios) // 2]
+    return {
+        "bench": "integrity",
+        "pairs": pairs,
+        "chunks_per_run": chunks,
+        "chunk_size": chunk_size,
+        "best_off_cpu_s": round(min(off_cpu), 4),
+        "best_on_cpu_s": round(min(on_cpu), 4),
+        "best_off_wall_s": round(min(off_wall), 4),
+        "best_on_wall_s": round(min(on_wall), 4),
+        "overhead": round(median_ratio - 1.0, 5),
+        "overhead_best_cpu": round(min(on_cpu) / min(off_cpu) - 1.0, 5),
+    }
+
+
+def test_verification_overhead_budget():
+    """Pytest entry: quick-mode measurement must meet the 5% budget."""
+    report = measure_overhead(pairs=8)
+    assert report["overhead"] < 0.05, report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="fewer pairs (CI smoke)")
+    parser.add_argument("--pairs", type=int, default=None, help="override pair count")
+    parser.add_argument(
+        "--chunk-size", type=float, default=128e6, help="manifest chunk bytes (config default)"
+    )
+    parser.add_argument("--budget", type=float, default=0.05, help="max overhead fraction")
+    parser.add_argument("--out", default=None, help="report path (default: repo root)")
+    args = parser.parse_args(argv)
+    pairs = args.pairs if args.pairs is not None else (8 if args.quick else 20)
+    report = measure_overhead(pairs=pairs, chunk_size=args.chunk_size)
+    report["budget"] = args.budget
+    report["within_budget"] = report["overhead"] < args.budget
+    out = Path(args.out) if args.out else REPO_ROOT / "BENCH_integrity.json"
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    if not report["within_budget"]:
+        print(
+            f"FAIL: verification overhead {report['overhead']:.2%} exceeds "
+            f"budget {args.budget:.0%}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

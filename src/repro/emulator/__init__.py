@@ -14,13 +14,16 @@ sim-to-real gap.
 from repro.emulator.buffers import StagingBuffer
 from repro.emulator.calibration import testbed_for_optimal
 from repro.emulator.faults import (
+    DataCorruption,
     FaultSchedule,
     FaultWindow,
     LinkFlap,
     ProbeDropout,
     ReceiverRestart,
     ReportLoss,
+    SilentTruncation,
     StorageStall,
+    TornWrite,
 )
 from repro.emulator.network import NetworkConfig, NetworkPath
 from repro.emulator.noise import BackgroundTraffic, MultiplicativeNoise
@@ -38,13 +41,16 @@ from repro.emulator.testbed import StageFlows, Testbed, TestbedConfig
 
 __all__ = [
     "StagingBuffer",
+    "DataCorruption",
     "FaultSchedule",
     "FaultWindow",
     "LinkFlap",
     "ProbeDropout",
     "ReceiverRestart",
     "ReportLoss",
+    "SilentTruncation",
     "StorageStall",
+    "TornWrite",
     "NetworkConfig",
     "NetworkPath",
     "BackgroundTraffic",

@@ -25,6 +25,21 @@ Fault classes
 * :class:`ReportLoss` — the receiver's RPC buffer report is dropped for a
   window; the sender keeps acting on the last report it received.
 
+Data-plane faults (consumed by :mod:`repro.transfer.integrity`, which maps
+byte flows onto checksummed chunks) corrupt *content* without changing any
+byte count — exactly the failures only end-to-end verification can catch:
+
+* :class:`DataCorruption` — chunks completing during the window are
+  bit-flipped with probability ``rate`` (``site="network"``, in flight);
+  with ``site="storage"`` the window's start instant instead flips already
+  durable chunks at rest.
+* :class:`TornWrite` — at instant ``at`` the write stage tears: the chunk
+  partially persisted at that moment keeps its byte count but its tail is
+  garbage.
+* :class:`SilentTruncation` — at instant ``at`` the destination silently
+  loses its most recent ``chunks`` durable chunks (no error is surfaced to
+  the transfer tool).
+
 All schedules are deterministic: explicit events need no randomness, and
 :meth:`FaultSchedule.random` derives every draw from the given seed.
 """
@@ -113,6 +128,55 @@ class ReportLoss(FaultWindow):
 
 
 @dataclass(frozen=True)
+class DataCorruption(FaultWindow):
+    """Seeded bit-flips on chunk content; byte counts are unaffected.
+
+    ``site="network"`` corrupts in flight: each chunk that completes during
+    the window is flipped with probability ``rate``.  ``site="storage"``
+    corrupts at rest: at the window's *start* instant, each already durable
+    chunk is flipped with probability ``rate`` (the window duration is kept
+    for schedule uniformity but the damage is instantaneous).
+    """
+
+    rate: float = 0.05
+    site: str = "network"
+
+    kind: ClassVar[str] = "data_corruption"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        require_in_range(self.rate, 0.0, 1.0, "rate")
+        if self.site not in ("network", "storage"):
+            raise ValueError(f"site must be 'network' or 'storage', got {self.site!r}")
+
+
+@dataclass(frozen=True)
+class TornWrite:
+    """Write tear at instant ``at``: the in-flight partial chunk goes bad."""
+
+    at: float
+
+    kind: ClassVar[str] = "torn_write"
+
+    def __post_init__(self) -> None:
+        require_non_negative(self.at, "at")
+
+
+@dataclass(frozen=True)
+class SilentTruncation:
+    """Destination silently drops its last ``chunks`` durable chunks at ``at``."""
+
+    at: float
+    chunks: int = 1
+
+    kind: ClassVar[str] = "silent_truncation"
+
+    def __post_init__(self) -> None:
+        require_non_negative(self.at, "at")
+        require_positive(self.chunks, "chunks")
+
+
+@dataclass(frozen=True)
 class ReceiverRestart:
     """Receiver daemon restart at instant ``at``: staged bytes are lost."""
 
@@ -124,7 +188,7 @@ class ReceiverRestart:
         require_non_negative(self.at, "at")
 
 
-FaultEventSpec = Union[FaultWindow, ReceiverRestart]
+FaultEventSpec = Union[FaultWindow, ReceiverRestart, TornWrite, SilentTruncation]
 
 
 class FaultSchedule:
@@ -143,13 +207,25 @@ class FaultSchedule:
     """
 
     def __init__(self, events: FaultEventSpec | list[FaultEventSpec] = ()) -> None:
-        if isinstance(events, (FaultWindow, ReceiverRestart)):
+        if isinstance(events, (FaultWindow, ReceiverRestart, TornWrite, SilentTruncation)):
             events = [events]
         self.events: tuple[FaultEventSpec, ...] = tuple(events)
         self._restarts = [e for e in self.events if isinstance(e, ReceiverRestart)]
         self._windows = [e for e in self.events if isinstance(e, FaultWindow)]
+        #: Fire-once data-plane instants: torn writes, silent truncations, and
+        #: at-rest corruption (which strikes at its window's start instant).
+        self._data_instants: list[tuple[float, FaultEventSpec]] = sorted(
+            [(e.at, e) for e in self.events if isinstance(e, (TornWrite, SilentTruncation))]
+            + [
+                (e.start, e)
+                for e in self._windows
+                if isinstance(e, DataCorruption) and e.site == "storage"
+            ],
+            key=lambda pair: pair[0],
+        )
         self._last_restart = 0.0
         self._fired: set[int] = set()
+        self._data_fired: set[int] = set()
 
     # ---------------------------------------------------------------- queries
     def network_scale(self, t: float) -> float:
@@ -192,6 +268,35 @@ class FaultSchedule:
                 count += 1
         return count
 
+    # ------------------------------------------------------- data-plane faults
+    def corruption_rate(self, t: float) -> float:
+        """Probability a chunk completing at ``t`` is corrupted in flight.
+
+        Overlapping in-flight :class:`DataCorruption` windows compose as
+        independent corruption opportunities: ``1 - prod(1 - rate_i)``.
+        """
+        survival = 1.0
+        for event in self._windows:
+            if isinstance(event, DataCorruption) and event.site == "network" and event.active(t):
+                survival *= 1.0 - event.rate
+        return 1.0 - survival
+
+    def take_data_events(self, t0: float, t1: float) -> list[FaultEventSpec]:
+        """Fire (once each) the data-plane instants scheduled in ``[t0, t1)``.
+
+        Returns the fired events in time order: :class:`TornWrite`,
+        :class:`SilentTruncation` and at-rest :class:`DataCorruption`
+        (striking at its window start).  The integrity layer
+        (:class:`repro.transfer.integrity.DestinationLedger`) consumes these
+        while mapping byte flows onto chunks.
+        """
+        fired: list[FaultEventSpec] = []
+        for i, (at, event) in enumerate(self._data_instants):
+            if i not in self._data_fired and t0 <= at < t1:
+                self._data_fired.add(i)
+                fired.append(event)
+        return fired
+
     def active(self, t: float) -> list[FaultEventSpec]:
         """Window faults live at ``t`` — including dead-link flap aftermath."""
         live: list[FaultEventSpec] = []
@@ -221,6 +326,7 @@ class FaultSchedule:
         """
         self._last_restart = float(t)
         self._fired = {i for i, e in enumerate(self._restarts) if e.at < t}
+        self._data_fired = {i for i, (at, _) in enumerate(self._data_instants) if at < t}
 
     # ------------------------------------------------------------- factories
     @classmethod
@@ -259,9 +365,17 @@ class FaultSchedule:
                     events.append(ProbeDropout(start, duration))
                 elif kind == "report_loss":
                     events.append(ReportLoss(start, duration))
+                elif kind == "data_corruption":
+                    site = "network" if rng.random() < 0.75 else "storage"
+                    rate = float(rng.uniform(0.05, 0.35))
+                    events.append(DataCorruption(start, duration, rate=rate, site=site))
+                elif kind == "torn_write":
+                    events.append(TornWrite(at=start))
+                elif kind == "silent_truncation":
+                    events.append(SilentTruncation(at=start, chunks=1 + int(rng.integers(3))))
                 else:
                     raise ValueError(f"unknown fault kind {kind!r}")
-        events.sort(key=lambda e: e.at if isinstance(e, ReceiverRestart) else e.start)
+        events.sort(key=lambda e: e.start if isinstance(e, FaultWindow) else e.at)
         return cls(events)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

@@ -13,9 +13,11 @@ to JSON.
 from repro.harness.artifacts import trained_automdt
 from repro.harness.grid import GridResult, parse_seeds, run_grid
 from repro.harness.multirun import AggregateResult, aggregate, run_seeded
+from repro.harness.soak import SoakConfig, render_soak_report, run_soak
 from repro.harness.experiments import (
     EXPERIMENTS,
     experiment_faults,
+    experiment_integrity,
     experiment_figure1,
     experiment_figure3,
     experiment_figure4,
@@ -40,8 +42,12 @@ __all__ = [
     "parse_seeds",
     "run_grid",
     "run_seeded",
+    "SoakConfig",
+    "render_soak_report",
+    "run_soak",
     "EXPERIMENTS",
     "experiment_faults",
+    "experiment_integrity",
     "experiment_figure1",
     "experiment_figure3",
     "experiment_figure4",

@@ -1,0 +1,335 @@
+"""Deterministic chaos-soak harness: seeded faults × crashes × invariants.
+
+Each soak **case** derives everything — fault schedule, crash instants,
+corruption draws — from ``derive_seed(root_seed, case_index)``, runs one
+:class:`~repro.transfer.integrity.VerifiedTransfer` under a
+:class:`~repro.transfer.supervisor.TransferSupervisor`, kills it at the
+scheduled crash points (losing the journal's unflushed buffer, optionally
+leaving a torn tail), resumes with journal replay + verification, and then
+asserts the integrity invariants:
+
+* **all_verified** — every manifest chunk digest matches at the
+  destination when the case ends;
+* **no_double_count** — journal claims cover exactly the manifest's chunk
+  ids, every chunk was sent at least once, and verified bytes equal the
+  dataset size exactly once (the ledger additionally raises
+  :class:`~repro.utils.errors.IntegrityError` mid-run if a pass ever
+  writes beyond its pending chunk set);
+* **replay_idempotent** — replaying the journal twice yields identical
+  claims;
+* **conservation** — across all passes the destination durably applied at
+  least the dataset size (you cannot verify bytes that never arrived) and
+  the final supervised pass landed on the full byte count.
+
+Cases fan out over :class:`repro.parallel.pool.ParallelMap`; seeds are a
+pure function of ``(root_seed, case_index)``, so parallel soak results are
+bit-identical to serial ones.  ``automdt soak`` is the CLI entry point and
+exits non-zero when any invariant fails.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.baselines import StaticController
+from repro.emulator.faults import (
+    DataCorruption,
+    FaultSchedule,
+    SilentTruncation,
+    TornWrite,
+)
+from repro.emulator.presets import fig5_read_bottleneck
+from repro.emulator.testbed import Testbed
+from repro.parallel.pool import ParallelMap
+from repro.parallel.seeds import derive_seed, spawn_key
+from repro.transfer.engine import EngineConfig, ModularTransferEngine
+from repro.transfer.files import uniform_dataset
+from repro.transfer.integrity import IntegrityConfig, VerifiedTransfer
+from repro.transfer.supervisor import SupervisorConfig, TransferSupervisor
+from repro.utils.config import dump_json, require_non_negative, require_positive
+
+__all__ = ["SoakConfig", "run_soak", "render_soak_report"]
+
+
+@dataclass(frozen=True)
+class SoakConfig:
+    """Chaos-soak knobs; every case is a pure function of its derived seed."""
+
+    cases: int = 8
+    root_seed: int = 0
+    gigabytes: float = 2.0  # dataset size per case
+    chunk_size: float = 32e6
+    max_seconds: float = 900.0
+    corruption: bool = True  # in-flight + at-rest DataCorruption
+    torn_writes: bool = True
+    truncation: bool = True
+    crashes: bool = True  # mid-transfer process kills
+    max_crashes: int = 2  # per case
+    workers: int = 1  # ParallelMap fan-out (1 = serial)
+
+    def __post_init__(self) -> None:
+        require_positive(self.cases, "cases")
+        require_positive(self.gigabytes, "gigabytes")
+        require_positive(self.chunk_size, "chunk_size")
+        require_positive(self.max_seconds, "max_seconds")
+        require_non_negative(self.max_crashes, "max_crashes")
+
+    @classmethod
+    def quick(cls, root_seed: int = 0) -> "SoakConfig":
+        """The CI smoke preset: 3 small seeded cases, corruption + crashes."""
+        return cls(cases=3, root_seed=root_seed, gigabytes=1.0, max_crashes=1)
+
+
+class _SimulatedCrash(Exception):
+    """Raised by the soak observer at a scheduled crash instant."""
+
+    def __init__(self, t: float) -> None:
+        super().__init__(f"simulated crash at t={t:.1f}s")
+        self.t = t
+
+
+def _case_faults(config: SoakConfig, seed: int) -> FaultSchedule:
+    """The case's seeded data-plane fault schedule."""
+    rng = np.random.default_rng(spawn_key(seed, (1,)))
+    events = []
+    if config.corruption:
+        events.append(
+            DataCorruption(
+                start=float(rng.uniform(2.0, 8.0)),
+                duration=float(rng.uniform(5.0, 15.0)),
+                rate=float(rng.uniform(0.1, 0.3)),
+                site="network",
+            )
+        )
+        events.append(
+            DataCorruption(
+                start=float(rng.uniform(10.0, 20.0)),
+                duration=1.0,
+                rate=float(rng.uniform(0.05, 0.2)),
+                site="storage",
+            )
+        )
+    if config.torn_writes:
+        events.append(TornWrite(at=float(rng.uniform(3.0, 15.0))))
+    if config.truncation:
+        events.append(
+            SilentTruncation(
+                at=float(rng.uniform(5.0, 18.0)), chunks=1 + int(rng.integers(3))
+            )
+        )
+    return FaultSchedule(events)
+
+
+def _crash_plan(config: SoakConfig, seed: int) -> tuple[list[float], list[bool]]:
+    """Virtual crash instants and whether each leaves a torn journal tail."""
+    if not config.crashes or config.max_crashes == 0:
+        return [], []
+    rng = np.random.default_rng(spawn_key(seed, (2,)))
+    count = 1 + int(rng.integers(config.max_crashes))
+    times = sorted(float(rng.uniform(4.0, 20.0)) for _ in range(count))
+    torn = [bool(rng.random() < 0.5) for _ in range(count)]
+    return times, torn
+
+
+def _run_case(index: int, config: SoakConfig, out_dir: str | None) -> dict:
+    """One seeded soak case; returns a JSON-able case record."""
+    seed = derive_seed(config.root_seed, index)
+    case_dir = (
+        Path(out_dir) / f"case{index:03d}"
+        if out_dir
+        else Path(tempfile.mkdtemp(prefix=f"soak-case{index:03d}-"))
+    )
+    case_dir.mkdir(parents=True, exist_ok=True)
+
+    testbed_config = fig5_read_bottleneck()
+    testbed = Testbed(
+        testbed_config, rng=spawn_key(seed, (3,)), faults=_case_faults(config, seed)
+    )
+    dataset = uniform_dataset(
+        max(1, round(config.gigabytes * 4)), 0.25e9, name=f"soak-{index:03d}"
+    )
+    engine = ModularTransferEngine(
+        testbed,
+        dataset,
+        StaticController(testbed_config.optimal_threads()),
+        EngineConfig(max_seconds=config.max_seconds, seed=spawn_key(seed, (4,))),
+    )
+    supervisor = TransferSupervisor(engine, SupervisorConfig(seed=spawn_key(seed, (5,))))
+    verified = VerifiedTransfer.for_supervisor(
+        supervisor,
+        case_dir,
+        IntegrityConfig(
+            chunk_size=config.chunk_size,
+            seed=spawn_key(seed, (6,)),
+            content_seed=seed,
+            journal_flush_every=8,
+        ),
+    )
+
+    crash_times, crash_torn = _crash_plan(config, seed)
+    pending = list(crash_times)
+
+    def crasher(observation) -> None:
+        if pending and observation.elapsed >= pending[0]:
+            pending.pop(0)
+            raise _SimulatedCrash(observation.elapsed)
+
+    crashes_done = 0
+    resumed = False
+    resume_t = 0.0
+    while True:
+        try:
+            result = verified.run(
+                resume=resumed, resume_elapsed=resume_t, observer=crasher
+            )
+            break
+        except _SimulatedCrash as crash:
+            # Process death: the journal's unflushed buffer is lost, the
+            # destination (ledger) and the virtual clock survive.
+            verified.journal.crash(torn_tail=crash_torn[crashes_done])
+            crashes_done += 1
+            resumed = True
+            resume_t = crash.t
+    verified.journal.flush()
+
+    # ------------------------------------------------------------ invariants
+    manifest, ledger, journal = verified.manifest, verified.ledger, verified.journal
+    claims = journal.replay()
+    total = manifest.total_bytes
+    all_verified = bool(result.verified and not ledger.verify())
+    no_double_count = bool(
+        set(claims) == {c.chunk_id for c in manifest.chunks}
+        and all(count >= 1 for count in ledger.send_counts.values())
+        and abs(ledger.verified_bytes - total) < 1.0
+    )
+    replay_idempotent = journal.replay() == claims
+    last_pass_bytes = (
+        result.supervised.attempts[-1].end_bytes if result.supervised.attempts else 0.0
+    )
+    # The testbed's read counter resets per engine pass, so conservation is
+    # checked on the ledger's cross-pass applied-byte total: every dataset
+    # byte became durable at least once, and the final pass landed exactly
+    # on the full byte count.
+    conservation = bool(
+        ledger.bytes_applied_total >= total - 1.0 and abs(last_pass_bytes - total) < 1.0
+    )
+    invariants = {
+        "all_verified": all_verified,
+        "no_double_count": no_double_count,
+        "replay_idempotent": replay_idempotent,
+        "conservation": conservation,
+    }
+
+    journal.close()
+    manifest.save(case_dir / "manifest.json")
+    ledger.save(case_dir / "destination.json")
+    record = {
+        "case": index,
+        "seed": seed,
+        "dir": str(case_dir),
+        "completed": result.completed,
+        "verified": result.verified,
+        "passed": all(invariants.values()),
+        "invariants": invariants,
+        "chunks_total": result.chunks_total,
+        "crashes": crashes_done,
+        "crash_times": crash_times[:crashes_done],
+        "resume_verified_chunks": result.resumed_verified_chunks,
+        "resent_chunks": sorted(set(result.resent_chunk_ids)),
+        "repair_rounds": result.repair_rounds,
+        "unrecovered_chunks": list(result.unrecovered_chunk_ids),
+        "destination": ledger.status_counts(),
+        "total_bytes": total,
+        "source_read_bytes": testbed.total_read,
+        "supervisor_retries": result.supervised.retries_used,
+        "completion_time_s": round(result.supervised.completion_time, 1),
+    }
+    dump_json(record, case_dir / "case.json")
+    return record
+
+
+def run_soak(config: SoakConfig | None = None, *, out_dir: str | Path | None = None) -> dict:
+    """Run the whole soak; returns (and optionally writes) the report.
+
+    With ``out_dir`` each case leaves its artifacts (``manifest.json``,
+    ``journal.jsonl``, ``destination.json``, ``case.json``) under
+    ``out_dir/caseNNN/`` — each directory is `automdt verify`-able — and
+    the aggregate lands in ``out_dir/soak_report.json``.
+    """
+    config = config or SoakConfig()
+    out = str(out_dir) if out_dir is not None else None
+    pool = ParallelMap(
+        lambda index: _run_case(index, config, out), workers=max(1, config.workers)
+    )
+    cases = pool.map_values(list(range(config.cases)))
+
+    failures = [c["case"] for c in cases if not c["passed"]]
+    report = {
+        "config": {
+            "cases": config.cases,
+            "root_seed": config.root_seed,
+            "gigabytes": config.gigabytes,
+            "chunk_size": config.chunk_size,
+            "corruption": config.corruption,
+            "torn_writes": config.torn_writes,
+            "truncation": config.truncation,
+            "crashes": config.crashes,
+            "workers": config.workers,
+        },
+        "cases": cases,
+        "all_passed": not failures,
+        "failed_cases": failures,
+        "total_crashes": sum(c["crashes"] for c in cases),
+        "total_resent_chunks": sum(len(c["resent_chunks"]) for c in cases),
+        "total_repair_rounds": sum(c["repair_rounds"] for c in cases),
+    }
+    if out_dir is not None:
+        path = Path(out_dir) / "soak_report.json"
+        dump_json(report, path)
+        report["report_path"] = str(path)
+    return report
+
+
+def render_soak_report(report: dict) -> str:
+    """Human-readable soak summary for the CLI."""
+    from repro.utils.tables import render_table
+
+    rows = [
+        [
+            c["case"],
+            "PASS" if c["passed"] else "FAIL",
+            c["crashes"],
+            c["resume_verified_chunks"],
+            len(c["resent_chunks"]),
+            c["repair_rounds"],
+            "".join(
+                flag if passed else flag.upper()
+                for flag, passed in zip("vdrc", c["invariants"].values())
+            ),
+        ]
+        for c in report["cases"]
+    ]
+    table = render_table(
+        ["case", "result", "crashes", "resumed-ok", "resent", "repairs", "inv"],
+        rows,
+        title=(
+            f"chaos soak — {len(report['cases'])} case(s), "
+            f"root seed {report['config']['root_seed']}"
+        ),
+    )
+    verdict = (
+        "ALL INVARIANTS HELD"
+        if report["all_passed"]
+        else f"FAILED cases: {report['failed_cases']}"
+    )
+    return (
+        f"{table}\n"
+        "inv flags: v=all_verified d=no_double_count r=replay_idempotent "
+        "c=conservation (uppercase = violated)\n"
+        f"{verdict}\n"
+    )
+

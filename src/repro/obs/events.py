@@ -132,6 +132,16 @@ class JsonlEventWriter:
             self._buffer.clear()
             self.cost_seconds += time.perf_counter() - t0
 
+    def discard_buffer(self) -> None:
+        """Drop buffered-but-unflushed records without writing them.
+
+        This is the crash model of the integrity layer's write-ahead
+        journal (:class:`repro.transfer.integrity.ChunkJournal`): a process
+        killed mid-run loses exactly its unflushed buffer, while every
+        record already flushed stays on disk.
+        """
+        self._buffer.clear()
+
     def truncate(self) -> None:
         """Explicitly discard everything written so far and start over."""
         self.flush()

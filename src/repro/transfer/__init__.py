@@ -22,6 +22,16 @@ from repro.transfer.engine import (
 from repro.transfer.filelevel import FileLevelConfig, FileLevelEngine, FileLevelResult
 from repro.transfer.files import Dataset, FileSpec
 from repro.transfer.guarded import GuardedController
+from repro.transfer.integrity import (
+    ChunkJournal,
+    ChunkSpec,
+    DestinationLedger,
+    IntegrityConfig,
+    TransferManifest,
+    VerifiedTransfer,
+    VerifiedTransferResult,
+    verify_artifacts,
+)
 from repro.transfer.metrics import FaultEvent, RecoveryRecord, TransferMetrics
 from repro.transfer.monolithic import MonolithicController
 from repro.transfer.probing import ThroughputProbe
@@ -51,6 +61,14 @@ __all__ = [
     "RecoveryRecord",
     "MonolithicController",
     "GuardedController",
+    "ChunkJournal",
+    "ChunkSpec",
+    "DestinationLedger",
+    "IntegrityConfig",
+    "TransferManifest",
+    "VerifiedTransfer",
+    "VerifiedTransferResult",
+    "verify_artifacts",
     "ThroughputProbe",
     "BufferReportChannel",
     "AttemptRecord",

@@ -29,6 +29,7 @@ The supervisor state machine::
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -45,7 +46,15 @@ from repro.utils.config import (
     require_non_negative,
     require_positive,
 )
+from repro.utils.errors import CheckpointVersionError
 from repro.utils.units import bytes_per_sec_to_mbps
+
+#: Serialization version written by :meth:`TransferCheckpoint.to_dict`.
+#: Bump when the on-disk schema changes incompatibly; loaders reject
+#: unknown versions with :class:`~repro.utils.errors.CheckpointVersionError`
+#: so a supervisor can fall back to a fresh transfer instead of resuming
+#: from fields it would misinterpret.
+CHECKPOINT_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -96,6 +105,7 @@ class TransferCheckpoint:
     def to_dict(self) -> dict:
         """JSON-friendly form (inverse of :meth:`from_dict`)."""
         return {
+            "version": CHECKPOINT_VERSION,
             "bytes_completed": self.bytes_completed,
             "elapsed": self.elapsed,
             "threads": list(self.threads),
@@ -104,7 +114,20 @@ class TransferCheckpoint:
 
     @classmethod
     def from_dict(cls, data: dict) -> "TransferCheckpoint":
-        """Rebuild from :meth:`to_dict` output."""
+        """Rebuild from :meth:`to_dict` output.
+
+        Checkpoints written before versioning carry no ``version`` field and
+        are read as version 1; any other version raises
+        :class:`~repro.utils.errors.CheckpointVersionError` *before* any
+        field access, so schema drift surfaces as a typed error rather than
+        a ``KeyError`` mid-parse.
+        """
+        version = int(data.get("version", 1))
+        if version != CHECKPOINT_VERSION:
+            raise CheckpointVersionError(
+                f"unsupported checkpoint version {version} (this build reads "
+                f"version {CHECKPOINT_VERSION})"
+            )
         return cls(
             bytes_completed=float(data["bytes_completed"]),
             elapsed=float(data["elapsed"]),
@@ -216,8 +239,20 @@ class TransferSupervisor:
         kinds = faults.active_kinds(t)
         return ",".join(kinds) if kinds else "stall"
 
-    def run(self, *, resume_from: TransferCheckpoint | None = None) -> SupervisedTransferResult:
+    def run(
+        self,
+        *,
+        resume_from: TransferCheckpoint | None = None,
+        observer: Callable[[Observation], None] | None = None,
+    ) -> SupervisedTransferResult:
         """Supervised transfer: returns once completed, failed, or out of budget.
+
+        ``observer`` is called with every interval observation (before the
+        stall check) across all attempts; its return value is ignored.  The
+        integrity layer uses it to map durable byte progress onto
+        checksummed chunks without duplicating the engine loop.  Exceptions
+        it raises propagate — a simulated crash in the chaos-soak harness
+        is exactly such an exception.
 
         Under an active observability session the whole supervised transfer
         runs inside a ``transfer/supervised`` span; each incident emits an
@@ -233,9 +268,30 @@ class TransferSupervisor:
             controller=type(self.engine.controller).__name__,
             resumed=resume_from is not None,
         ):
-            return self._run(resume_from)
+            return self._run(resume_from, observer)
 
-    def _run(self, resume_from: TransferCheckpoint | None) -> SupervisedTransferResult:
+    def resume_from_path(self, path: str | Path) -> SupervisedTransferResult:
+        """Resume from a checkpoint file, falling back to a fresh transfer.
+
+        An unreadable-version checkpoint
+        (:class:`~repro.utils.errors.CheckpointVersionError`) is an
+        *incident*, not a crash: it is counted on
+        ``supervisor/checkpoint_incompatible``, logged as an event, and the
+        transfer restarts from byte zero — slower, never wrong.
+        """
+        try:
+            checkpoint = TransferCheckpoint.load(path)
+        except CheckpointVersionError as exc:
+            obs.count("supervisor/checkpoint_incompatible")
+            obs.event("supervisor/checkpoint_incompatible", path=str(path), error=str(exc))
+            checkpoint = None
+        return self.run(resume_from=checkpoint)
+
+    def _run(
+        self,
+        resume_from: TransferCheckpoint | None,
+        observer: Callable[[Observation], None] | None = None,
+    ) -> SupervisedTransferResult:
         cfg = self.config
         rng = np.random.default_rng(cfg.seed)
         metrics = TransferMetrics()
@@ -252,11 +308,17 @@ class TransferSupervisor:
             start_time = checkpoint.elapsed if checkpoint else 0.0
             threads = checkpoint.threads if checkpoint else (1, 1, 1)
             detector = _StallDetector(cfg.stall_intervals, cfg.min_progress_bytes)
+            if observer is None:
+                hook = detector
+            else:
+                def hook(observation: Observation, _detector=detector) -> bool:
+                    observer(observation)
+                    return _detector(observation)
             result = self.engine.run(
                 start_bytes=start_bytes,
                 start_time=start_time,
                 initial_threads=threads,
-                interval_hook=detector,
+                interval_hook=hook,
             )
             outcome = (
                 "completed"

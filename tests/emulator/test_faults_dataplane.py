@@ -1,0 +1,93 @@
+"""Data-plane fault semantics: corruption windows, fire-once instants."""
+
+import pytest
+
+from repro.emulator import (
+    DataCorruption,
+    FaultSchedule,
+    SilentTruncation,
+    TornWrite,
+)
+from repro.utils.errors import ConfigError
+
+
+class TestValidation:
+    def test_corruption_rate_and_site(self):
+        with pytest.raises(ConfigError):
+            DataCorruption(start=0.0, duration=5.0, rate=1.5)
+        with pytest.raises(ValueError):
+            DataCorruption(start=0.0, duration=5.0, site="bogus")
+
+    def test_zero_length_window_rejected(self):
+        # Fault windows are half-open [start, start+duration); zero length
+        # would be a window that can never fire — rejected at construction.
+        with pytest.raises(ConfigError):
+            DataCorruption(start=5.0, duration=0.0)
+
+    def test_instant_events(self):
+        with pytest.raises(ConfigError):
+            TornWrite(at=-1.0)
+        with pytest.raises(ConfigError):
+            SilentTruncation(at=1.0, chunks=0)
+
+
+class TestCorruptionRate:
+    def test_window_semantics(self):
+        sched = FaultSchedule(DataCorruption(start=10.0, duration=5.0, rate=0.2))
+        assert sched.corruption_rate(9.99) == 0.0
+        assert sched.corruption_rate(10.0) == pytest.approx(0.2)
+        assert sched.corruption_rate(14.99) == pytest.approx(0.2)
+        assert sched.corruption_rate(15.0) == 0.0
+
+    def test_overlapping_windows_compose_independently(self):
+        # Two overlapping in-flight windows: survival multiplies, so the
+        # composite rate is 1 - (1-0.2)(1-0.5) = 0.6 — never above 1.
+        sched = FaultSchedule(
+            [
+                DataCorruption(start=0.0, duration=10.0, rate=0.2),
+                DataCorruption(start=5.0, duration=10.0, rate=0.5),
+            ]
+        )
+        assert sched.corruption_rate(2.0) == pytest.approx(0.2)
+        assert sched.corruption_rate(7.0) == pytest.approx(0.6)
+        assert sched.corruption_rate(12.0) == pytest.approx(0.5)
+
+    def test_storage_site_does_not_affect_inflight_rate(self):
+        sched = FaultSchedule(
+            DataCorruption(start=0.0, duration=10.0, rate=0.9, site="storage")
+        )
+        assert sched.corruption_rate(5.0) == 0.0
+
+
+class TestDataInstants:
+    def test_fire_once_in_time_order(self):
+        sched = FaultSchedule(
+            [
+                SilentTruncation(at=8.0, chunks=2),
+                TornWrite(at=3.0),
+                DataCorruption(start=5.0, duration=2.0, rate=0.1, site="storage"),
+            ]
+        )
+        fired = sched.take_data_events(0.0, 10.0)
+        assert [e.kind for e in fired] == [
+            "torn_write",
+            "data_corruption",  # at-rest: strikes at its window start (5.0)
+            "silent_truncation",
+        ]
+        assert sched.take_data_events(0.0, 10.0) == []  # never re-fires
+
+    def test_half_open_interval(self):
+        sched = FaultSchedule(TornWrite(at=5.0))
+        assert sched.take_data_events(0.0, 5.0) == []  # [t0, t1) excludes 5.0
+        assert len(sched.take_data_events(5.0, 5.1)) == 1
+
+    def test_inflight_corruption_is_not_an_instant(self):
+        sched = FaultSchedule(DataCorruption(start=5.0, duration=2.0, rate=0.1))
+        assert sched.take_data_events(0.0, 100.0) == []
+
+    def test_notify_restart_rearms_only_future_instants(self):
+        sched = FaultSchedule([TornWrite(at=5.0), TornWrite(at=50.0)])
+        assert len(sched.take_data_events(0.0, 60.0)) == 2
+        sched.notify_restart(20.0)  # resume at t=20: the t=5 tear stays spent
+        fired = sched.take_data_events(0.0, 60.0)
+        assert [e.at for e in fired] == [50.0]

@@ -1,0 +1,89 @@
+"""CLI integrity surface: soak / verify subcommands and run exit codes."""
+
+import json
+
+from repro.harness.cli import main
+from repro.harness.experiments import EXPERIMENTS, ExperimentResult
+
+
+class TestSoakCommand:
+    def test_soak_writes_report_and_exits_zero(self, capsys, tmp_path):
+        code = main(
+            ["soak", "--cases", "1", "--gb", "0.5", "--seed", "0", "--out", str(tmp_path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "chaos soak" in out and "ALL INVARIANTS HELD" in out
+        report = json.loads((tmp_path / "soak_report.json").read_text())
+        assert report["all_passed"]
+        assert len(report["cases"]) == 1
+
+    def test_soak_quick_preset_flag(self, capsys, tmp_path):
+        code = main(["soak", "--quick", "--no-crashes", "--out", str(tmp_path)])
+        assert code == 0
+        report = json.loads((tmp_path / "soak_report.json").read_text())
+        assert len(report["cases"]) == 3  # quick preset pins the case count
+        assert not report["config"]["crashes"]
+
+
+class TestVerifyCommand:
+    def test_verify_soak_case_dir(self, capsys, tmp_path):
+        assert main(["soak", "--cases", "1", "--gb", "0.5", "--out", str(tmp_path)]) == 0
+        capsys.readouterr()
+        code = main(["verify", str(tmp_path / "case000")])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "VERIFIED" in out
+
+    def test_verify_missing_dir_is_usage_error(self, capsys, tmp_path):
+        assert main(["verify", str(tmp_path / "nope")]) == 2
+        assert "cannot verify" in capsys.readouterr().err
+
+    def test_verify_flags_damaged_destination(self, capsys, tmp_path):
+        assert main(["soak", "--cases", "1", "--gb", "0.5", "--out", str(tmp_path)]) == 0
+        capsys.readouterr()
+        destination = tmp_path / "case000" / "destination.json"
+        blob = json.loads(destination.read_text())
+        first = next(iter(blob["chunks"]))
+        blob["chunks"][first]["digest"] = 1  # bit rot after the run
+        destination.write_text(json.dumps(blob))
+        code = main(["verify", str(tmp_path / "case000")])
+        assert code == 1
+        assert "VERIFICATION FAILED" in capsys.readouterr().out
+
+
+class TestRunExitCodes:
+    def test_run_fails_when_supervised_transfer_fails(self, capsys, monkeypatch):
+        def doomed(*, fast=True, seed=0):
+            return ExperimentResult(
+                "doomed", summary={"supervised_completed": False}, tables=[]
+            )
+
+        monkeypatch.setitem(EXPERIMENTS, "doomed", doomed)
+        code = main(["run", "doomed"])
+        assert code == 1
+        assert "FAILED doomed" in capsys.readouterr().err
+
+    def test_run_fails_when_verification_fails(self, capsys, monkeypatch):
+        def unverified(*, fast=True, seed=0):
+            return ExperimentResult(
+                "unverified",
+                summary={"supervised_completed": True, "verified": False},
+                tables=[],
+            )
+
+        monkeypatch.setitem(EXPERIMENTS, "unverified", unverified)
+        assert main(["run", "unverified"]) == 1
+
+    def test_unsupervised_failure_alone_is_not_an_error(self, capsys, monkeypatch):
+        # Bare-engine failure is the *demonstration* in fault experiments;
+        # only the supervised/verified outcome drives the exit code.
+        def demo(*, fast=True, seed=0):
+            return ExperimentResult(
+                "demo",
+                summary={"unsupervised_completed": False, "supervised_completed": True},
+                tables=[],
+            )
+
+        monkeypatch.setitem(EXPERIMENTS, "demo", demo)
+        assert main(["run", "demo"]) == 0

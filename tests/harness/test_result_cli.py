@@ -45,6 +45,7 @@ class TestRegistry:
             "online_drl", "parallelism",
             "faults_link_flap", "faults_storage_stall", "faults_receiver_restart",
             "faults_probe_dropout", "faults_report_loss", "faults_random",
+            "integrity_corruption",
         }
         assert expected == set(EXPERIMENTS)
 

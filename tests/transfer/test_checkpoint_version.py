@@ -1,0 +1,64 @@
+"""Checkpoint schema versioning: typed errors, graceful fresh-run fallback."""
+
+import pytest
+
+from repro import obs
+from repro.transfer import TransferCheckpoint
+from repro.transfer.supervisor import CHECKPOINT_VERSION
+from repro.utils.errors import CheckpointVersionError
+
+from tests.transfer.test_supervisor import make_engine
+from repro.transfer import SupervisorConfig, TransferSupervisor
+
+
+class TestVersionField:
+    def test_serialized_with_current_version(self, tmp_path):
+        checkpoint = TransferCheckpoint(bytes_completed=1e9, elapsed=10.0)
+        blob = checkpoint.to_dict()
+        assert blob["version"] == CHECKPOINT_VERSION
+        checkpoint.save(tmp_path / "ckpt.json")
+        loaded = TransferCheckpoint.load(tmp_path / "ckpt.json")
+        assert loaded == checkpoint
+
+    def test_preversion_checkpoint_reads_as_v1(self):
+        # Checkpoints written before versioning carry no version field.
+        loaded = TransferCheckpoint.from_dict(
+            {"bytes_completed": 5.0, "elapsed": 1.0}
+        )
+        assert loaded.bytes_completed == 5.0
+
+    def test_unknown_version_raises_typed_error(self):
+        blob = TransferCheckpoint(bytes_completed=1.0, elapsed=1.0).to_dict()
+        blob["version"] = CHECKPOINT_VERSION + 1
+        with pytest.raises(CheckpointVersionError):
+            TransferCheckpoint.from_dict(blob)
+
+    def test_version_checked_before_field_access(self):
+        # Schema drift surfaces as the typed error, not a KeyError.
+        with pytest.raises(CheckpointVersionError):
+            TransferCheckpoint.from_dict({"version": 99})
+
+
+class TestResumeFromPathFallback:
+    def test_valid_checkpoint_resumes(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        TransferCheckpoint(bytes_completed=4e9, elapsed=30.0, threads=(13, 7, 5)).save(path)
+        supervisor = TransferSupervisor(make_engine(), SupervisorConfig(seed=0))
+        result = supervisor.resume_from_path(path)
+        assert result.completed
+        assert result.attempts[0].start_bytes == pytest.approx(4e9)
+
+    def test_incompatible_checkpoint_falls_back_to_fresh(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        blob = TransferCheckpoint(bytes_completed=4e9, elapsed=30.0).to_dict()
+        blob["version"] = 99
+        import json
+
+        path.write_text(json.dumps(blob))
+        supervisor = TransferSupervisor(make_engine(), SupervisorConfig(seed=0))
+        with obs.session(tmp_path / "obs") as sess:
+            result = supervisor.resume_from_path(path)
+            incidents = sess.registry.counter("supervisor/checkpoint_incompatible").value
+        assert incidents == 1
+        assert result.completed
+        assert result.attempts[0].start_bytes == 0.0  # fresh, not resumed

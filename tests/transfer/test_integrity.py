@@ -1,0 +1,373 @@
+"""End-to-end integrity: manifest, journal, ledger, verified resume/repair."""
+
+import pytest
+
+from repro.baselines import StaticController
+from repro.emulator import (
+    DataCorruption,
+    FaultSchedule,
+    NetworkConfig,
+    SilentTruncation,
+    StorageConfig,
+    Testbed,
+    TestbedConfig,
+    TornWrite,
+)
+from repro.transfer import (
+    ChunkJournal,
+    DestinationLedger,
+    EngineConfig,
+    IntegrityConfig,
+    ModularTransferEngine,
+    SupervisorConfig,
+    TransferManifest,
+    TransferSupervisor,
+    VerifiedTransfer,
+    verify_artifacts,
+)
+from repro.transfer.files import uniform_dataset
+from repro.utils.errors import IntegrityError
+from repro.utils.units import GiB
+
+
+def make_supervisor(faults=None, *, max_seconds=240.0, gigabytes=2):
+    testbed = Testbed(
+        TestbedConfig(
+            source=StorageConfig(tpt=80, bandwidth=1000),
+            destination=StorageConfig(tpt=200, bandwidth=1000),
+            network=NetworkConfig(tpt=160, capacity=1000, ramp_time=0.0),
+            sender_buffer_capacity=1.0 * GiB,
+            receiver_buffer_capacity=1.0 * GiB,
+            max_threads=30,
+        ),
+        rng=0,
+        faults=faults,
+    )
+    engine = ModularTransferEngine(
+        testbed,
+        uniform_dataset(gigabytes, 1e9),
+        StaticController((13, 7, 5)),
+        EngineConfig(max_seconds=max_seconds, seed=0),
+    )
+    return TransferSupervisor(engine, SupervisorConfig(seed=0))
+
+
+def make_manifest(*, files=2, size=1e9, chunk_size=0.25e9, **kwargs):
+    return TransferManifest(
+        "ds", tuple((f"f{i:02d}", size) for i in range(files)), chunk_size, **kwargs
+    )
+
+
+class TestManifest:
+    def test_chunking_covers_dataset(self):
+        manifest = make_manifest(files=3, size=1e9, chunk_size=0.3e9)
+        assert len(manifest) == 3 * 4  # ceil(1e9 / 0.3e9) = 4 per file
+        assert manifest.total_bytes == pytest.approx(3e9)
+        last = manifest.chunks[3]  # final chunk of the first file
+        assert last.size == pytest.approx(1e9 - 3 * 0.3e9)
+
+    def test_deterministic_and_seed_sensitive(self):
+        assert make_manifest().expected() == make_manifest().expected()
+        assert make_manifest().expected() != make_manifest(content_seed=1).expected()
+
+    def test_roundtrip(self, tmp_path):
+        manifest = make_manifest(algorithm="xxh32", content_seed=3)
+        manifest.save(tmp_path / "manifest.json")
+        loaded = TransferManifest.load(tmp_path / "manifest.json")
+        assert loaded.expected() == manifest.expected()
+        assert loaded.algorithm == "xxh32"
+
+    def test_tampered_manifest_fails_loudly(self, tmp_path):
+        manifest = make_manifest()
+        blob = manifest.to_dict()
+        blob["chunks"][0][5] ^= 1  # flip a digest bit
+        with pytest.raises(IntegrityError):
+            TransferManifest.from_dict(blob)
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(ValueError):
+            make_manifest(algorithm="md5")
+
+
+class TestJournal:
+    def test_replay_last_record_wins(self, tmp_path):
+        with ChunkJournal(tmp_path / "j.jsonl") as journal:
+            journal.record(0, 111, 1.0)
+            journal.record(1, 222, 2.0)
+            journal.record(0, 333, 3.0)  # re-send supersedes
+        journal = ChunkJournal(tmp_path / "j.jsonl")
+        assert journal.replay() == {0: 333, 1: 222}
+        journal.close()
+
+    def test_missing_file_means_no_claims(self, tmp_path):
+        journal = ChunkJournal(tmp_path / "never-written.jsonl")
+        assert journal.replay() == {}
+
+    def test_crash_loses_unflushed_buffer(self, tmp_path):
+        journal = ChunkJournal(tmp_path / "j.jsonl", flush_every=1000)
+        journal.record(0, 111, 1.0)
+        journal.flush()
+        journal.record(1, 222, 2.0)  # buffered, never flushed
+        journal.crash()
+        assert ChunkJournal(tmp_path / "j.jsonl").replay() == {0: 111}
+
+    def test_torn_tail_truncated_and_appendable(self, tmp_path):
+        journal = ChunkJournal(tmp_path / "j.jsonl", flush_every=1)
+        journal.record(0, 111, 1.0)
+        journal.crash(torn_tail=True)
+        resumed = ChunkJournal(tmp_path / "j.jsonl", flush_every=1)
+        assert resumed.replay() == {0: 111}  # torn fragment dropped
+        resumed.record(1, 222, 2.0)  # post-recovery append lands cleanly
+        resumed.close()
+        assert ChunkJournal(tmp_path / "j.jsonl").replay() == {0: 111, 1: 222}
+
+    def test_replay_idempotent(self, tmp_path):
+        journal = ChunkJournal(tmp_path / "j.jsonl", flush_every=1)
+        for i in range(10):
+            journal.record(i, i * 7, float(i))
+        journal.crash(torn_tail=True)
+        journal = ChunkJournal(tmp_path / "j.jsonl")
+        first = journal.replay()
+        assert journal.replay() == first
+        assert journal.replay() == first
+
+
+class TestLedger:
+    def test_sync_maps_bytes_to_chunks_in_order(self):
+        manifest = make_manifest(files=1, size=1e9, chunk_size=0.25e9)
+        ledger = DestinationLedger(manifest)
+        ledger.begin_pass([0, 1, 2, 3], start_bytes=0.0)
+        assert ledger.sync(0.3e9, 1.0) == [(0, manifest.chunks[0].digest)]
+        assert ledger.status_counts() == {"ok": 1, "missing": 3}
+        assert ledger.status[0] == "ok" and ledger.status[1] == "missing"
+        done = ledger.sync(1e9, 2.0)
+        assert [cid for cid, _ in done] == [1, 2, 3]
+        assert ledger.verify() == []
+        assert ledger.verified_bytes == pytest.approx(1e9)
+
+    def test_stale_observation_ignored(self):
+        ledger = DestinationLedger(make_manifest())
+        ledger.begin_pass(list(range(8)), start_bytes=0.0)
+        ledger.sync(0.5e9, 1.0)
+        assert ledger.sync(0.4e9, 2.0) == []  # byte counts only move forward
+
+    def test_overshoot_raises(self):
+        manifest = make_manifest(files=1, size=1e9, chunk_size=0.25e9)
+        ledger = DestinationLedger(manifest)
+        ledger.begin_pass([0], start_bytes=0.0)  # only one chunk pending
+        with pytest.raises(IntegrityError):
+            ledger.sync(1e9, 1.0)
+
+    def test_inflight_corruption_window(self):
+        faults = FaultSchedule(DataCorruption(start=0.0, duration=100.0, rate=1.0))
+        manifest = make_manifest()
+        ledger = DestinationLedger(manifest, faults, seed=1)
+        ledger.begin_pass(list(range(len(manifest))), start_bytes=0.0)
+        ledger.sync(manifest.total_bytes, 1.0)
+        # rate=1.0 corrupts everything; digests diverge but byte totals don't.
+        assert set(ledger.status.values()) == {"corrupt"}
+        assert len(ledger.verify()) == len(manifest)
+        assert ledger.verified_bytes == 0.0
+        assert ledger.bytes_applied_total == pytest.approx(manifest.total_bytes)
+
+    def test_torn_write_hits_chunk_in_flight(self):
+        faults = FaultSchedule(TornWrite(at=5.0))
+        manifest = make_manifest(files=1, size=1e9, chunk_size=0.25e9)
+        ledger = DestinationLedger(manifest, faults)
+        ledger.begin_pass([0, 1, 2, 3], start_bytes=0.0)
+        ledger.sync(0.3e9, 1.0)  # chunk 0 lands before the tear
+        ledger.sync(0.6e9, 6.0)  # tear fires in [1, 6); chunk 1 completes torn
+        assert ledger.status[0] == "ok"
+        assert ledger.status[1] == "torn"
+        assert not ledger.matches(1)
+
+    def test_silent_truncation_drops_recent_chunks(self):
+        faults = FaultSchedule(SilentTruncation(at=5.0, chunks=2))
+        manifest = make_manifest(files=1, size=1e9, chunk_size=0.25e9)
+        ledger = DestinationLedger(manifest, faults)
+        ledger.begin_pass([0, 1, 2, 3], start_bytes=0.0)
+        ledger.sync(0.8e9, 1.0)  # chunks 0-2 durable
+        ledger.sync(1e9, 6.0)  # truncation fires, then chunk 3 lands
+        assert ledger.status[0] == "ok"
+        assert ledger.status[1] == "missing" and ledger.status[2] == "missing"
+        assert ledger.status[3] == "ok"
+        assert sorted(ledger.verify()) == [1, 2]
+
+    def test_atrest_corruption_strikes_durable_chunks(self):
+        faults = FaultSchedule(
+            DataCorruption(start=5.0, duration=1.0, rate=1.0, site="storage")
+        )
+        manifest = make_manifest(files=1, size=1e9, chunk_size=0.25e9)
+        ledger = DestinationLedger(manifest, faults)
+        ledger.begin_pass([0, 1, 2, 3], start_bytes=0.0)
+        ledger.sync(0.5e9, 1.0)  # chunks 0-1 durable before the strike
+        ledger.sync(1e9, 6.0)
+        assert ledger.status[0] == "corrupt" and ledger.status[1] == "corrupt"
+        # Chunks 2-3 completed after the instant: untouched.
+        assert ledger.status[2] == "ok" and ledger.status[3] == "ok"
+
+    def test_resend_gets_fresh_corruption_draw(self):
+        # A window with rate<1: a chunk corrupted on send 1 can come back
+        # clean on send 2 because the draw is keyed on (chunk, send_count).
+        faults = FaultSchedule(DataCorruption(start=0.0, duration=1000.0, rate=0.5))
+        manifest = make_manifest(files=4, size=1e9, chunk_size=0.25e9)
+        ledger = DestinationLedger(manifest, faults, seed=0)
+        ledger.begin_pass(list(range(len(manifest))), start_bytes=0.0)
+        ledger.sync(manifest.total_bytes, 1.0)
+        bad = ledger.verify()
+        assert 0 < len(bad) < len(manifest)  # rate 0.5: some of each
+        ledger.demote(bad)
+        ledger.begin_pass(bad, start_bytes=manifest.total_bytes - sum(
+            manifest.size_of(c) for c in bad
+        ))
+        ledger.sync(manifest.total_bytes, 2.0)
+        assert len(ledger.verify()) < len(bad)  # fresh draws recover some
+
+    def test_snapshot_roundtrip(self, tmp_path):
+        manifest = make_manifest()
+        ledger = DestinationLedger(manifest, seed=5)
+        ledger.begin_pass(list(range(len(manifest))), start_bytes=0.0)
+        ledger.sync(manifest.total_bytes, 1.0)
+        ledger.save(tmp_path / "destination.json")
+        from repro.utils.config import load_json
+
+        loaded = DestinationLedger.from_dict(
+            manifest, load_json(tmp_path / "destination.json")
+        )
+        assert loaded.status == ledger.status
+        assert loaded.digests == ledger.digests
+        assert loaded.verified_bytes == ledger.verified_bytes
+        assert loaded.bytes_applied_total == ledger.bytes_applied_total
+
+
+class TestVerifiedTransfer:
+    def test_clean_run_nothing_resent(self, tmp_path):
+        vt = VerifiedTransfer.for_supervisor(
+            make_supervisor(), tmp_path, IntegrityConfig(chunk_size=0.25e9)
+        )
+        result = vt.run()
+        vt.journal.close()
+        assert result.clean
+        assert result.resent_chunk_ids == ()
+        assert result.repair_rounds == 0
+        assert vt.ledger.verify() == []
+        assert vt.journal.replay().keys() == vt.manifest.expected().keys()
+
+    def test_faulted_run_repairs_only_damaged_chunks(self, tmp_path):
+        faults = FaultSchedule(
+            [
+                DataCorruption(start=2.0, duration=8.0, rate=0.4),
+                TornWrite(at=5.0),
+                SilentTruncation(at=12.0, chunks=2),
+            ]
+        )
+        vt = VerifiedTransfer.for_supervisor(
+            make_supervisor(faults), tmp_path, IntegrityConfig(chunk_size=0.25e9, seed=1)
+        )
+        result = vt.run()
+        vt.journal.close()
+        assert result.clean
+        assert result.repair_rounds >= 1
+        resent = set(result.resent_chunk_ids)
+        assert resent  # damage happened and was repaired
+        assert len(resent) < result.chunks_total  # surgical, not a full re-send
+        assert vt.ledger.verify() == []
+        assert all(vt.ledger.send_counts[c] >= 2 for c in resent)
+
+    def test_acceptance_corruption_plus_crash_resends_only_damaged(self, tmp_path):
+        """ISSUE acceptance: DataCorruption + mid-transfer crash; the resumed
+        run verifies every manifest digest and re-transfers only the
+        corrupted/torn chunks — counted by re-sent chunk ids."""
+        faults = FaultSchedule(
+            [DataCorruption(start=2.0, duration=10.0, rate=0.35), TornWrite(at=6.0)]
+        )
+        vt = VerifiedTransfer.for_supervisor(
+            make_supervisor(faults),
+            tmp_path,
+            IntegrityConfig(chunk_size=0.25e9, seed=2, journal_flush_every=4),
+        )
+
+        crash_at = 12.0
+
+        class Crash(Exception):
+            pass
+
+        def crasher(observation):
+            if observation.elapsed >= crash_at:
+                raise Crash
+
+        with pytest.raises(Crash):
+            vt.run(observer=crasher)
+        vt.journal.crash(torn_tail=True)
+
+        # State of the world at the crash: some chunks durable and claimed,
+        # some durable-but-unclaimed (lost buffer), some damaged.
+        claimed = vt.journal.replay()
+        expected = vt.manifest.expected()
+        good_claims = {c for c, d in claimed.items() if d == expected[c]}
+        bad_before = set(vt.ledger.verify())
+
+        result = vt.run(resume=True, resume_elapsed=crash_at)
+        vt.journal.close()
+
+        assert result.clean  # completed, every digest verified
+        assert vt.ledger.verify() == []
+        # Journal claims that matched the manifest were NOT re-transferred...
+        accepted = good_claims & {
+            c for c in expected if c not in set(result.resent_chunk_ids)
+        }
+        assert result.resumed_verified_chunks == len(accepted) > 0
+        assert not (accepted & set(result.resent_chunk_ids))
+        # ...and every chunk that was damaged at crash time was re-sent.
+        resent = set(result.resent_chunk_ids)
+        assert bad_before - good_claims <= resent | (bad_before - set(claimed))
+        for chunk_id in resent & set(claimed):
+            # Claimed-then-resent means the claim mismatched: real damage.
+            assert claimed[chunk_id] != expected[chunk_id] or chunk_id not in good_claims
+        assert vt.ledger.bytes_applied_total >= vt.manifest.total_bytes - 1.0
+
+    def test_unrecoverable_damage_reports_honestly(self, tmp_path):
+        # rate=1.0 for the whole run: every send of every chunk corrupts, so
+        # the repair budget runs out and the result says so.
+        faults = FaultSchedule(DataCorruption(start=0.0, duration=1e5, rate=1.0))
+        vt = VerifiedTransfer.for_supervisor(
+            make_supervisor(faults, gigabytes=1),
+            tmp_path,
+            IntegrityConfig(chunk_size=0.5e9, max_repair_rounds=2),
+        )
+        result = vt.run()
+        vt.journal.close()
+        assert result.completed
+        assert not result.verified
+        assert result.repair_rounds == 2
+        assert result.unrecovered_chunk_ids
+
+
+class TestVerifyArtifacts:
+    def test_clean_run_dir_verifies(self, tmp_path):
+        vt = VerifiedTransfer.for_supervisor(
+            make_supervisor(), tmp_path, IntegrityConfig(chunk_size=0.25e9)
+        )
+        vt.run()
+        vt.journal.close()
+        vt.manifest.save(tmp_path / "manifest.json")
+        vt.ledger.save(tmp_path / "destination.json")
+        report = verify_artifacts(tmp_path)
+        assert report["all_verified"]
+        assert report["replay_idempotent"]
+        assert report["journal_claims_ok"] == report["chunks_total"]
+        assert report["destination_bad_chunks"] == []
+
+    def test_damaged_destination_flagged(self, tmp_path):
+        vt = VerifiedTransfer.for_supervisor(
+            make_supervisor(), tmp_path, IntegrityConfig(chunk_size=0.25e9)
+        )
+        vt.run()
+        vt.journal.close()
+        vt.manifest.save(tmp_path / "manifest.json")
+        vt.ledger.status[0] = "corrupt"  # bit rot after the run
+        vt.ledger.digests[0] = 12345
+        vt.ledger.save(tmp_path / "destination.json")
+        report = verify_artifacts(tmp_path)
+        assert not report["all_verified"]
+        assert report["destination_bad_chunks"] == [0]

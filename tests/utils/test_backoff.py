@@ -1,0 +1,52 @@
+"""Backoff arithmetic: growth, capping, and jitter staying in its bounds."""
+
+import numpy as np
+
+from repro.utils.backoff import backoff_delay
+
+
+class TestUndithered:
+    def test_exponential_growth_and_cap(self):
+        delays = [backoff_delay(a, base=2.0, factor=2.0, max_delay=60.0) for a in range(1, 8)]
+        assert delays[:5] == [2.0, 4.0, 8.0, 16.0, 32.0]
+        assert delays[5] == 60.0  # 64 capped
+        assert delays[6] == 60.0
+
+    def test_attempt_floor(self):
+        # Attempts below 1 behave like the first attempt (no negative powers).
+        assert backoff_delay(0) == backoff_delay(1) == 2.0
+
+    def test_no_rng_means_no_jitter(self):
+        assert backoff_delay(3, jitter=0.5) == 8.0  # jitter ignored without rng
+
+
+class TestJitterBounds:
+    def test_jitter_within_documented_bounds_1k_draws(self):
+        # Documented: delay scaled by a uniform factor in [1-jitter, 1+jitter].
+        jitter = 0.25
+        rng = np.random.default_rng(7)
+        base_delay = backoff_delay(4)  # 16.0 undithered
+        lo, hi = base_delay * (1 - jitter), base_delay * (1 + jitter)
+        draws = [
+            backoff_delay(4, jitter=jitter, rng=rng) for _ in range(1000)
+        ]
+        assert all(lo <= d <= hi for d in draws)
+        # The draws actually spread across the band (not stuck at a point)
+        # and stay centred on the undithered delay.
+        assert max(draws) - min(draws) > 0.9 * (hi - lo)
+        assert abs(np.mean(draws) - base_delay) < 0.02 * base_delay
+
+    def test_jitter_respects_cap_scaling(self):
+        # Jitter scales the *capped* delay, so the band sits around max_delay.
+        rng = np.random.default_rng(3)
+        draws = [
+            backoff_delay(10, max_delay=60.0, jitter=0.1, rng=rng) for _ in range(1000)
+        ]
+        assert all(54.0 <= d <= 66.0 for d in draws)
+
+    def test_seeded_draws_reproducible(self):
+        rng_a, rng_b = np.random.default_rng(11), np.random.default_rng(11)
+        a = [backoff_delay(2, jitter=0.5, rng=rng_a) for _ in range(5)]
+        b = [backoff_delay(2, jitter=0.5, rng=rng_b) for _ in range(5)]
+        assert a == b
+        assert len(set(a)) > 1  # the shared generator advances per draw
