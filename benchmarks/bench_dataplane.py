@@ -1,0 +1,225 @@
+"""Data-plane fast path: vectorized checksum kernels vs the pure-python oracle.
+
+The integrity layer digests every chunk, so checksum throughput bounds
+how small chunks can get before verification dominates transfer-loop
+cost.  This bench measures MB/s for each kernel pair on 4MB buffers
+(the new default chunk size), proves the vectorized kernels bit-identical
+to the embedded pure-python baseline (pinned reference vectors, a seeded
+random sweep, streaming splits, and the batch arena kernels), and
+re-measures end-to-end verification overhead at 4MB chunks.
+
+Run standalone (what the CI ``bench-smoke`` dataplane leg does)::
+
+    PYTHONPATH=src python benchmarks/bench_dataplane.py --quick --min-speedup 10
+
+writes ``BENCH_dataplane.json`` at the repo root and exits 1 if digests
+mismatch or vectorized CRC32C is below ``--min-speedup`` times the pure
+baseline.  Full mode additionally gates the ≤5% verification-overhead
+budget (quick mode still reports it, but with too few pairs to gate on
+a shared CI runner).  Also collectable by pytest.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import time
+from pathlib import Path
+
+from repro.utils.checksum import (
+    Crc32cStream,
+    Xxh32Stream,
+    crc32c_many,
+    crc32c_np,
+    crc32c_py,
+    kernel_info,
+    xxh32_many,
+    xxh32_np,
+    xxh32_py,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SCHEMA = 1
+
+CHUNK_BYTES = 4_000_000  # the IntegrityConfig default chunk size
+
+# Known-answer vectors (iSCSI CRC32C check value; reference xxHash32).
+PINNED = {
+    "crc32c": [
+        (b"", 0x00000000),
+        (b"a", 0xC1D04330),
+        (b"abc", 0x364B3FB7),
+        (b"123456789", 0xE3069283),
+        (b"\x00" * 32, 0x8A9136AA),
+    ],
+    "xxh32": [
+        (b"", 0x02CC5D05),
+        (b"a", 0x550D7456),
+        (b"abc", 0x32D153FF),
+        (b"123456789", 0x937BAD67),
+    ],
+}
+
+KERNELS = {
+    "crc32c": (crc32c_np, crc32c_py),
+    "xxh32": (xxh32_np, xxh32_py),
+}
+
+
+def _mb_per_s(fn, data: bytes, *, repeats: int) -> float:
+    fn(data)  # warm-up: table builds, allocator, branch predictors
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn(data)
+        best = min(best, time.perf_counter() - t0)
+    return len(data) / best / 1e6
+
+
+def _equivalence_checks(*, sweep: int) -> dict:
+    """Bit-identity of every vectorized surface against the pure oracle."""
+    rng = random.Random(1234)
+    checks: dict[str, bool] = {}
+
+    for name, (vec, pure) in KERNELS.items():
+        checks[f"{name}_pinned"] = all(
+            vec(data) == want == pure(data) for data, want in PINNED[name]
+        )
+
+    # Seeded sweep: small lengths exhaust every tail-lane case; a few
+    # larger buffers hit the blockwise/fold paths.
+    buffers = [rng.randbytes(n) for n in range(min(sweep, 600))]
+    buffers += [rng.randbytes(rng.randrange(1 << 12, 1 << 16)) for _ in range(8)]
+    checks["crc32c_sweep"] = all(crc32c_np(b) == crc32c_py(b) for b in buffers)
+    checks["xxh32_sweep"] = all(xxh32_np(b) == xxh32_py(b) for b in buffers)
+
+    # Streaming over random split points == whole-buffer digest.
+    data = rng.randbytes(50_000)
+    for name, stream_cls, pure in (
+        ("crc32c_stream", Crc32cStream, crc32c_py),
+        ("xxh32_stream", Xxh32Stream, xxh32_py),
+    ):
+        stream, i = stream_cls(), 0
+        while i < len(data):
+            j = min(len(data), i + rng.randrange(1, 8192))
+            stream.update(data[i:j])
+            i = j
+        checks[name] = stream.digest() == pure(data)
+
+    # Batch arena kernels == per-buffer oracle (incl. empty records).
+    records = [b"", b"x"] + [rng.randbytes(rng.randrange(0, 3000)) for _ in range(64)]
+    offsets, lengths, pos = [], [], 0
+    for rec in records:
+        offsets.append(pos)
+        lengths.append(len(rec))
+        pos += len(rec)
+    arena = b"".join(records)
+    checks["crc32c_many"] = list(crc32c_many(arena, offsets, lengths)) == [
+        crc32c_py(r) for r in records
+    ]
+    checks["xxh32_many"] = list(xxh32_many(arena, offsets, lengths)) == [
+        xxh32_py(r) for r in records
+    ]
+    return checks
+
+
+def _measure_overhead(*, quick: bool) -> dict:
+    """End-to-end verification overhead at 4MB chunks (bench_integrity)."""
+    sys.path.insert(0, str(Path(__file__).resolve().parent))
+    try:
+        from bench_integrity import measure_overhead
+    finally:
+        sys.path.pop(0)
+    report = measure_overhead(pairs=3 if quick else 8, chunk_size=float(CHUNK_BYTES))
+    return {
+        "chunk_size": report["chunk_size"],
+        "chunks_per_run": report["chunks_per_run"],
+        "pairs": report["pairs"],
+        "overhead": report["overhead"],
+        "verify_mb_per_s": report["verify_mb_per_s"],
+        "within_budget": report["overhead"] < 0.05,
+    }
+
+
+def run_bench(*, quick: bool = False, min_speedup: float = 20.0,
+              skip_overhead: bool = False, out: str | Path | None = None) -> dict:
+    """Kernel throughput + equivalence + overhead; writes ``BENCH_dataplane.json``."""
+    rng = random.Random(99)
+    buffer = rng.randbytes(CHUNK_BYTES)
+    # The pure-python oracle is a byte loop — MB/s is size-independent,
+    # so quick mode times it on a slice to keep CI wall time down.
+    pure_buffer = buffer[: len(buffer) // 8] if quick else buffer
+    repeats = 2 if quick else 5
+
+    report: dict = {
+        "bench": "dataplane",
+        "schema": SCHEMA,
+        "quick": quick,
+        "buffer_bytes": len(buffer),
+        "pure_buffer_bytes": len(pure_buffer),
+        "kernel_info": kernel_info(),
+    }
+    for name, (vec, pure) in KERNELS.items():
+        vec_rate = _mb_per_s(vec, buffer, repeats=repeats)
+        pure_rate = _mb_per_s(pure, pure_buffer, repeats=max(1, repeats - 1))
+        report[name] = {
+            "vectorized_mb_per_s": round(vec_rate, 1),
+            "pure_mb_per_s": round(pure_rate, 2),
+            "speedup": round(vec_rate / pure_rate, 1),
+        }
+
+    checks = _equivalence_checks(sweep=200 if quick else 600)
+    report["equivalence"] = checks
+    report["digests_identical"] = all(checks.values())
+
+    if not skip_overhead:
+        report["verification"] = _measure_overhead(quick=quick)
+
+    speedup_ok = report["crc32c"]["speedup"] >= min_speedup
+    overhead_ok = (
+        skip_overhead or quick or report["verification"]["within_budget"]
+    )
+    report["min_speedup"] = min_speedup
+    report["ok"] = bool(report["digests_identical"] and speedup_ok and overhead_ok)
+
+    out = Path(out) if out is not None else REPO_ROOT / "BENCH_dataplane.json"
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    report["out"] = str(out)
+    return report
+
+
+def test_dataplane_bench_quick(tmp_path):
+    """Pytest entry: quick-mode kernels must be ≥10× with identical digests."""
+    report = run_bench(quick=True, min_speedup=10.0, skip_overhead=True,
+                       out=tmp_path / "BENCH_dataplane.json")
+    assert report["ok"], report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller buffers/fewer pairs (CI smoke)")
+    parser.add_argument("--min-speedup", type=float, default=20.0,
+                        help="required vectorized/pure CRC32C ratio")
+    parser.add_argument("--skip-overhead", action="store_true",
+                        help="skip the end-to-end verification-overhead leg")
+    parser.add_argument("--out", default=None, help="report path (default: repo root)")
+    args = parser.parse_args(argv)
+    report = run_bench(quick=args.quick, min_speedup=args.min_speedup,
+                       skip_overhead=args.skip_overhead, out=args.out)
+    print(json.dumps(report, indent=2))
+    if not report["ok"]:
+        print(
+            f"FAIL: digests_identical={report['digests_identical']} "
+            f"crc32c_speedup={report['crc32c']['speedup']} "
+            f"(min {args.min_speedup})",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -62,8 +62,8 @@ def _timed_bare() -> tuple[float, float]:
     return time.process_time() - c0, time.perf_counter() - t0
 
 
-def _timed_verified(run_dir: Path, chunk_size: float) -> tuple[float, float, int]:
-    """(cpu, wall, chunks) for the same transfer under full verification."""
+def _timed_verified(run_dir: Path, chunk_size: float) -> tuple[float, float, int, float]:
+    """(cpu, wall, chunks, verify MB/s) for the transfer under verification."""
     verified = VerifiedTransfer.for_supervisor(
         _make_supervisor(), run_dir, IntegrityConfig(chunk_size=chunk_size)
     )
@@ -73,38 +73,41 @@ def _timed_verified(run_dir: Path, chunk_size: float) -> tuple[float, float, int
     cpu, wall = time.process_time() - c0, time.perf_counter() - t0
     verified.journal.close()
     assert result.clean, "clean-path bench run must verify"
-    return cpu, wall, result.chunks_total
+    return cpu, wall, result.chunks_total, result.verify_mb_per_s
 
 
-def measure_overhead(*, pairs: int = 12, chunk_size: float = 128e6) -> dict:
+def measure_overhead(*, pairs: int = 12, chunk_size: float = 4e6) -> dict:
     """Tightly-paired (bare, verified) timing; returns the report dict."""
     with tempfile.TemporaryDirectory(prefix="bench-integrity-") as tmp:
         tmp_dir = Path(tmp)
         _timed_bare()  # warm-up pays one-time costs outside the pairs
-        _, _, chunks = _timed_verified(tmp_dir / "warmup", chunk_size)
+        _, _, chunks, _ = _timed_verified(tmp_dir / "warmup", chunk_size)
 
         ratios: list[float] = []
         off_cpu: list[float] = []
         on_cpu: list[float] = []
         off_wall: list[float] = []
         on_wall: list[float] = []
+        verify_rates: list[float] = []
         for i in range(pairs):
             cpu_off, wall_off = _timed_bare()
             run_dir = tmp_dir / f"run{i % 4}"
             journal = run_dir / "journal.jsonl"
             if journal.exists():
                 journal.unlink()
-            cpu_on, wall_on, _ = _timed_verified(run_dir, chunk_size)
+            cpu_on, wall_on, _, mb_per_s = _timed_verified(run_dir, chunk_size)
             off_cpu.append(cpu_off)
             on_cpu.append(cpu_on)
             off_wall.append(wall_off)
             on_wall.append(wall_on)
+            verify_rates.append(mb_per_s)
             ratios.append(cpu_on / cpu_off)
 
     ratios.sort()
     median_ratio = ratios[len(ratios) // 2]
     return {
         "bench": "integrity",
+        "schema": 1,
         "pairs": pairs,
         "chunks_per_run": chunks,
         "chunk_size": chunk_size,
@@ -114,6 +117,9 @@ def measure_overhead(*, pairs: int = 12, chunk_size: float = 128e6) -> dict:
         "best_on_wall_s": round(min(on_wall), 4),
         "overhead": round(median_ratio - 1.0, 5),
         "overhead_best_cpu": round(min(on_cpu) / min(off_cpu) - 1.0, 5),
+        # Logical bytes verified per second of verify-sweep wall time —
+        # the rate the ``transfer.verify.mb_per_s`` gauge reports.
+        "verify_mb_per_s": round(max(verify_rates), 1),
     }
 
 
@@ -128,7 +134,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--quick", action="store_true", help="fewer pairs (CI smoke)")
     parser.add_argument("--pairs", type=int, default=None, help="override pair count")
     parser.add_argument(
-        "--chunk-size", type=float, default=128e6, help="manifest chunk bytes (config default)"
+        "--chunk-size", type=float, default=4e6, help="manifest chunk bytes (config default)"
     )
     parser.add_argument("--budget", type=float, default=0.05, help="max overhead fraction")
     parser.add_argument("--out", default=None, help="report path (default: repo root)")

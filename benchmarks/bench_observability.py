@@ -103,6 +103,8 @@ def measure_overhead(*, pairs: int = 20, out_dir: str | Path = "/tmp/obs-bench")
     ratios.sort()
     median_ratio = ratios[len(ratios) // 2]
     return {
+        "bench": "observability",
+        "schema": 1,
         "pairs": pairs,
         "intervals_per_run": int(engine.last_observation.elapsed),
         "best_off_cpu_s": round(min(off_cpu), 4),

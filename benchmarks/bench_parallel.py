@@ -6,7 +6,9 @@ repo root, like the other ``BENCH_*.json`` artifacts):
 * ``sweep`` — a real multi-seed experiment sweep (``figure1``) through
   :func:`repro.harness.multirun.run_seeded`, serial vs ``--workers``
   processes.  CPU-bound: the speedup ceiling is the machine's core count,
-  which the report records (a 1-core CI box honestly reports ~1×).
+  which the report records.  On a single-core runner the leg is marked
+  ``skipped_single_core`` — pool overhead with no cores to overlap would
+  read as a regression it isn't.
 * ``io_bound`` — the same pool driving sleep-dominated tasks, isolating
   the orchestration overhead from the compute ceiling: even on one core
   the pool overlaps waiting, so this section demonstrates the dispatch
@@ -239,11 +241,24 @@ def run_bench(*, quick: bool = False, workers: int = 4,
               out: str | Path | None = None) -> dict:
     from repro.parallel import available_workers
 
+    cores = available_workers()
+    if cores < 2:
+        # A serial-vs-parallel wall-clock comparison on one core can only
+        # show pool overhead (~0.8×), which reads as a regression it isn't.
+        # Skip the leg honestly rather than publishing a misleading number.
+        sweep: dict = {
+            "experiment": "figure1",
+            "status": "skipped_single_core",
+            "cpu_count": cores,
+        }
+    else:
+        sweep = bench_sweep(seeds=4 if quick else 10, workers=workers)
     report = {
         "bench": "parallel",
-        "cpu_count": available_workers(),
+        "schema": 1,
+        "cpu_count": cores,
         "quick": quick,
-        "sweep": bench_sweep(seeds=4 if quick else 10, workers=workers),
+        "sweep": sweep,
         "io_bound": bench_io_bound(
             tasks=4 if quick else 8,
             seconds=0.2 if quick else 0.25,
@@ -251,10 +266,8 @@ def run_bench(*, quick: bool = False, workers: int = 4,
         ),
         "sim_hotpath": bench_sim_hotpath(steps=800 if quick else 2000),
     }
-    report["ok"] = bool(
-        report["sweep"]["aggregates_identical"]
-        and report["sim_hotpath"]["throughput_identical"]
-    )
+    sweep_ok = sweep.get("status") == "skipped_single_core" or sweep["aggregates_identical"]
+    report["ok"] = bool(sweep_ok and report["sim_hotpath"]["throughput_identical"])
     out = Path(out) if out is not None else REPO_ROOT / "BENCH_parallel.json"
     out.write_text(json.dumps(report, indent=2) + "\n")
     report["out"] = str(out)

@@ -115,6 +115,7 @@ def run_bench(*, episodes: int = EPISODES, batch_size: int = 8,
 
     report = {
         "bench": "vectorized",
+        "schema": 1,
         "episodes": episodes,
         "batch_size": batch_size,
         "serial_wall_s": round(serial_s, 3),

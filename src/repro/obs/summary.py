@@ -19,7 +19,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.obs.events import read_events
-from repro.obs.session import EVENTS_FILENAME
+from repro.obs.session import EVENTS_FILENAME, PROMETHEUS_FILENAME
 from repro.utils.tables import render_kv, render_table
 from repro.utils.timeseries import TimeSeries
 
@@ -77,6 +77,7 @@ class RunSummary:
     events_total: int = 0
     spans: dict[str, SpanAggregate] = field(default_factory=dict)
     metrics: dict[str, TimeSeries] = field(default_factory=dict)
+    counters: dict[str, float] = field(default_factory=dict)
     incidents: list[IncidentSummary] = field(default_factory=list)
     decisions: int = 0
     decision_changes: int = 0
@@ -98,10 +99,39 @@ def resolve_events_path(path: str | Path) -> Path:
     return path
 
 
+def _read_counters(prom_path: Path) -> dict[str, float]:
+    """Final counter values from the session's Prometheus snapshot.
+
+    Counters never ride the event log (registry-only, exported once at
+    session close), so the snapshot is the only place their totals live.
+    """
+    counters: dict[str, float] = {}
+    if not prom_path.exists():
+        return counters
+    counter_names: set[str] = set()
+    for line in prom_path.read_text().splitlines():
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) == 4 and parts[3] == "counter":
+                counter_names.add(parts[2])
+            continue
+        if not line or line.startswith("#"):
+            continue
+        name, _, value = line.partition(" ")
+        if name in counter_names:
+            try:
+                counters[name] = float(value)
+            except ValueError:
+                continue
+    return counters
+
+
 def summarize_run(path: str | Path) -> RunSummary:
     """Rebuild a :class:`RunSummary` from a run directory or event log."""
-    events = read_events(resolve_events_path(path))
+    events_path = resolve_events_path(path)
+    events = read_events(events_path)
     summary = RunSummary(events_total=len(events))
+    summary.counters = _read_counters(events_path.with_name(PROMETHEUS_FILENAME))
     seq = 0  # fallback x-axis for records with no virtual timestamp
     last_decision: list | None = None
     for record in events:
@@ -254,6 +284,10 @@ def render_summary(summary: RunSummary) -> str:
                 title="metric series",
             )
         )
+
+    if summary.counters:
+        rows = [[name, _fmt(value)] for name, value in sorted(summary.counters.items())]
+        parts.append(render_table(["counter", "total"], rows, title="counters"))
 
     if summary.incidents:
         rows = [

@@ -8,12 +8,21 @@ production transfer services (GridFTP/Globus-style) treat as table stakes:
 
 * :class:`TransferManifest` — the dataset split into fixed-size chunks,
   each with an expected digest (:func:`repro.utils.checksum.crc32c` or
-  :func:`~repro.utils.checksum.xxh32`).
+  :func:`~repro.utils.checksum.xxh32`).  Chunk payload tags live in one
+  shared arena digested with the buffer-parallel batch kernels
+  (:func:`~repro.utils.checksum.crc32c_many`), and :meth:`payload_of`
+  hands out ``memoryview`` slices of it — building and verifying a
+  manifest never copies chunk content.
 * :class:`ChunkJournal` — an append-only JSONL write-ahead journal of
-  chunk completions, written through the obs event-writer fast lane and
-  replayed with the torn-tail-tolerant reader, so a crash mid-append
-  costs at most the unflushed buffer.
-* :class:`DestinationLedger` — the emulator-side destination truth.  The
+  chunk completions with a **coalescing batch writer**: a verification
+  pass's claims fold into one buffered ``chunkbatch`` record, flushed
+  whenever ``flush_every`` claims are buffered, so a crash still loses at
+  most ``flush_every`` claims.  Replayed with the torn-tail-tolerant
+  reader and last-record-wins semantics, batch or single records alike.
+* :class:`DestinationLedger` — the emulator-side destination truth,
+  stored **columnar** (numpy per-chunk status/digest/send-count arrays)
+  so verification sweeps are single vector ops; the ``status`` /
+  ``digests`` / ``send_counts`` attributes remain dict-like views.  The
   fluid model moves byte *counts*, not bytes, so each chunk's content is
   identified by a deterministic payload tag; data-plane faults
   (:class:`~repro.emulator.faults.DataCorruption`,
@@ -26,7 +35,9 @@ production transfer services (GridFTP/Globus-style) treat as table stakes:
   byte progress onto chunks via the supervisor's interval observer,
   journals completions, re-verifies journaled chunks on resume
   (re-transferring only mismatches), and runs bounded repair passes until
-  every manifest digest matches.
+  every manifest digest matches.  Emits ``transfer.verify.bytes`` /
+  ``transfer.verify.mb_per_s`` so ``automdt obs summary`` shows what
+  verification cost.
 
 Verify-on-resume state machine::
 
@@ -42,10 +53,14 @@ re-sent chunk gets a fresh draw while identical runs stay bit-identical.
 
 from __future__ import annotations
 
-import math
+import time
+from bisect import bisect_right
+from itertools import accumulate
 from collections.abc import Callable
 from dataclasses import dataclass, field
 from pathlib import Path
+
+import numpy as np
 
 from repro import obs
 from repro.emulator.faults import (
@@ -61,7 +76,7 @@ from repro.transfer.supervisor import (
     TransferCheckpoint,
     TransferSupervisor,
 )
-from repro.utils.checksum import crc32c, xxh32
+from repro.utils.checksum import Xxh32Stream, crc32c, crc32c_many, xxh32, xxh32_many
 from repro.utils.config import dump_json, load_json, require_positive
 from repro.utils.errors import IntegrityError
 from repro.parallel.seeds import spawn_key
@@ -80,6 +95,9 @@ __all__ = [
 #: Digest algorithms available for manifests.
 ALGORITHMS: dict[str, Callable[[bytes], int]] = {"crc32c": crc32c, "xxh32": xxh32}
 
+#: Batch digest kernels (arena + offsets/lengths) per algorithm.
+_BATCH_KERNELS = {"crc32c": crc32c_many, "xxh32": xxh32_many}
+
 #: Serialization version for manifest / destination-ledger JSON files.
 MANIFEST_VERSION = 1
 
@@ -88,15 +106,34 @@ MANIFEST_VERSION = 1
 #: final chunk completes when the engine says the dataset did.
 _COMPLETE_EPS = 0.5
 
-#: Deferred-format journal record — written on the event-writer fast lane
-#: so journaling a chunk costs one list append in the transfer loop.
+#: Deferred-format journal records — formatted at writer-flush time so
+#: journaling inside the transfer loop costs one list append.  A
+#: ``chunkbatch`` record carries a whole sync's completions; ``%s`` on a
+#: list of ints renders valid JSON (``[1, 2, 3]``).
 _JOURNAL_FMT = '{"type":"chunk","id":%d,"digest":%d,"t":%.3f}'
+_BATCH_FMT = '{"type":"chunkbatch","t":%.3f,"ids":%s,"digests":%s}'
+_RUN_FMT = '{"type":"chunkrun","t":%.3f,"lo":%d,"hi":%d}'
 
 # Derivation-path tags for seeded corruption draws (first spawn_key level).
 _DRAW_INFLIGHT = 1
 _DRAW_ATREST = 2
 
+#: Clean-path ledger syncs are batched to ~this many chunk completions per
+#: sync: the engine's byte counter is cumulative, so skipped observations
+#: lose nothing — completions just land on the next sync.  Claims not yet
+#: synced behave exactly like journal-buffered ones on a crash
+#: (conservative resume re-sends them), so the effective durability bound
+#: is ``journal_flush_every + _SYNC_BATCH_CHUNKS`` claims.  Faulted
+#: ledgers always sync every observation: fault instants and in-flight
+#: draws depend on the ledger clock advancing interval by interval.
+_SYNC_BATCH_CHUNKS = 64
+
 _U64 = float(1 << 64)
+
+#: Ledger chunk statuses, stored as uint8 codes in the columnar arrays.
+_STATUS_NAMES = ("missing", "ok", "corrupt", "torn")
+_STATUS_CODES = {name: code for code, name in enumerate(_STATUS_NAMES)}
+_MISSING, _OK, _CORRUPT, _TORN = range(4)
 
 
 @dataclass(frozen=True, slots=True)
@@ -125,6 +162,10 @@ class TransferManifest:
     ``(dataset, file, chunk index, content_seed)``.  Two manifests built
     with the same arguments are identical; a different ``content_seed``
     models a different dataset's contents.
+
+    Tags are packed into one bytes arena and digested in a single
+    buffer-parallel kernel pass; :meth:`payload_of` returns zero-copy
+    ``memoryview`` slices of the arena.
     """
 
     def __init__(
@@ -145,35 +186,59 @@ class TransferManifest:
         self.chunk_size = float(chunk_size)
         self.algorithm = algorithm
         self.content_seed = int(content_seed)
-        digest_fn = ALGORITHMS[algorithm]
-        # Columnar chunk table: plain tuples of numbers are invisible to the
-        # cyclic GC, where thousands of per-chunk objects would be rescanned
-        # on every collection for the whole transfer (a measurable slice of
-        # the verification overhead budget).  Chunk ids are row indices; the
-        # object view (:attr:`chunks`) is built lazily for inspection and
-        # serialization paths.
-        file_idx: list[int] = []
-        indices: list[int] = []
-        offsets: list[float] = []
-        sizes: list[float] = []
-        digests: list[int] = []
-        offset = 0.0
-        for fi, (name, size) in enumerate(self.files):
-            count = max(1, math.ceil(size / self.chunk_size))
-            for index in range(count):
-                chunk_bytes = min(self.chunk_size, size - index * self.chunk_size)
-                file_idx.append(fi)
-                indices.append(index)
-                offsets.append(offset)
-                sizes.append(chunk_bytes)
-                digests.append(digest_fn(self.payload(name, index)))
-                offset += chunk_bytes
-        self.chunk_files: tuple[int, ...] = tuple(file_idx)
-        self.chunk_indices: tuple[int, ...] = tuple(indices)
-        self.chunk_offsets: tuple[float, ...] = tuple(offsets)
-        self.chunk_sizes: tuple[float, ...] = tuple(sizes)
-        self.chunk_digests: tuple[int, ...] = tuple(digests)
-        self.total_bytes = offset
+        # Columnar chunk table, built with vector ops: plain arrays of
+        # numbers are invisible to the cyclic GC, where thousands of
+        # per-chunk objects would be rescanned on every collection for the
+        # whole transfer (a measurable slice of the verification overhead
+        # budget).  Chunk ids are row indices; the object view
+        # (:attr:`chunks`) is built lazily for inspection/serialization.
+        file_sizes = np.array([s for _, s in self.files], dtype=np.float64)
+        counts = np.maximum(
+            1, np.ceil(file_sizes / self.chunk_size).astype(np.int64)
+        ) if len(self.files) else np.zeros(0, dtype=np.int64)
+        total_chunks = int(counts.sum())
+        file_idx = np.repeat(np.arange(len(self.files), dtype=np.int64), counts)
+        starts = np.zeros(len(self.files), dtype=np.int64)
+        if len(self.files):
+            starts[1:] = np.cumsum(counts)[:-1]
+        indices = np.arange(total_chunks, dtype=np.int64) - np.repeat(starts, counts)
+        chunk_bytes = np.minimum(
+            self.chunk_size, file_sizes[file_idx] - indices.astype(np.float64) * self.chunk_size
+        )
+        running = np.cumsum(chunk_bytes)
+        offsets = np.zeros(total_chunks, dtype=np.float64)
+        offsets[1:] = running[:-1]
+        # Payload-tag arena: every chunk's canonical content, concatenated.
+        # Index strings are shared across files so a 50k-chunk manifest
+        # builds ~one str() per distinct chunk index.
+        max_count = int(counts.max()) if len(counts) else 0
+        index_strs = [str(i) for i in range(max_count)]
+        tags: list[bytes] = []
+        for fi, (name, _size) in enumerate(self.files):
+            prefix = f"{self.dataset_name}:{name}:"
+            suffix = f":{self.content_seed}"
+            tags.extend(
+                (prefix + index_strs[i] + suffix).encode() for i in range(int(counts[fi]))
+            )
+        tag_lengths = np.array([len(t) for t in tags], dtype=np.int64)
+        tag_offsets = np.zeros(total_chunks, dtype=np.int64)
+        if total_chunks:
+            tag_offsets[1:] = np.cumsum(tag_lengths)[:-1]
+        self._arena = b"".join(tags)
+        self._arena_view = memoryview(self._arena)
+        self._tag_offsets = tag_offsets
+        self._tag_lengths = tag_lengths
+        digests = _BATCH_KERNELS[algorithm](self._arena, tag_offsets, tag_lengths)
+
+        self.chunk_files: tuple[int, ...] = tuple(file_idx.tolist())
+        self.chunk_indices: tuple[int, ...] = tuple(indices.tolist())
+        self.chunk_offsets: tuple[float, ...] = tuple(offsets.tolist())
+        self.chunk_sizes: tuple[float, ...] = tuple(chunk_bytes.tolist())
+        self.chunk_digests: tuple[int, ...] = tuple(int(d) for d in digests)
+        #: Vector views of the chunk table for the ledger's sweep kernels.
+        self.sizes_np = chunk_bytes
+        self.digests_np = np.asarray(digests, dtype=np.int64)
+        self.total_bytes = float(running[-1]) if total_chunks else 0.0
         self._chunks_cache: tuple[ChunkSpec, ...] | None = None
 
     @property
@@ -216,11 +281,11 @@ class TransferManifest:
         """Canonical content tag of one chunk (what gets digested)."""
         return f"{self.dataset_name}:{file}:{index}:{self.content_seed}".encode()
 
-    def payload_of(self, chunk_id: int) -> bytes:
-        """Canonical content tag of one chunk by id (columnar lookup)."""
-        return self.payload(
-            self.files[self.chunk_files[chunk_id]][0], self.chunk_indices[chunk_id]
-        )
+    def payload_of(self, chunk_id: int) -> memoryview:
+        """Canonical content tag of one chunk by id — a zero-copy view of
+        the manifest's tag arena."""
+        offset = int(self._tag_offsets[chunk_id])
+        return self._arena_view[offset : offset + int(self._tag_lengths[chunk_id])]
 
     def digest_fn(self) -> Callable[[bytes], int]:
         """The manifest's digest function."""
@@ -284,40 +349,155 @@ class TransferManifest:
 class ChunkJournal:
     """Append-only write-ahead journal of chunk completions (JSONL).
 
-    Records go through :meth:`JsonlEventWriter.write_sample`'s deferred-
-    format lane, so journaling inside the transfer loop costs one list
-    append; serialisation happens at flush time.  :meth:`replay` folds the
-    log into a last-record-wins ``{chunk_id: digest}`` map with the
-    torn-tail-tolerant reader, and self-heals a torn tail (truncating the
-    record the dying process never finished) so post-recovery appends
-    can't corrupt the next record.  Replay is idempotent: replaying an
-    unchanged journal any number of times yields the same claims.
+    Three record shapes share the log: ``chunk`` (one completion with its
+    digest, the :meth:`record` lane), ``chunkbatch`` (a whole sync's
+    completions + digests coalesced by :meth:`record_batch` into a single
+    buffered write — the faulted-transfer lane, where destination digests
+    can differ from the manifest's), and ``chunkrun`` (a contiguous id
+    run claimed *at the manifest's expected digests*, written by
+    :meth:`record_runs` — the clean-transfer lane, where serialising tens
+    of thousands of known digest values would dominate the verification
+    overhead budget; replaying it therefore requires the ``expected``
+    digest table).  All go through
+    :meth:`JsonlEventWriter.write_sample`'s deferred-format lane, so
+    journaling inside the transfer loop costs one list append;
+    serialisation happens at flush time.  The journal flushes itself
+    whenever ``flush_every`` *claims* (not lines) are buffered, so
+    batching never weakens the durability bound: a crash loses at most
+    ``flush_every`` claims, exactly as with per-record appends.
+
+    :meth:`replay` folds the log into a last-record-wins
+    ``{chunk_id: digest}`` map with the torn-tail-tolerant reader, and
+    self-heals a torn tail (truncating the record the dying process never
+    finished) so post-recovery appends can't corrupt the next record.
+    Replay is idempotent: replaying an unchanged journal any number of
+    times yields the same claims.
     """
 
-    def __init__(self, path: str | Path, *, flush_every: int = 64) -> None:
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        flush_every: int = 64,
+        expected=None,
+    ) -> None:
         self.path = Path(path)
+        self._flush_every = max(1, int(flush_every))
         self._writer = JsonlEventWriter(self.path, mode="a", flush_every=flush_every)
+        self._claims_buffered = 0
+        #: Manifest digest table (``expected[chunk_id]``) — required to
+        #: resolve digest-elided ``chunkrun`` records at replay.
+        self._expected = expected
+        #: Open coalescing run ``[lo, hi, t]`` not yet handed to the
+        #: writer: consecutive clean syncs complete consecutive ids, so
+        #: most :meth:`record_runs` calls just advance ``hi``.  Counts as
+        #: buffered (lost on crash), like any unflushed record.
+        self._run: list | None = None
 
     def record(self, chunk_id: int, digest: int, t: float) -> None:
         """Journal one chunk completion (hot path: deferred format)."""
+        if self._run is not None:
+            self._emit_run()
         self._writer.write_sample(_JOURNAL_FMT, (chunk_id, digest, t))
+        self._bump(1)
 
-    def sink(self) -> Callable[[str, tuple], None]:
-        """The writer's bound deferred-format lane, for per-interval loops.
+    def record_batch(self, chunk_ids, digests, t: float) -> None:
+        """Journal a whole sync's completions as one coalesced record.
 
-        Callers pass :data:`_JOURNAL_FMT` and ``(chunk_id, digest, t)``;
-        binding once skips the :meth:`record` call layer on a path that
-        runs for every chunk of every transfer.
+        ``chunk_ids`` / ``digests`` are parallel sequences (numpy arrays
+        or lists).  The write is a single buffered append regardless of
+        batch size; the claim-counting flush bound still holds.
         """
-        return self._writer.write_sample
+        if type(chunk_ids) is not list:
+            chunk_ids = chunk_ids.tolist() if hasattr(chunk_ids, "tolist") else list(chunk_ids)
+        if not chunk_ids:
+            return
+        if type(digests) is not list:
+            digests = digests.tolist() if hasattr(digests, "tolist") else list(digests)
+        if self._run is not None:
+            self._emit_run()  # keep file order == claim order (last wins)
+        self._writer.write_sample(_BATCH_FMT, (t, chunk_ids, digests))
+        self._bump(len(chunk_ids))
+
+    def record_runs(self, chunk_ids: list[int], t: float) -> None:
+        """Journal completions *at the manifest's expected digests*.
+
+        ``chunk_ids`` must be sorted; each maximal contiguous id run
+        becomes one tiny ``chunkrun`` record (no digest payload — the
+        digests are by definition the manifest's, and re-serialising tens
+        of thousands of known values per transfer would dominate the
+        verification budget).  Consecutive calls completing consecutive
+        ids coalesce into one open run, so the per-sync hot-path cost is
+        two integer assignments.  Only the fault-free sync path may use
+        this lane: a faulted destination's digests can diverge and must
+        go through :meth:`record_batch` verbatim.
+        """
+        if not chunk_ids:
+            return
+        lo = chunk_ids[0]
+        last = chunk_ids[-1]
+        run = self._run
+        if last - lo == len(chunk_ids) - 1:  # one contiguous run (common case)
+            if run is not None and run[1] == lo:
+                run[1] = last + 1  # extend the open run in place
+                run[2] = t
+            else:
+                if run is not None:
+                    self._emit_run()
+                self._run = [lo, last + 1, t]
+            self._bump(len(chunk_ids))
+            return
+        if run is not None:
+            self._emit_run()
+        prev = lo
+        for cid in chunk_ids[1:]:
+            if cid != prev + 1:
+                self._writer.write_sample(_RUN_FMT, (t, lo, prev + 1))
+                lo = cid
+            prev = cid
+        self._run = [lo, prev + 1, t]
+        self._bump(len(chunk_ids))
+
+    def _emit_run(self) -> None:
+        """Hand the open coalesced run to the writer buffer."""
+        lo, hi, t = self._run
+        self._run = None
+        self._writer.write_sample(_RUN_FMT, (t, lo, hi))
+
+    def record_span(self, lo: int, hi: int, t: float) -> None:
+        """Journal the contiguous id run ``[lo, hi)`` at expected digests.
+
+        The no-slice variant of :meth:`record_runs` for callers whose
+        pending queue is the identity (chunk id == queue position).
+        """
+        run = self._run
+        if run is not None and run[1] == lo:
+            run[1] = hi
+            run[2] = t
+        else:
+            if run is not None:
+                self._emit_run()
+            self._run = [lo, hi, t]
+        self._bump(hi - lo)
+
+    def _bump(self, claims: int) -> None:
+        self._claims_buffered += claims
+        if self._claims_buffered >= self._flush_every:
+            self.flush()
 
     def flush(self) -> None:
         """Force buffered records to disk (checkpoint barrier)."""
+        if self._run is not None:
+            self._emit_run()
         self._writer.flush()
+        self._claims_buffered = 0
 
     def close(self) -> None:
         """Flush and close the underlying writer."""
+        if self._run is not None:
+            self._emit_run()
         self._writer.close()
+        self._claims_buffered = 0
 
     def crash(self, *, torn_tail: bool = False) -> None:
         """Simulate dying mid-run: unflushed records are lost.
@@ -326,8 +506,10 @@ class ChunkJournal:
         at the end of the file — the exact wreckage of a process killed
         mid-``write`` — which :meth:`replay` must tolerate and repair.
         """
+        self._run = None  # unflushed coalesced claims die with the buffer
         self._writer.discard_buffer()
         self._writer.close()
+        self._claims_buffered = 0
         if torn_tail:
             with self.path.open("a") as fh:
                 fh.write('{"type":"chunk","id":99')  # deliberately torn
@@ -336,7 +518,8 @@ class ChunkJournal:
         """Fold the journal into ``{chunk_id: last claimed digest}``.
 
         Missing file → no claims.  A torn final line is truncated away so
-        subsequent appends start clean.
+        subsequent appends start clean.  ``chunkbatch`` records replay as
+        if their claims had been appended individually, in order.
         """
         if not self.path.exists():
             return {}
@@ -348,8 +531,21 @@ class ChunkJournal:
             self.path.write_text(text[: text.rfind("\n") + 1])
         claims: dict[int, int] = {}
         for record in read_events(self.path):
-            if record.get("type") == "chunk":
+            kind = record.get("type")
+            if kind == "chunk":
                 claims[int(record["id"])] = int(record["digest"])
+            elif kind == "chunkbatch":
+                for cid, digest in zip(record["ids"], record["digests"]):
+                    claims[int(cid)] = int(digest)
+            elif kind == "chunkrun":
+                if self._expected is None:
+                    raise IntegrityError(
+                        "journal contains digest-elided chunkrun records; "
+                        "replay requires the manifest's expected digests"
+                    )
+                expected = self._expected
+                for cid in range(int(record["lo"]), int(record["hi"])):
+                    claims[cid] = expected[cid]
         return claims
 
     def __enter__(self) -> "ChunkJournal":
@@ -357,6 +553,106 @@ class ChunkJournal:
 
     def __exit__(self, *exc) -> None:
         self.close()
+
+
+class _ChunkColumn:
+    """Dict-like view over one per-chunk ledger column (keys = chunk ids).
+
+    The ledger stores chunk state columnar — numpy arrays indexed by chunk
+    id — so verification sweeps are single vector ops; these views keep
+    the external dict API (``ledger.status[3]``, ``.values()``, equality)
+    working against the arrays.  Every access folds the ledger's deferred
+    fast-path completions first (:meth:`DestinationLedger._materialize`),
+    so readers never observe stale columns.
+    """
+
+    __slots__ = ("_ledger", "_arr")
+    __hash__ = None
+
+    def __init__(self, ledger, arr) -> None:
+        self._ledger = ledger
+        self._arr = arr
+
+    def _decode(self, raw: int):
+        return raw
+
+    def _encode(self, value) -> int:
+        return value
+
+    def __getitem__(self, chunk_id: int):
+        self._ledger._materialize()
+        return self._decode(int(self._arr[chunk_id]))
+
+    def __setitem__(self, chunk_id: int, value) -> None:
+        self._ledger._materialize()  # a later fold must not clobber this write
+        self._arr[chunk_id] = self._encode(value)
+
+    def __len__(self) -> int:
+        return len(self._arr)
+
+    def __iter__(self):
+        return iter(range(len(self._arr)))
+
+    def __contains__(self, chunk_id) -> bool:
+        return isinstance(chunk_id, int) and 0 <= chunk_id < len(self._arr)
+
+    def keys(self):
+        return range(len(self._arr))
+
+    def values(self) -> list:
+        self._ledger._materialize()
+        decode = self._decode
+        return [decode(raw) for raw in self._arr.tolist()]
+
+    def items(self):
+        return list(enumerate(self.values()))
+
+    def get(self, chunk_id: int, default=None):
+        if 0 <= chunk_id < len(self._arr):
+            return self[chunk_id]
+        return default
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, _ChunkColumn):
+            self._ledger._materialize()
+            other._ledger._materialize()
+            return type(other) is type(self) and bool(np.array_equal(self._arr, other._arr))
+        if isinstance(other, dict):
+            return dict(self.items()) == other
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({dict(self.items())!r})"
+
+
+class _StatusColumn(_ChunkColumn):
+    """Status codes decoded to their names (``missing``/``ok``/…)."""
+
+    __slots__ = ()
+
+    def _decode(self, raw: int) -> str:
+        return _STATUS_NAMES[raw]
+
+    def _encode(self, value: str) -> int:
+        return _STATUS_CODES[value]
+
+
+class _DigestColumn(_ChunkColumn):
+    """Digests with ``-1`` decoding to ``None`` (chunk not durable)."""
+
+    __slots__ = ()
+
+    def _decode(self, raw: int):
+        return None if raw < 0 else raw
+
+    def _encode(self, value) -> int:
+        return -1 if value is None else int(value)
+
+
+class _CountColumn(_ChunkColumn):
+    """Plain integer counts (send counts)."""
+
+    __slots__ = ()
 
 
 class DestinationLedger:
@@ -370,6 +666,12 @@ class DestinationLedger:
     (:class:`TornWrite`, :class:`SilentTruncation`, at-rest
     :class:`DataCorruption`) strike between syncs.  **No byte count ever
     changes** — damage is visible only to verification, which is the point.
+
+    State is columnar (status codes, digests, send counts as numpy arrays
+    indexed by chunk id) with dict-like views for external readers.  On
+    the fault-free path :meth:`sync` is fully vectorized: one
+    ``searchsorted`` against the pending queue's cumulative sizes maps a
+    byte delta onto every chunk it completes.
 
     Statuses: ``missing`` (not durable), ``ok`` (digest matches manifest),
     ``corrupt`` (bit-flipped in flight or at rest), ``torn`` (partial
@@ -388,24 +690,39 @@ class DestinationLedger:
         self.seed = int(seed)
         self._sizes = manifest.chunk_sizes
         self._expected = manifest.chunk_digests
-        chunk_ids = range(len(manifest))
-        # NOTE: these three maps are updated lazily for fault-free ledgers —
+        self._sizes_np = manifest.sizes_np
+        self._expected_np = manifest.digests_np
+        n = len(manifest)
+        # NOTE: the columns are updated lazily for fault-free ledgers —
         # read them through the query methods (verify/matches/status_counts/
         # to_dict), which fold in deferred completions first.
-        self.status: dict[int, str] = {cid: "missing" for cid in chunk_ids}
-        self.digests: dict[int, int | None] = {cid: None for cid in chunk_ids}
-        self.send_counts: dict[int, int] = {cid: 0 for cid in chunk_ids}
+        self._status_arr = np.zeros(n, dtype=np.uint8)  # _MISSING
+        self._digest_arr = np.full(n, -1, dtype=np.int64)
+        self._send_arr = np.zeros(n, dtype=np.int64)
+        self.status = _StatusColumn(self, self._status_arr)
+        self.digests = _DigestColumn(self, self._digest_arr)
+        self.send_counts = _CountColumn(self, self._send_arr)
         self._order: list[int] = []  # durable chunks, completion order (for truncation)
         self._order_set: set[int] = set()  # membership mirror: keeps the hot
         # completion path O(1) instead of scanning _order per chunk
-        #: Index into ``_order`` up to which the status/digest/send-count
-        #: maps reflect completions.  The fault-free completion path only
-        #: appends to ``_order``; :meth:`_materialize` folds the tail into
-        #: the maps before any of them is read.
+        self._order_set_stale = False  # _materialize defers the set rebuild
+        self._order_head = 0  # pending-queue entries already folded into _order
+        #: Index into ``_order`` up to which the columns reflect
+        #: completions.  The fault-free completion path only appends to
+        #: ``_order``; :meth:`_materialize` folds the tail into the
+        #: columns (one vector op) before any of them is read.
         self._clean_tail = 0
-        self._pending: list[int] = list(chunk_ids)
-        self._head = 0  # index into _pending
+        # Full-pass queue state, precomputed once: plain python lists, not
+        # arrays — per-sync batches are ~tens of chunks, where C-level list
+        # slicing and ``bisect`` beat numpy's per-call dispatch overhead.
+        self._all_ids: list[int] = list(range(n))
+        self._full_cum: list[float] = np.cumsum(self._sizes_np).tolist()
+        self._pending: list[int] = self._all_ids
+        self._pend_cum: list[float] = self._full_cum
+        self._pend_dig = self._expected  # digests aligned with _pending
+        self._head = 0  # completed entries of the pending queue
         self._partial = 0.0  # bytes already written into the head chunk
+        self._consumed = 0.0  # bytes mapped into the current pass's queue
         self._synced_bytes = 0.0  # engine byte count already mapped
         self._clock = 0.0
         self._torn_pending = False
@@ -419,62 +736,97 @@ class DestinationLedger:
         return spawn_key(self.seed, (tag, chunk_id, send)) / _U64
 
     def _divergent_digest(self, chunk_id: int, marker: bytes) -> int:
-        """A digest deterministically different from the chunk's expected one."""
-        digest_fn = self.manifest.digest_fn()
-        payload = self.manifest.payload_of(chunk_id) + marker
-        digest = digest_fn(payload)
+        """A digest deterministically different from the chunk's expected one.
+
+        Zero-copy: equals ``digest(payload + marker [+ "!"*k])`` without
+        re-reading (CRC32C chains linearly off the expected digest) or
+        copying (XXH32 streams over the arena view) the payload bytes.
+        """
         expected = self._expected[chunk_id]
-        while digest == expected:  # 2**-32 collision: keep salting
-            payload += b"!"
-            digest = digest_fn(payload)
+        if self.manifest.algorithm == "crc32c":
+            # crc32c(a + b) == crc32c(b, value=crc32c(a)), and the payload's
+            # digest IS the manifest's expected value.
+            digest = crc32c(marker, value=expected)
+            while digest == expected:  # 2**-32 collision: keep salting
+                digest = crc32c(b"!", value=digest)
+            return digest
+        stream = Xxh32Stream()
+        stream.update(self.manifest.payload_of(chunk_id)).update(marker)
+        digest = stream.digest()
+        while digest == expected:
+            stream.update(b"!")
+            digest = stream.digest()
         return digest
+
+    def _ordered_ids(self) -> set[int]:
+        """Membership set over ``_order``, rebuilt lazily after deferred
+        fast-path completions (building a 50k-int set per verification
+        sweep would cost more than the sweep itself)."""
+        if self._order_set_stale:
+            self._order_set = set(self._order)
+            self._order_set_stale = False
+        return self._order_set
 
     def _complete_chunk(self, chunk_id: int, t: float) -> int:
         """Mark one chunk durable; returns the digest the destination holds."""
-        send = self.send_counts[chunk_id] + 1
-        self.send_counts[chunk_id] = send
+        send = int(self._send_arr[chunk_id]) + 1
+        self._send_arr[chunk_id] = send
         if self._torn_pending:
             self._torn_pending = False
-            status, digest = "torn", self._divergent_digest(
-                chunk_id, b"|torn:%d" % send
-            )
+            code, digest = _TORN, self._divergent_digest(chunk_id, b"|torn:%d" % send)
         else:
             rate = self.faults.corruption_rate(t) if self.faults is not None else 0.0
             if rate > 0.0 and self._uniform(_DRAW_INFLIGHT, chunk_id, send) < rate:
-                status, digest = "corrupt", self._divergent_digest(
+                code, digest = _CORRUPT, self._divergent_digest(
                     chunk_id, b"|flip:%d" % send
                 )
             else:
-                status, digest = "ok", self._expected[chunk_id]
-        self.status[chunk_id] = status
-        self.digests[chunk_id] = digest
-        if chunk_id in self._order_set:  # re-send: move to the tail (rare)
+                code, digest = _OK, self._expected[chunk_id]
+        self._status_arr[chunk_id] = code
+        self._digest_arr[chunk_id] = digest
+        order_set = self._ordered_ids()
+        if chunk_id in order_set:  # re-send: move to the tail (rare)
             self._order.remove(chunk_id)
         else:
-            self._order_set.add(chunk_id)
+            order_set.add(chunk_id)
         self._order.append(chunk_id)
-        self._clean_tail = len(self._order)  # maps are current for this entry
+        self._clean_tail = len(self._order)  # columns are current for this entry
         return digest
 
     def _materialize(self) -> None:
-        """Fold deferred fast-path completions into the chunk maps.
+        """Fold deferred fast-path completions into the chunk columns.
 
         The fault-free completion path in :meth:`sync` records durability
-        as a bare ``_order`` append (plus the journal record) and defers
-        the status/digest/send-count writes; every reader of those maps
-        calls this first.  No-op for faulted ledgers, where
-        :meth:`_complete_chunk` keeps the maps current in-line.
+        as a bare ``_order`` extend (plus the journal record) and defers
+        the status/digest/send-count writes; every reader of those columns
+        calls this first — one fancy-indexed vector op for the whole tail.
+        No-op for faulted ledgers, where :meth:`_complete_chunk` keeps the
+        columns current in-line.
         """
+        if self.faults is None and self._order_head < self._head:
+            # Fold the deferred completion order first: the clean sync path
+            # advances only its queue head.
+            self._order.extend(self._pending[self._order_head : self._head])
+            self._order_head = self._head
         order = self._order
         if self._clean_tail == len(order):
             return
-        status, digests, expected = self.status, self.digests, self._expected
-        send_counts, order_set = self.send_counts, self._order_set
-        for cid in order[self._clean_tail:]:
-            status[cid] = "ok"
-            digests[cid] = expected[cid]
-            send_counts[cid] += 1
-            order_set.add(cid)
+        tail = order[self._clean_tail :]
+        # Within one deferred tail ids are strictly increasing (the clean
+        # path completes pending chunks in id order), so a full-span check
+        # detects the contiguous common case and folds it as one slice.
+        lo, hi = tail[0], tail[-1] + 1
+        if hi - lo == len(tail):
+            sl = slice(lo, hi)
+            self._status_arr[sl] = _OK
+            self._digest_arr[sl] = self._expected_np[sl]
+            self._send_arr[sl] += 1
+        else:
+            ids = np.fromiter(tail, count=len(tail), dtype=np.int64)
+            self._status_arr[ids] = _OK
+            self._digest_arr[ids] = self._expected_np[ids]
+            self._send_arr[ids] += 1
+        self._order_set_stale = True  # rebuilt lazily by _ordered_ids
         self._clean_tail = len(order)
 
     def _apply_instant(self, event) -> None:
@@ -484,33 +836,57 @@ class DestinationLedger:
                 self._torn_pending = True
         elif isinstance(event, SilentTruncation):
             # The destination silently loses its most recent durable chunks.
-            for chunk_id in self._order[-event.chunks:]:
-                self.status[chunk_id] = "missing"
-                self.digests[chunk_id] = None
-                self._order_set.discard(chunk_id)
-            del self._order[len(self._order) - min(event.chunks, len(self._order)):]
+            lost = self._order[-event.chunks :]
+            if lost:
+                ids = np.asarray(lost, dtype=np.int64)
+                self._status_arr[ids] = _MISSING
+                self._digest_arr[ids] = -1
+                self._ordered_ids().difference_update(lost)
+            del self._order[len(self._order) - min(event.chunks, len(self._order)) :]
         elif isinstance(event, DataCorruption):  # site == "storage", at-rest
             for chunk_id in list(self._order):
-                if self.status[chunk_id] != "ok":
+                if self._status_arr[chunk_id] != _OK:
                     continue
-                send = self.send_counts[chunk_id]
+                send = int(self._send_arr[chunk_id])
                 if self._uniform(_DRAW_ATREST, chunk_id, send) < event.rate:
-                    self.status[chunk_id] = "corrupt"
-                    self.digests[chunk_id] = self._divergent_digest(
+                    self._status_arr[chunk_id] = _CORRUPT
+                    self._digest_arr[chunk_id] = self._divergent_digest(
                         chunk_id, b"|rest:%d" % send
                     )
 
     # -------------------------------------------------------------- syncing
-    def begin_pass(self, chunk_ids: list[int], *, start_bytes: float) -> None:
+    def begin_pass(self, chunk_ids, *, start_bytes: float) -> None:
         """Queue ``chunk_ids`` (id order) for (re-)transfer from ``start_bytes``.
 
         ``start_bytes`` is the engine byte count the coming pass resumes
         from — the ledger re-bases its mapping there, so repair passes
         (whose checkpoints rewind the byte count) stay consistent.
         """
-        self._pending = sorted(chunk_ids)
+        self._materialize()  # fold the previous pass before swapping queues
+        self._order_head = 0
+        if isinstance(chunk_ids, range) and chunk_ids == range(len(self._all_ids)):
+            ids = None  # full pass, checked O(1)
+        elif isinstance(chunk_ids, range):
+            ids = list(chunk_ids) if chunk_ids.step == 1 else sorted(chunk_ids)
+        else:
+            ids = sorted(int(c) for c in chunk_ids)
+        if ids is None or (
+            len(ids) == len(self._all_ids)
+            and (not ids or (ids[0] == 0 and ids[-1] == len(ids) - 1))
+        ):
+            # Full pass (sorted distinct ids spanning 0..n-1): reuse the
+            # precomputed queue instead of rebuilding 3 × n-element lists.
+            self._pending = self._all_ids
+            self._pend_cum = self._full_cum
+            self._pend_dig = self._expected
+        else:
+            sizes, expected = self._sizes, self._expected
+            self._pending = ids
+            self._pend_cum = list(accumulate(sizes[c] for c in ids))
+            self._pend_dig = [expected[c] for c in ids]
         self._head = 0
         self._partial = 0.0
+        self._consumed = 0.0
         self._synced_bytes = float(start_bytes)
         self._torn_pending = False
 
@@ -518,22 +894,41 @@ class DestinationLedger:
         self,
         bytes_total: float,
         t: float,
-        sink: Callable[[str, tuple], None] | None = None,
+        journal: "ChunkJournal | None" = None,
     ) -> list[tuple[int, int]]:
         """Map the engine's durable byte count onto chunk completions.
 
         Fires pending data-plane fault instants in ``[last sync, t)``,
-        then walks the byte delta through the pending queue.  Returns the
+        then maps the byte delta onto the pending queue.  Returns the
         ``(chunk_id, digest)`` pairs newly completed — the caller journals
-        them.  With ``sink`` (a :meth:`ChunkJournal.sink` lane) completions
-        are journaled in-loop instead and the return value is empty — one
-        less list build + iteration on the per-interval hot path.  Byte
-        counts only move forward; a smaller ``bytes_total`` than already
-        synced is ignored (stale observation).
+        them.  With ``journal`` the completions go straight to
+        :meth:`ChunkJournal.record_batch` as one coalesced record and the
+        return value is empty.  Byte counts only move forward; a smaller
+        ``bytes_total`` than already synced is ignored (stale observation).
+
+        Fault-free ledgers take a fully vectorized path: one
+        ``searchsorted`` against the queue's cumulative sizes finds every
+        chunk the delta completes, and the status/digest/send-count
+        column writes are deferred to :meth:`_materialize`.  Faulted
+        ledgers route per-chunk through :meth:`_complete_chunk`, which
+        handles torn/corrupt outcomes and re-send bookkeeping.
         """
         if self.faults is not None:
             for event in self.faults.take_data_events(self._clock, t):
                 self._apply_instant(event)
+            if t > self._clock:
+                self._clock = t
+            delta = bytes_total - self._synced_bytes
+            if delta <= 0.0:
+                return []
+            self._synced_bytes = bytes_total
+            self.bytes_applied_total += delta
+            return self._sync_faulted(delta, t, journal)
+
+        # Fault-free hot path, inlined (runs once per engine interval).
+        # One ``bisect`` against the pending queue's cumulative sizes finds
+        # every chunk the delta completes; a per-sync batch is ~tens of
+        # chunks, where C-level list slicing beats numpy dispatch overhead.
         if t > self._clock:
             self._clock = t
         delta = bytes_total - self._synced_bytes
@@ -541,20 +936,61 @@ class DestinationLedger:
             return []
         self._synced_bytes = bytes_total
         self.bytes_applied_total += delta
+        cum = self._pend_cum
+        count = len(cum)
+        head = self._head
+        consumed = self._consumed + delta
+        # Chunk j completes when consumed >= cum[j] - eps — identical to the
+        # scalar walk, where each completion subtracts its full size and the
+        # epsilon forgives at most one shortfall in total.  The search is
+        # windowed near the head first: a sync advances by ~tens of chunks,
+        # and probing the whole 50k-element list would touch cold cachelines
+        # every interval.
+        limit = consumed + _COMPLETE_EPS
+        window = head + 128
+        if window < count and cum[window] > limit:
+            new_head = bisect_right(cum, limit, head, window)
+        else:
+            new_head = bisect_right(cum, limit, head)
+        if new_head >= count and consumed - (cum[-1] if count else 0.0) > _COMPLETE_EPS:
+            overflow = consumed - (cum[-1] if count else 0.0)
+            raise IntegrityError(
+                f"destination received {overflow:.0f} bytes beyond the pending chunk set"
+            )
         completed: list[tuple[int, int]] = []
-        # Hot loop (runs every engine interval): locals beat attribute walks,
-        # and the fault-free completion path — the common case a production
-        # service pays on every clean transfer — is a bare ordered append
-        # plus the journal record; the chunk-map writes are deferred to
-        # :meth:`_materialize`.  (Safe because a queued chunk is never
-        # already durable: :meth:`begin_pass` callers demote first.)
-        # Faulted ledgers route through :meth:`_complete_chunk`, which
-        # handles torn/corrupt outcomes and re-send bookkeeping.
-        pending, sizes, head, partial = self._pending, self._sizes, self._head, self._partial
+        if new_head > head:
+            # Durability is recorded by advancing the head alone; both the
+            # ``_order`` extend and the column writes are deferred to
+            # :meth:`_materialize`.  (Safe because a queued chunk is never
+            # already durable: :meth:`begin_pass` callers demote first.)
+            consumed = max(consumed, cum[new_head - 1])
+            if journal is None:
+                ids = self._pending[head:new_head]
+                completed = list(zip(ids, self._pend_dig[head:new_head]))
+            elif self._pending is self._all_ids:
+                # Full pass: queue position == chunk id, no slicing needed.
+                journal.record_span(head, new_head, t)
+            else:
+                # Clean completions carry the manifest digests by
+                # construction — journal them as digest-elided runs.
+                journal.record_runs(self._pending[head:new_head], t)
+        self._head = new_head
+        self._consumed = consumed
+        self._partial = consumed - (cum[new_head - 1] if new_head else 0.0)
+        return completed
+
+    def _sync_faulted(
+        self, delta: float, t: float, journal: "ChunkJournal | None"
+    ) -> list[tuple[int, int]]:
+        """Scalar delta mapping for faulted ledgers (torn/corrupt outcomes)."""
+        pending, sizes, head, partial = (
+            self._pending,
+            self._sizes,
+            self._head,
+            self._partial,
+        )
         count = len(pending)
-        clean = self.faults is None
-        expected = self._expected
-        order_append = self._order.append
+        completed: list[tuple[int, int]] = []
         while delta > 0.0 and head < count:
             chunk_id = pending[head]
             need = sizes[chunk_id] - partial
@@ -562,79 +998,78 @@ class DestinationLedger:
                 delta -= need
                 partial = 0.0
                 head += 1
-                if clean:
-                    digest = expected[chunk_id]
-                    order_append(chunk_id)
-                else:
-                    digest = self._complete_chunk(chunk_id, t)
-                if sink is not None:
-                    sink(_JOURNAL_FMT, (chunk_id, digest, t))
-                else:
-                    completed.append((chunk_id, digest))
+                completed.append((chunk_id, self._complete_chunk(chunk_id, t)))
             else:
                 partial += delta
                 delta = 0.0
         self._head, self._partial = head, partial
+        self._consumed = (self._pend_cum[head - 1] if head else 0.0) + partial
         if delta > _COMPLETE_EPS and head >= count:
             raise IntegrityError(
                 f"destination received {delta:.0f} bytes beyond the pending chunk set"
             )
+        if journal is not None and completed:
+            journal.record_batch(
+                [c for c, _ in completed], [d for _, d in completed], t
+            )
+            return []
         return completed
 
     # ------------------------------------------------------------- queries
     def matches(self, chunk_id: int) -> bool:
         """Whether the destination's digest equals the manifest's."""
         self._materialize()
-        return self.digests[chunk_id] == self._expected[chunk_id]
+        return bool(self._digest_arr[chunk_id] == self._expected_np[chunk_id])
 
     def verify(self) -> list[int]:
-        """Chunk ids whose destination digest is missing or wrong."""
+        """Chunk ids whose destination digest is missing or wrong.
+
+        One vector comparison over the digest column — this is the
+        verification sweep the repair loop runs after every pass.
+        """
         self._materialize()
-        expected = self._expected
-        return [cid for cid, digest in self.digests.items() if digest != expected[cid]]
+        return np.nonzero(self._digest_arr != self._expected_np)[0].tolist()
 
     def demote(self, chunk_ids: list[int]) -> None:
         """Mark chunks non-durable so a repair pass re-transfers them."""
         self._materialize()
-        for chunk_id in chunk_ids:
-            self.status[chunk_id] = "missing"
-            self.digests[chunk_id] = None
-            if chunk_id in self._order_set:
-                self._order.remove(chunk_id)
-                self._order_set.discard(chunk_id)
+        if len(chunk_ids):
+            ids = np.asarray(list(chunk_ids), dtype=np.int64)
+            self._status_arr[ids] = _MISSING
+            self._digest_arr[ids] = -1
+            dropped = set(int(c) for c in chunk_ids) & self._ordered_ids()
+            if dropped:
+                self._order = [c for c in self._order if c not in dropped]
+                self._order_set -= dropped
         self._clean_tail = len(self._order)
 
     @property
     def verified_bytes(self) -> float:
         """Bytes whose chunks verify against the manifest."""
         self._materialize()
-        sizes, expected = self._sizes, self._expected
-        return sum(
-            sizes[cid] for cid, digest in self.digests.items() if digest == expected[cid]
-        )
+        return float(self._sizes_np[self._digest_arr == self._expected_np].sum())
 
     def status_counts(self) -> dict[str, int]:
         """Histogram of chunk statuses (``ok``/``corrupt``/``torn``/``missing``)."""
         self._materialize()
-        counts: dict[str, int] = {}
-        for status in self.status.values():
-            counts[status] = counts.get(status, 0) + 1
-        return counts
+        counts = np.bincount(self._status_arr, minlength=len(_STATUS_NAMES))
+        return {
+            _STATUS_NAMES[code]: int(n) for code, n in enumerate(counts) if n
+        }
 
     # ------------------------------------------------------- serialization
     def to_dict(self) -> dict:
         """JSON-friendly destination snapshot (inverse of :meth:`from_dict`)."""
         self._materialize()
+        statuses = self.status.values()
+        digests = self.digests.values()
+        sends = self._send_arr.tolist()
         return {
             "version": MANIFEST_VERSION,
             "seed": self.seed,
             "chunks": {
-                str(cid): {
-                    "status": self.status[cid],
-                    "digest": self.digests[cid],
-                    "sends": self.send_counts[cid],
-                }
-                for cid in self.status
+                str(cid): {"status": statuses[cid], "digest": digests[cid], "sends": sends[cid]}
+                for cid in range(len(statuses))
             },
             "order": list(self._order),
             "synced_bytes": self._synced_bytes,
@@ -664,7 +1099,7 @@ class DestinationLedger:
             ledger.send_counts[cid] = int(entry["sends"])
         ledger._order = [int(c) for c in data.get("order", [])]
         ledger._order_set = set(ledger._order)
-        ledger._clean_tail = len(ledger._order)  # snapshot maps are current
+        ledger._clean_tail = len(ledger._order)  # snapshot columns are current
         ledger._synced_bytes = float(data.get("synced_bytes", 0.0))
         ledger.bytes_applied_total = float(data.get("applied_bytes", 0.0))
         ledger._clock = float(data.get("clock", 0.0))
@@ -680,18 +1115,22 @@ class IntegrityConfig:
     """Knobs of the verification layer."""
 
     #: Verification/recovery granularity.  Smaller chunks bound the bytes
-    #: re-sent per corrupt/torn unit more tightly but cost proportionally
-    #: more ledger and journal work per transferred byte; 128 MB keeps a
-    #: multi-hundred-GB transfer in the low thousands of chunks, where the
-    #: clean-path overhead stays within the ≤5% verification budget
-    #: (``benchmarks/bench_integrity.py`` holds the line).
-    chunk_size: float = 128e6
+    #: re-sent per corrupt/torn unit more tightly and make resume
+    #: checkpoints finer.  With the vectorized checksum kernels, columnar
+    #: ledger sweeps and batched WAL appends, 4 MB keeps even a
+    #: multi-hundred-GB transfer (tens of thousands of chunks) within the
+    #: ≤5% clean-path verification budget that previously required 128 MB
+    #: chunks (``benchmarks/bench_integrity.py`` holds the line;
+    #: ``benchmarks/bench_dataplane.py`` gates the kernels).
+    chunk_size: float = 4e6
     algorithm: str = "crc32c"
     max_repair_rounds: int = 3
-    #: Journal records buffered between fsync-like flushes.  A crash loses
+    #: Journal claims buffered between fsync-like flushes.  A crash loses
     #: at most this many claims (conservative resume re-sends them); the
     #: default trades that bounded re-work for fewer write syscalls on the
-    #: clean path.  Chaos-soak cases pin this low to stress recovery.
+    #: clean path.  Batched (``chunkbatch``) appends count claims, not
+    #: lines, so coalescing never weakens the bound.  Chaos-soak cases pin
+    #: this low to stress recovery.
     journal_flush_every: int = 512
     content_seed: int = 0
     seed: int = field(default=0, compare=False)  # corruption-draw stream
@@ -719,6 +1158,8 @@ class VerifiedTransferResult:
     resent_chunk_ids: tuple[int, ...]  # chunks re-transferred (mismatch/unclaimed-demote)
     repair_rounds: int
     unrecovered_chunk_ids: tuple[int, ...]  # still bad after repair budget
+    verify_seconds: float = 0.0  # wall seconds spent in verification sweeps
+    verify_mb_per_s: float = 0.0  # manifest MB checked per sweep-second
 
     @property
     def clean(self) -> bool:
@@ -731,9 +1172,9 @@ class VerifiedTransfer:
 
     Owns a :class:`~repro.transfer.supervisor.TransferSupervisor` and
     threads a ledger-sync observer through it: every interval observation
-    maps durable bytes onto chunks, journals completions, and (after the
-    supervised run) verifies all digests and repairs mismatches with
-    bounded extra passes.
+    maps durable bytes onto chunks, journals completions (one coalesced
+    batch record per interval), and (after the supervised run) verifies
+    all digests and repairs mismatches with bounded extra passes.
     """
 
     def __init__(
@@ -775,24 +1216,47 @@ class VerifiedTransfer:
             manifest, engine.testbed.faults, seed=config.seed
         )
         journal = ChunkJournal(
-            Path(run_dir) / "journal.jsonl", flush_every=config.journal_flush_every
+            Path(run_dir) / "journal.jsonl",
+            flush_every=config.journal_flush_every,
+            expected=manifest.chunk_digests,
         )
         return cls(supervisor, manifest, ledger, journal, config)
 
     # ------------------------------------------------------------- internals
     def _sync(self, bytes_total: float, t: float) -> None:
-        self.ledger.sync(bytes_total, t, self.journal.sink())
+        self.ledger.sync(bytes_total, t, self.journal)
 
     def _hook(
         self, extra: Callable[[Observation], None] | None
     ) -> Callable[[Observation], None]:
-        # Bound methods captured once: this closure runs every engine
-        # interval, so the sync→journal chain is flattened into it.
+        # Bound method + journal captured once: this closure runs every
+        # engine interval, and each sync coalesces its completions into a
+        # single journal batch record.
         ledger_sync = self.ledger.sync
-        journal_sink = self.journal.sink()
+        journal = self.journal
+        if self.ledger.faults is not None:
+
+            def observe(observation: Observation) -> None:
+                ledger_sync(
+                    observation.bytes_written_total, observation.elapsed, journal
+                )
+                if extra is not None:
+                    extra(observation)
+
+            return observe
+
+        # Fault-free destination: batch syncs to ~_SYNC_BATCH_CHUNKS
+        # completions.  The byte counter is cumulative, so skipped
+        # observations are folded into the next sync; :meth:`_post_sync`
+        # maps whatever remains at completion.
+        threshold = _SYNC_BATCH_CHUNKS * self.config.chunk_size
+        last = [self.ledger._synced_bytes]
 
         def observe(observation: Observation) -> None:
-            ledger_sync(observation.bytes_written_total, observation.elapsed, journal_sink)
+            bytes_total = observation.bytes_written_total
+            if bytes_total - last[0] >= threshold:
+                last[0] = bytes_total
+                ledger_sync(bytes_total, observation.elapsed, journal)
             if extra is not None:
                 extra(observation)
 
@@ -861,6 +1325,8 @@ class VerifiedTransfer:
         cfg = self.config
         resent: list[int] = []
         resumed_verified = 0
+        verify_seconds = 0.0
+        verify_bytes = 0.0
         if resume:
             with obs.span("integrity/verify_resume", chunks=len(self.manifest)):
                 start_bytes, resumed_verified, demoted = self._verified_resume()
@@ -869,7 +1335,7 @@ class VerifiedTransfer:
             obs.count("integrity/resume_resent_chunks", len(demoted))
         else:
             start_bytes = 0.0
-            self.ledger.begin_pass(list(range(len(self.manifest))), start_bytes=0.0)
+            self.ledger.begin_pass(range(len(self.manifest)), start_bytes=0.0)
 
         checkpoint = None
         if start_bytes > 0.0 or resume_elapsed > 0.0:
@@ -882,7 +1348,10 @@ class VerifiedTransfer:
         self._post_sync(supervised)
 
         with obs.span("integrity/verify", chunks=len(self.manifest)):
+            sweep_start = time.perf_counter()
             bad = self.ledger.verify()
+            verify_seconds += time.perf_counter() - sweep_start
+            verify_bytes += self.manifest.total_bytes
         obs.count("integrity/verify_passes")
 
         repair_rounds = 0
@@ -906,11 +1375,21 @@ class VerifiedTransfer:
                     resume_from=checkpoint, observer=self._hook(observer)
                 )
                 self._post_sync(supervised)
+                sweep_start = time.perf_counter()
                 bad = self.ledger.verify()
+                verify_seconds += time.perf_counter() - sweep_start
+                verify_bytes += self.manifest.total_bytes
 
         verified = not bad
         if not verified:
             obs.count("integrity/unrecovered_chunks", len(bad))
+        verify_mb_per_s = verify_bytes / max(verify_seconds, 1e-9) / 1e6
+        obs.count("transfer.verify.bytes", verify_bytes)
+        obs.metric(
+            "transfer.verify.mb_per_s",
+            round(verify_mb_per_s, 3),
+            t=supervised.completion_time,
+        )
         return VerifiedTransferResult(
             completed=supervised.completed,
             verified=verified,
@@ -920,6 +1399,8 @@ class VerifiedTransfer:
             resent_chunk_ids=tuple(resent),
             repair_rounds=repair_rounds,
             unrecovered_chunk_ids=tuple(bad),
+            verify_seconds=verify_seconds,
+            verify_mb_per_s=round(verify_mb_per_s, 3),
         )
 
 
@@ -935,7 +1416,7 @@ def verify_artifacts(run_dir: str | Path) -> dict:
     manifest = TransferManifest.load(run_dir / "manifest.json")
     expected = manifest.expected()
 
-    journal = ChunkJournal(run_dir / "journal.jsonl")
+    journal = ChunkJournal(run_dir / "journal.jsonl", expected=manifest.chunk_digests)
     claims = journal.replay()
     replay_idempotent = journal.replay() == claims
     journal.close()

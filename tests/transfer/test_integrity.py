@@ -371,3 +371,183 @@ class TestVerifyArtifacts:
         report = verify_artifacts(tmp_path)
         assert not report["all_verified"]
         assert report["destination_bad_chunks"] == [0]
+
+
+class TestBatchedJournal:
+    """Coalescing WAL lanes: chunkbatch, chunkrun, and mixed legacy records."""
+
+    def test_record_batch_replays_like_singles(self, tmp_path):
+        journal = ChunkJournal(tmp_path / "j.jsonl", flush_every=1)
+        journal.record_batch([3, 1, 4], [30, 10, 40], 1.0)
+        journal.record(1, 99, 2.0)  # later single record wins for chunk 1
+        journal.close()
+        assert journal.replay() == {3: 30, 1: 99, 4: 40}
+
+    def test_record_runs_coalesces_consecutive_calls(self, tmp_path):
+        expected = {i: 1000 + i for i in range(10)}
+        journal = ChunkJournal(
+            tmp_path / "j.jsonl", flush_every=100, expected=expected
+        )
+        journal.record_runs([0, 1, 2], 1.0)
+        journal.record_runs([3, 4], 2.0)  # extends the open run in place
+        journal.record_runs([7, 8], 3.0)  # gap: new run
+        journal.close()
+        lines = (tmp_path / "j.jsonl").read_text().strip().splitlines()
+        assert len(lines) == 2  # two coalesced chunkrun records, not four
+        assert journal.replay() == {c: expected[c] for c in (0, 1, 2, 3, 4, 7, 8)}
+
+    def test_chunkrun_replay_requires_expected_digests(self, tmp_path):
+        journal = ChunkJournal(tmp_path / "j.jsonl", flush_every=1, expected={0: 5})
+        journal.record_runs([0], 1.0)
+        journal.close()
+        blind = ChunkJournal(tmp_path / "j.jsonl")
+        with pytest.raises(IntegrityError):
+            blind.replay()
+        blind.close()
+
+    def test_claim_counting_flush_bound(self, tmp_path):
+        # Batch appends count *claims*, not lines: 3+3 claims with
+        # flush_every=4 must hit disk after the second batch.
+        journal = ChunkJournal(
+            tmp_path / "j.jsonl", flush_every=4, expected={i: i for i in range(10)}
+        )
+        journal.record_runs([0, 1, 2], 1.0)
+        assert (
+            not (tmp_path / "j.jsonl").exists()
+            or (tmp_path / "j.jsonl").read_text() == ""
+        )
+        journal.record_runs([3, 4, 5], 2.0)
+        on_disk = (tmp_path / "j.jsonl").read_text()
+        assert "chunkrun" in on_disk
+        journal.crash()  # nothing buffered any more: all claims survive
+        resumed = ChunkJournal(tmp_path / "j.jsonl", expected={i: i for i in range(10)})
+        assert resumed.replay() == {i: i for i in range(6)}
+        resumed.close()
+
+    def test_crash_loses_open_coalesced_run(self, tmp_path):
+        journal = ChunkJournal(
+            tmp_path / "j.jsonl", flush_every=100, expected={i: i for i in range(8)}
+        )
+        journal.record_runs([0, 1], 1.0)
+        journal.flush()  # claims 0-1 durable
+        journal.record_runs([2, 3], 2.0)  # open run, still buffered
+        journal.crash(torn_tail=True)
+        resumed = ChunkJournal(tmp_path / "j.jsonl", expected={i: i for i in range(8)})
+        assert resumed.replay() == {0: 0, 1: 1}
+        resumed.close()
+
+    def test_faulted_sync_journals_batch_with_actual_digests(self, tmp_path):
+        faults = FaultSchedule(DataCorruption(start=0.0, duration=100.0, rate=1.0))
+        manifest = make_manifest()
+        ledger = DestinationLedger(manifest, faults, seed=1)
+        journal = ChunkJournal(
+            tmp_path / "j.jsonl", flush_every=1, expected=manifest.chunk_digests
+        )
+        ledger.begin_pass(range(len(manifest)), start_bytes=0.0)
+        ledger.sync(manifest.total_bytes, 1.0, journal)
+        journal.close()
+        claims = journal.replay()
+        # Every chunk corrupted: journaled digests differ from the manifest.
+        assert claims.keys() == manifest.expected().keys()
+        assert all(claims[c] != manifest.chunk_digests[c] for c in claims)
+        text = (tmp_path / "j.jsonl").read_text()
+        assert "chunkbatch" in text and "chunkrun" not in text
+
+
+class TestZeroCopyPipeline:
+    def test_payload_of_is_arena_view(self):
+        manifest = make_manifest()
+        for chunk in manifest.chunks:
+            view = manifest.payload_of(chunk.chunk_id)
+            assert isinstance(view, memoryview)
+            assert bytes(view) == manifest.payload(chunk.file, chunk.index)
+
+    def test_digests_match_per_chunk_oracle(self):
+        for algorithm in ("crc32c", "xxh32"):
+            manifest = make_manifest(algorithm=algorithm)
+            digest_fn = manifest.digest_fn()
+            for chunk in manifest.chunks:
+                assert chunk.digest == digest_fn(
+                    manifest.payload(chunk.file, chunk.index)
+                )
+
+    def test_divergent_digests_unique_per_marker(self):
+        # Zero-copy divergent digests (chained off the expected value) must
+        # still differ from the expected digest and from each other.
+        for algorithm in ("crc32c", "xxh32"):
+            manifest = make_manifest(algorithm=algorithm)
+            ledger = DestinationLedger(manifest, FaultSchedule(TornWrite(at=1.0)))
+            seen = {manifest.chunk_digests[0]}
+            for marker in (b"|torn:1", b"|flip:1", b"|rest:1", b"|torn:2"):
+                digest = ledger._divergent_digest(0, marker)
+                assert digest not in seen
+                seen.add(digest)
+
+
+class TestColumnarLedgerViews:
+    def test_status_column_behaves_like_dict(self):
+        manifest = make_manifest()
+        ledger = DestinationLedger(manifest)
+        assert ledger.status[0] == "missing"
+        assert set(ledger.status.keys()) == set(range(len(manifest)))
+        assert ledger.status.values() == ["missing"] * len(manifest)
+        ledger.status[2] = "corrupt"
+        assert ledger.status.get(2) == "corrupt"
+        assert ledger.status.get(99, "absent") == "absent"
+        assert dict(ledger.status.items())[2] == "corrupt"
+        assert ledger.status == {
+            cid: ("corrupt" if cid == 2 else "missing") for cid in range(len(manifest))
+        }
+
+    def test_digest_column_none_sentinel(self):
+        ledger = DestinationLedger(make_manifest())
+        assert ledger.digests[0] is None
+        ledger.digests[0] = 123
+        assert ledger.digests[0] == 123
+        ledger.digests[0] = None
+        assert ledger.digests[0] is None
+
+    def test_column_equality_across_ledgers(self):
+        a = DestinationLedger(make_manifest())
+        b = DestinationLedger(make_manifest())
+        assert a.status == b.status and a.digests == b.digests
+        b.send_counts[1] = 5
+        assert a.send_counts != b.send_counts
+
+    def test_clean_and_empty_faulted_sync_paths_agree(self):
+        # The batched clean path and the scalar faulted path must produce
+        # identical ledger state for the same byte trace.
+        manifest = make_manifest()
+        clean = DestinationLedger(manifest)
+        faulted = DestinationLedger(manifest, FaultSchedule())  # no events
+        for ledger in (clean, faulted):
+            ledger.begin_pass(range(len(manifest)), start_bytes=0.0)
+        done_clean, done_faulted = [], []
+        step = manifest.total_bytes / 7
+        for i in range(1, 8):
+            done_clean += clean.sync(step * i, float(i))
+            done_faulted += faulted.sync(step * i, float(i))
+        assert done_clean == done_faulted
+        assert clean.status == faulted.status
+        assert clean.digests == faulted.digests
+        assert clean.send_counts == faulted.send_counts
+        assert clean.verified_bytes == faulted.verified_bytes
+
+
+class TestVerifyTelemetry:
+    def test_run_emits_verify_counter_and_gauge(self, tmp_path):
+        from repro import obs
+
+        vt = VerifiedTransfer.for_supervisor(
+            make_supervisor(), tmp_path / "run", IntegrityConfig(chunk_size=0.25e9)
+        )
+        with obs.session(tmp_path / "obs") as sess:
+            result = vt.run()
+        vt.journal.close()
+        assert result.clean
+        assert result.verify_seconds > 0.0
+        assert result.verify_mb_per_s > 0.0
+        counter = sess.registry.counter("transfer.verify.bytes")
+        assert counter.value == pytest.approx(vt.manifest.total_bytes)
+        gauge = sess.registry.gauge("transfer.verify.mb_per_s")
+        assert gauge.value == pytest.approx(result.verify_mb_per_s)
