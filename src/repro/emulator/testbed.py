@@ -141,6 +141,10 @@ class Testbed:
         self.total_read = 0.0
         self.total_networked = 0.0
         self.total_written = 0.0
+        #: External bytes/s ceiling on the network stage.  This belongs to
+        #: an *allocator* (the fleet scheduler's fair-share slice), not to
+        #: the testbed's own state, so it survives :meth:`reset`.
+        self.rate_cap = float("inf")
 
     # ------------------------------------------------------------- properties
     @property
@@ -181,6 +185,18 @@ class Testbed:
             self._network = path
         else:
             raise SimulationError(f"unknown stage {stage!r}")
+
+    def set_rate_cap(self, bytes_per_sec: float | None) -> None:
+        """Cap the network stage at ``bytes_per_sec`` (``None`` = uncapped).
+
+        The fleet scheduler calls this before each scheduling quantum to
+        enforce its fair-share bandwidth allocation; the cap applies on top
+        of fault scaling and noise, and persists across :meth:`reset`
+        because a supervised restart does not change the tenant's share.
+        """
+        cap = float("inf") if bytes_per_sec is None else float(bytes_per_sec)
+        require_non_negative(cap, "rate_cap")
+        self.rate_cap = cap
 
     def reset(self, start_time: float = 0.0) -> None:
         """Restart the testbed with empty buffers at virtual time ``start_time``.
@@ -261,7 +277,9 @@ class Testbed:
             net_rate = self._network.aggregate_rate(
                 streams, self._now, file_efficiency=file_efficiency[1]
             )
-            net_rate = mbps_to_bytes_per_sec(net_rate * noise[1]) * f_net
+            net_rate = min(
+                mbps_to_bytes_per_sec(net_rate * noise[1]) * f_net, self.rate_cap
+            )
 
             # Desired amounts from the state at substep start (no in-substep
             # pass-through: a byte must rest in the buffer at least one step).

@@ -1,0 +1,139 @@
+"""Admission control: bounded queueing with typed rejection.
+
+Queue-based load leveling decouples bursty arrivals from the fleet's
+steady dispatch rate — but only if the queue is *bounded*; an unbounded
+queue just moves the overload one hop downstream.  :class:`AdmissionQueue`
+enforces a global bound plus a per-tenant bound, and every refusal is a
+typed :class:`AdmissionDecision` (never an exception): backpressure is an
+expected outcome the submitting client must handle, not a failure of the
+control plane.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.utils.config import require_non_negative, require_positive
+
+__all__ = [
+    "AdmissionDecision",
+    "AdmissionQueue",
+    "Priority",
+    "RejectReason",
+    "TransferRequest",
+]
+
+
+class Priority(enum.IntEnum):
+    """Scheduling classes, highest number wins a slot first.
+
+    BEST_EFFORT transfers are preemptible: an INTERACTIVE arrival may take
+    their slot mid-flight (they resume later from their journal).
+    """
+
+    BEST_EFFORT = 0
+    BATCH = 1
+    INTERACTIVE = 2
+
+
+class RejectReason(str, enum.Enum):
+    """Why a request was refused admission."""
+
+    QUEUE_FULL = "queue_full"
+    TENANT_QUEUE_FULL = "tenant_queue_full"
+    UNKNOWN_TENANT = "unknown_tenant"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class TransferRequest:
+    """One tenant's ask: move ``gigabytes`` at ``priority``.
+
+    ``submit_at`` is the virtual arrival instant; the scheduler admits
+    requests in arrival order as its clock passes them.
+    """
+
+    tenant: str
+    gigabytes: float = 1.0
+    priority: Priority = Priority.BATCH
+    submit_at: float = 0.0
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        require_positive(self.gigabytes, "gigabytes")
+        require_non_negative(self.submit_at, "submit_at")
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """The typed outcome of one submission."""
+
+    admitted: bool
+    t: float
+    tenant: str
+    reason: RejectReason | None = None  # None when admitted
+    job_id: int | None = None
+    queue_depth: int = 0
+
+    def to_dict(self) -> dict:
+        """JSON-friendly form for fleet reports."""
+        return {
+            "admitted": self.admitted,
+            "t": round(self.t, 3),
+            "tenant": self.tenant,
+            "reason": None if self.reason is None else self.reason.value,
+            "job_id": self.job_id,
+            "queue_depth": self.queue_depth,
+        }
+
+
+@dataclass
+class AdmissionQueue:
+    """Bounded admission bookkeeping (depth only — jobs live elsewhere).
+
+    ``limit`` bounds the total number of admitted-but-unfinished transfers
+    the fleet will hold; ``per_tenant_limit`` bounds any single tenant's
+    share of that queue, so one tenant's burst cannot consume the whole
+    admission budget (the queue-level bulkhead).
+    """
+
+    limit: int = 64
+    per_tenant_limit: int = 32
+    depth: int = 0
+    tenant_depths: dict[str, int] = field(default_factory=dict)
+    rejections: list[AdmissionDecision] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        require_positive(self.limit, "limit")
+        require_positive(self.per_tenant_limit, "per_tenant_limit")
+
+    def offer(self, tenant: str, t: float, *, known: bool = True) -> AdmissionDecision:
+        """Decide one submission at virtual time ``t`` and book it if admitted."""
+        reason: RejectReason | None = None
+        if not known:
+            reason = RejectReason.UNKNOWN_TENANT
+        elif self.depth >= self.limit:
+            reason = RejectReason.QUEUE_FULL
+        elif self.tenant_depths.get(tenant, 0) >= self.per_tenant_limit:
+            reason = RejectReason.TENANT_QUEUE_FULL
+        if reason is not None:
+            decision = AdmissionDecision(
+                admitted=False, t=t, tenant=tenant, reason=reason, queue_depth=self.depth
+            )
+            self.rejections.append(decision)
+            return decision
+        self.depth += 1
+        self.tenant_depths[tenant] = self.tenant_depths.get(tenant, 0) + 1
+        return AdmissionDecision(
+            admitted=True, t=t, tenant=tenant, queue_depth=self.depth
+        )
+
+    def settle(self, tenant: str) -> None:
+        """A previously admitted transfer reached a terminal state."""
+        if self.depth <= 0 or self.tenant_depths.get(tenant, 0) <= 0:
+            raise ValueError(f"settle({tenant!r}) without a matching admission")
+        self.depth -= 1
+        self.tenant_depths[tenant] -= 1

@@ -1,0 +1,55 @@
+"""Per-tenant bulkheads: bounded concurrency compartments.
+
+The bulkhead cloud pattern partitions a shared resource pool so one
+misbehaving consumer cannot drain it for everyone.  Here each tenant gets a
+compartment of transfer slots; the fleet scheduler acquires a slot before
+running a job's slice and releases it at the end of the round, so a tenant
+with a backlog of pathological transfers saturates *its own* compartment
+while other tenants' slots stay available.
+"""
+
+from __future__ import annotations
+
+from repro.utils.config import require_positive
+
+__all__ = ["Bulkhead"]
+
+
+class Bulkhead:
+    """A fixed-size slot compartment with saturation accounting."""
+
+    __slots__ = ("name", "capacity", "in_use", "saturations")
+
+    def __init__(self, capacity: int, *, name: str = "") -> None:
+        require_positive(capacity, "capacity")
+        self.name = name
+        self.capacity = int(capacity)
+        self.in_use = 0
+        #: How often an acquisition bounced off a full compartment.
+        self.saturations = 0
+
+    @property
+    def available(self) -> int:
+        """Free slots right now."""
+        return self.capacity - self.in_use
+
+    def try_acquire(self) -> bool:
+        """Take one slot; ``False`` (and a saturation count) when full."""
+        if self.in_use >= self.capacity:
+            self.saturations += 1
+            return False
+        self.in_use += 1
+        return True
+
+    def release(self) -> None:
+        """Return one slot."""
+        if self.in_use <= 0:
+            raise ValueError(f"bulkhead {self.name!r}: release without acquire")
+        self.in_use -= 1
+
+    def release_all(self) -> None:
+        """Return every held slot (end of a scheduling round)."""
+        self.in_use = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Bulkhead({self.name!r}, {self.in_use}/{self.capacity})"

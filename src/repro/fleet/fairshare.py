@@ -1,0 +1,114 @@
+"""Weighted max-min fair share and token-bucket throttling.
+
+These are the fleet scheduler's bandwidth-arithmetic primitives, kept pure
+and clock-free so every allocation decision is a deterministic function of
+its inputs:
+
+* :func:`weighted_max_min` — progressive water-filling: each unsaturated
+  claimant receives capacity proportional to its weight; claimants whose
+  demand is met drop out and their leftover is redistributed, so no one is
+  allocated more than it can use while the link is never left idle when
+  demand remains.  The classic fair-queueing allocation (Demers et al.),
+  the same rule the throttling / load-balancer cloud patterns assume.
+* :class:`TokenBucket` — per-tenant rate limiting on the virtual clock:
+  tokens accrue at ``rate`` up to ``burst`` and every granted byte spends
+  one, bounding a tenant's medium-term average throughput independently of
+  the instantaneous fair share it wins in a quiet round.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping
+
+from repro.utils.config import require_non_negative
+
+__all__ = ["TokenBucket", "weighted_max_min"]
+
+
+def weighted_max_min(
+    capacity: float,
+    demands: Mapping[str, float],
+    weights: Mapping[str, float] | None = None,
+) -> dict[str, float]:
+    """Split ``capacity`` across claimants by weighted max-min fairness.
+
+    ``demands`` maps claimant → the most it can use (``inf`` allowed);
+    ``weights`` defaults to equal.  The result allocates
+    ``min(demand, fair share)`` to every claimant, redistributing unused
+    share until the capacity or every demand is exhausted.  Keys are
+    processed in sorted order, so the result is independent of dict
+    insertion order.  The allocation never exceeds ``capacity`` (up to
+    float rounding) nor any claimant's demand.
+    """
+    require_non_negative(capacity, "capacity")
+    allocation = {key: 0.0 for key in demands}
+    active = sorted(key for key, demand in demands.items() if demand > 0)
+    remaining = float(capacity)
+    while active and remaining > 1e-9:
+        total_weight = sum(
+            (weights[key] if weights is not None else 1.0) for key in active
+        )
+        if total_weight <= 0:
+            break
+        satisfied: list[str] = []
+        granted = 0.0
+        for key in active:
+            weight = weights[key] if weights is not None else 1.0
+            share = remaining * weight / total_weight
+            headroom = demands[key] - allocation[key]
+            if headroom <= share:
+                # Demand met: take the headroom, return the rest.
+                allocation[key] += headroom
+                granted += headroom
+                satisfied.append(key)
+            else:
+                allocation[key] += share
+                granted += share
+        remaining -= granted
+        if not satisfied:
+            break  # every claimant took its full weighted share
+        active = [key for key in active if key not in satisfied]
+    return allocation
+
+
+class TokenBucket:
+    """Deterministic token bucket on an externally supplied clock.
+
+    ``rate`` is tokens (bytes) per second, ``burst`` the bucket depth.
+    Both may be ``inf`` for an unthrottled tenant.  The bucket never reads
+    a clock: callers pass the current (virtual) time to every method, so
+    replaying the same call sequence yields identical grants.
+    """
+
+    __slots__ = ("rate", "burst", "_tokens", "_last")
+
+    def __init__(self, rate: float = math.inf, burst: float = math.inf, *, t0: float = 0.0):
+        require_non_negative(rate, "rate")
+        require_non_negative(burst, "burst")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._tokens = float(burst)
+        self._last = float(t0)
+
+    def _refill(self, t: float) -> None:
+        if t > self._last:
+            if math.isinf(self.rate) or math.isinf(self.burst):
+                self._tokens = self.burst
+            else:
+                self._tokens = min(self.burst, self._tokens + self.rate * (t - self._last))
+            self._last = t
+
+    def available(self, t: float) -> float:
+        """Tokens on hand at virtual time ``t``."""
+        self._refill(t)
+        return self._tokens
+
+    def take(self, amount: float, t: float) -> float:
+        """Spend up to ``amount`` tokens at ``t``; returns what was granted."""
+        require_non_negative(amount, "amount")
+        self._refill(t)
+        granted = min(amount, self._tokens)
+        if not math.isinf(self._tokens):
+            self._tokens -= granted
+        return granted

@@ -11,6 +11,8 @@ Commands::
     automdt train --preset fig5-read [--episodes 4000] --out ckpt
     automdt transfer --preset fig5-read --checkpoint ckpt [--gb 25] [--mixed]
     automdt soak [--quick] [--cases 8] [--seed 0] [--out DIR]   # chaos soak
+    automdt fleet [--tenants 4] [--transfers 32] [--seed 0] [--out DIR]
+    automdt fleet --soak [--quick] [--cases 4]     # multi-tenant fleet chaos soak
     automdt verify RUN_DIR                         # offline integrity check
     automdt obs summary RUN_DIR                    # inspect an instrumented run
     automdt obs tail RUN_DIR [-n 20]
@@ -135,6 +137,45 @@ def build_parser() -> argparse.ArgumentParser:
     soak.add_argument(
         "--out", default=None,
         help="directory for per-case artifacts and soak_report.json",
+    )
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="multi-tenant fleet control plane: admission, fair share, breakers",
+    )
+    fleet.add_argument("--tenants", type=int, default=4, help="equal-weight tenant count")
+    fleet.add_argument("--transfers", type=int, default=32, help="total transfer requests")
+    fleet.add_argument("--gb", type=float, default=0.25, help="dataset size per transfer (GB)")
+    fleet.add_argument("--seed", type=int, default=0, help="root seed")
+    fleet.add_argument(
+        "--capacity-mbps", type=float, default=None,
+        help="shared link capacity (default: the testbed bottleneck)",
+    )
+    fleet.add_argument("--quantum", type=float, default=10.0, help="scheduling round (s)")
+    fleet.add_argument(
+        "--max-parallel", type=int, default=8, help="global dispatch slots per round"
+    )
+    fleet.add_argument(
+        "--horizon", type=float, default=3600.0,
+        help="virtual-time budget for the whole fleet (s)",
+    )
+    fleet.add_argument("--no-stalls", action="store_true", help="disable stall faults")
+    fleet.add_argument(
+        "--no-corruption", action="store_true", help="disable DataCorruption faults"
+    )
+    fleet.add_argument("--no-crashes", action="store_true", help="disable simulated crashes")
+    fleet.add_argument(
+        "--soak", action="store_true",
+        help="run the fleet chaos soak (per-case invariants + determinism check)",
+    )
+    fleet.add_argument("--cases", type=int, default=4, help="fleet-soak cases (--soak)")
+    fleet.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke preset for --soak: one 32-transfer case across 4 tenants",
+    )
+    fleet.add_argument("--workers", type=int, default=1, help="--soak case fan-out")
+    fleet.add_argument(
+        "--out", default=None, help="directory for per-job artifacts and the report JSON"
     )
 
     verify = sub.add_parser(
@@ -380,6 +421,89 @@ def _cmd_soak(args) -> int:
     return 0 if report["all_passed"] else 1
 
 
+def _cmd_fleet(args) -> int:
+    import dataclasses
+    import tempfile
+    from pathlib import Path
+
+    from repro.fleet import (
+        FleetConfig,
+        FleetScheduler,
+        JobFaultProfile,
+        TenantSpec,
+        TransferRequest,
+        render_fleet_report,
+    )
+    from repro.harness.soak import (
+        FleetSoakConfig,
+        render_fleet_soak_report,
+        run_fleet_soak,
+    )
+    from repro.utils.config import dump_json
+
+    if args.soak:
+        if args.quick:
+            config = FleetSoakConfig.quick(root_seed=args.seed)
+        else:
+            config = FleetSoakConfig(
+                cases=args.cases,
+                root_seed=args.seed,
+                tenants=args.tenants,
+                transfers=args.transfers,
+                gigabytes=args.gb,
+                quantum=args.quantum,
+                max_parallel=args.max_parallel,
+                workers=args.workers,
+            )
+        config = dataclasses.replace(
+            config,
+            stalls=not args.no_stalls,
+            corruption=not args.no_corruption,
+            crashes=not args.no_crashes,
+        )
+        report = run_fleet_soak(config, out_dir=args.out)
+        print(render_fleet_soak_report(report), end="")
+        if args.out:
+            print(f"report saved to {report['report_path']}")
+        return 0 if report["all_passed"] else 1
+
+    out_dir = Path(args.out) if args.out else Path(tempfile.mkdtemp(prefix="fleet-"))
+    tenants = tuple(
+        TenantSpec(f"tenant{i}", max_concurrency=max(2, args.max_parallel))
+        for i in range(args.tenants)
+    )
+    requests = [
+        TransferRequest(
+            tenant=f"tenant{i % args.tenants}", gigabytes=args.gb, name=f"r{i:03d}"
+        )
+        for i in range(args.transfers)
+    ]
+    config = FleetConfig(
+        tenants=tenants,
+        seed=args.seed,
+        quantum=args.quantum,
+        capacity_mbps=args.capacity_mbps,
+        max_parallel=args.max_parallel,
+        horizon=args.horizon,
+        stall_intervals=4,
+        admission_limit=max(64, args.transfers),
+        per_tenant_queue=max(32, args.transfers),
+        faults=JobFaultProfile(
+            stalls=not args.no_stalls,
+            corruption=not args.no_corruption,
+            crashes=not args.no_crashes,
+        ),
+    )
+    report = FleetScheduler(config, requests, out_dir / "jobs").run()
+    print(render_fleet_report(report), end="")
+    path = out_dir / "fleet_report.json"
+    dump_json(report, path)
+    print(f"report saved to {path}")
+    # A fleet run fails loudly: any admitted transfer that did not end
+    # verified-and-recovered, or any violated invariant, is exit code 1.
+    return 0 if report["all_passed"] else 1
+
+
 def _cmd_verify(args) -> int:
     from repro.transfer.integrity import verify_artifacts
     from repro.utils.tables import render_kv
@@ -423,6 +547,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_transfer(args)
         if args.command == "soak":
             return _cmd_soak(args)
+        if args.command == "fleet":
+            return _cmd_fleet(args)
         if args.command == "verify":
             return _cmd_verify(args)
         if args.command == "obs":

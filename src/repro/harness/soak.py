@@ -52,7 +52,14 @@ from repro.transfer.integrity import IntegrityConfig, VerifiedTransfer
 from repro.transfer.supervisor import SupervisorConfig, TransferSupervisor
 from repro.utils.config import dump_json, require_non_negative, require_positive
 
-__all__ = ["SoakConfig", "run_soak", "render_soak_report"]
+__all__ = [
+    "FleetSoakConfig",
+    "SoakConfig",
+    "render_fleet_soak_report",
+    "render_soak_report",
+    "run_fleet_soak",
+    "run_soak",
+]
 
 
 @dataclass(frozen=True)
@@ -292,6 +299,266 @@ def run_soak(config: SoakConfig | None = None, *, out_dir: str | Path | None = N
         dump_json(report, path)
         report["report_path"] = str(path)
     return report
+
+
+# --------------------------------------------------------------------- fleet
+
+
+@dataclass(frozen=True)
+class FleetSoakConfig:
+    """Fleet-level chaos soak: many tenants × many transfers per case.
+
+    Each case builds a :class:`~repro.fleet.scheduler.FleetScheduler` over
+    ``transfers`` concurrent requests spread across ``tenants`` equal-weight
+    tenants, injects the usual seeded chaos (stalls, corruption, crashes)
+    into every job, and checks the fleet invariants on the report:
+
+    * **no_data_loss / all_recovered** — every admitted transfer finishes
+      verified with zero unrecovered chunks;
+    * **no_starvation** — every admitted job got at least one slice;
+    * **capacity_respected** — no round's total allocation exceeded the
+      link capacity;
+    * **breaker_transitions_legal** — every circuit-breaker log re-validates
+      against the legal-transition set;
+    * **fair_goodput** — equal-weight tenants with identical workloads land
+      within ``fairness_bound`` of each other (max/min verified-goodput);
+    * **deterministic** — with ``determinism_check`` the whole case runs
+      twice and the two report fingerprints must be identical.
+    """
+
+    cases: int = 4
+    root_seed: int = 0
+    tenants: int = 4
+    transfers: int = 32
+    gigabytes: float = 0.25
+    quantum: float = 10.0
+    max_parallel: int = 8
+    horizon: float = 2400.0
+    stalls: bool = True
+    corruption: bool = True
+    crashes: bool = True
+    fairness_bound: float = 2.5
+    determinism_check: bool = True
+    workers: int = 1
+
+    def __post_init__(self) -> None:
+        require_positive(self.cases, "cases")
+        require_positive(self.tenants, "tenants")
+        require_positive(self.transfers, "transfers")
+        require_positive(self.gigabytes, "gigabytes")
+        require_positive(self.quantum, "quantum")
+        require_positive(self.max_parallel, "max_parallel")
+        require_positive(self.horizon, "horizon")
+        require_positive(self.fairness_bound, "fairness_bound")
+
+    @classmethod
+    def quick(cls, root_seed: int = 0) -> "FleetSoakConfig":
+        """The CI smoke preset: one 32-transfer case across 4 tenants."""
+        return cls(cases=1, root_seed=root_seed, transfers=32, tenants=4)
+
+
+def _fleet_case_config(config: FleetSoakConfig, seed: int):
+    """The per-case fleet configuration (pure function of the seed)."""
+    from repro.fleet import FleetConfig, JobFaultProfile, TenantSpec
+
+    per_tenant = max(2, config.max_parallel // config.tenants + 1)
+    tenants = tuple(
+        TenantSpec(f"tenant{i}", max_concurrency=per_tenant)
+        for i in range(config.tenants)
+    )
+    return FleetConfig(
+        tenants=tenants,
+        seed=seed,
+        quantum=config.quantum,
+        max_parallel=config.max_parallel,
+        horizon=config.horizon,
+        stall_intervals=4,
+        admission_limit=max(64, config.transfers),
+        per_tenant_queue=max(32, config.transfers),
+        faults=JobFaultProfile(
+            stalls=config.stalls,
+            corruption=config.corruption,
+            crashes=config.crashes,
+            stall_probability=0.6,
+            corruption_probability=0.5,
+            max_crashes=1,
+        ),
+    )
+
+
+def _fleet_requests(config: FleetSoakConfig, case: int) -> list:
+    """The case's request list: equal workloads, round-robin tenants."""
+    from repro.fleet import Priority, TransferRequest
+
+    return [
+        TransferRequest(
+            tenant=f"tenant{i % config.tenants}",
+            gigabytes=config.gigabytes,
+            priority=Priority.BATCH,
+            name=f"case{case:03d}-r{i:03d}",
+        )
+        for i in range(config.transfers)
+    ]
+
+
+def _fair_goodput_ratio(report: dict) -> float:
+    """max/min verified-goodput over tenants that completed work."""
+    rates = [
+        stats["goodput_bytes_per_s"]
+        for stats in report["tenants"].values()
+        if stats["completed"] > 0
+    ]
+    if len(rates) < 2 or min(rates) <= 0:
+        return float("inf") if rates else 0.0
+    return max(rates) / min(rates)
+
+
+def _run_fleet_case(index: int, config: FleetSoakConfig, out_dir: str | None) -> dict:
+    """One seeded fleet case; returns a JSON-able case record."""
+    from repro.fleet import FleetScheduler
+
+    seed = derive_seed(config.root_seed, index)
+    case_dir = (
+        Path(out_dir) / f"fleet{index:03d}"
+        if out_dir
+        else Path(tempfile.mkdtemp(prefix=f"fleet-case{index:03d}-"))
+    )
+    case_dir.mkdir(parents=True, exist_ok=True)
+
+    report = FleetScheduler(
+        _fleet_case_config(config, seed),
+        _fleet_requests(config, index),
+        case_dir / "run0",
+    ).run()
+
+    deterministic = True
+    if config.determinism_check:
+        replay = FleetScheduler(
+            _fleet_case_config(config, seed),
+            _fleet_requests(config, index),
+            case_dir / "run1",
+        ).run()
+        deterministic = replay["fingerprint"] == report["fingerprint"]
+
+    ratio = _fair_goodput_ratio(report)
+    invariants = dict(report["invariants"])
+    invariants["fair_goodput"] = bool(ratio <= config.fairness_bound)
+    invariants["deterministic"] = deterministic
+    record = {
+        "case": index,
+        "seed": seed,
+        "dir": str(case_dir),
+        "passed": all(invariants.values()),
+        "invariants": invariants,
+        "admitted": report["admission"]["admitted"],
+        "rejected": report["admission"]["rejected"],
+        "completed": sum(1 for j in report["jobs"] if j["state"] == "completed"),
+        "failed": sum(1 for j in report["jobs"] if j["state"] == "failed"),
+        "incidents": sum(len(j["incidents"]) for j in report["jobs"]),
+        "crashes": sum(j["crashes"] for j in report["jobs"]),
+        "breakers_opened": sum(j["breaker"]["times_opened"] for j in report["jobs"]),
+        "unrecovered_jobs": report["unrecovered_jobs"],
+        "fair_goodput_ratio": round(ratio, 3),
+        "duration_s": report["duration_s"],
+        "rounds": report["rounds"],
+        "fingerprint": report["fingerprint"],
+    }
+    dump_json(report, case_dir / "fleet_report.json")
+    dump_json(record, case_dir / "case.json")
+    return record
+
+
+def run_fleet_soak(
+    config: FleetSoakConfig | None = None, *, out_dir: str | Path | None = None
+) -> dict:
+    """Run the fleet soak; returns (and optionally writes) the report.
+
+    Case seeds are ``derive_seed(root_seed, case_index)``, each case is
+    internally serial, and cases fan out over
+    :class:`~repro.parallel.pool.ParallelMap` — so parallel results are
+    bit-identical to serial ones, exactly like :func:`run_soak`.
+    """
+    config = config or FleetSoakConfig()
+    out = str(out_dir) if out_dir is not None else None
+    pool = ParallelMap(
+        lambda index: _run_fleet_case(index, config, out),
+        workers=max(1, config.workers),
+    )
+    cases = pool.map_values(list(range(config.cases)))
+
+    failures = [c["case"] for c in cases if not c["passed"]]
+    report = {
+        "config": {
+            "cases": config.cases,
+            "root_seed": config.root_seed,
+            "tenants": config.tenants,
+            "transfers": config.transfers,
+            "gigabytes": config.gigabytes,
+            "quantum": config.quantum,
+            "max_parallel": config.max_parallel,
+            "stalls": config.stalls,
+            "corruption": config.corruption,
+            "crashes": config.crashes,
+            "fairness_bound": config.fairness_bound,
+            "determinism_check": config.determinism_check,
+            "workers": config.workers,
+        },
+        "cases": cases,
+        "all_passed": not failures,
+        "failed_cases": failures,
+        "total_incidents": sum(c["incidents"] for c in cases),
+        "total_crashes": sum(c["crashes"] for c in cases),
+        "total_breakers_opened": sum(c["breakers_opened"] for c in cases),
+    }
+    if out_dir is not None:
+        path = Path(out_dir) / "fleet_soak_report.json"
+        dump_json(report, path)
+        report["report_path"] = str(path)
+    return report
+
+
+def render_fleet_soak_report(report: dict) -> str:
+    """Human-readable fleet-soak summary for the CLI."""
+    from repro.utils.tables import render_table
+
+    rows = [
+        [
+            c["case"],
+            "PASS" if c["passed"] else "FAIL",
+            f"{c['completed']}/{c['admitted']}",
+            c["incidents"],
+            c["crashes"],
+            c["breakers_opened"],
+            f"{c['fair_goodput_ratio']:.2f}",
+            "".join(
+                flag if passed else flag.upper()
+                for flag, passed in zip("lrscbfd", c["invariants"].values())
+            ),
+        ]
+        for c in report["cases"]
+    ]
+    table = render_table(
+        ["case", "result", "done", "incidents", "crashes", "opened", "fair", "inv"],
+        rows,
+        title=(
+            f"fleet soak — {len(report['cases'])} case(s) × "
+            f"{report['config']['transfers']} transfers / "
+            f"{report['config']['tenants']} tenants, "
+            f"root seed {report['config']['root_seed']}"
+        ),
+    )
+    verdict = (
+        "ALL INVARIANTS HELD"
+        if report["all_passed"]
+        else f"FAILED cases: {report['failed_cases']}"
+    )
+    return (
+        f"{table}\n"
+        "inv flags: l=no_data_loss r=all_recovered s=no_starvation "
+        "c=capacity_respected b=breaker_transitions_legal f=fair_goodput "
+        "d=deterministic (uppercase = violated)\n"
+        f"{verdict}\n"
+    )
 
 
 def render_soak_report(report: dict) -> str:

@@ -164,6 +164,22 @@ class Histogram:
             out.append((bound, running))
         return out
 
+    def merge_from(self, other: "Histogram") -> None:
+        """Fold another histogram's samples into this one (bucket-wise sum).
+
+        Both histograms must share the same bucket bounds — merging across
+        different binnings would silently misplace samples.
+        """
+        if other.buckets != self.buckets:
+            raise ValueError(
+                f"histogram {self.name!r} bucket mismatch: "
+                f"{self.buckets} vs {other.buckets}"
+            )
+        for i, n in enumerate(other._counts):
+            self._counts[i] += n
+        self._sum += other._sum
+        self._count += other._count
+
 
 class MetricFamily:
     """A named metric with label dimensions; children are created on demand."""
@@ -249,6 +265,38 @@ class MetricsRegistry:
             Histogram, name, tuple(label_names), {"buckets": tuple(buckets)}
         )
 
+    def merge_from(self, other: "MetricsRegistry") -> None:
+        """Fold another registry's metrics into this one, key-collision-free.
+
+        The aggregation rule per kind: **counters** add, **histograms** add
+        bucket-wise (same bounds required), **gauges** adopt the incoming
+        value (merge order defines recency — merge workers oldest-first).
+        Labelled families merge child-by-child on the full label tuple, so
+        per-tenant counters from separate fleet workers land on their own
+        label rows instead of colliding on the family name.  A name
+        registered with a different kind (or family-ness, or label schema)
+        on the two sides raises ``ValueError`` rather than mixing meanings.
+        """
+        for name, theirs in other._metrics.items():
+            if isinstance(theirs, MetricFamily):
+                family = self._get_or_create(
+                    theirs._cls, name, theirs.label_names, theirs._kwargs
+                )
+                if not isinstance(family, MetricFamily) or (
+                    family.label_names != theirs.label_names
+                ):
+                    raise ValueError(
+                        f"family {name!r} label mismatch: "
+                        f"{getattr(family, 'label_names', ())} vs {theirs.label_names}"
+                    )
+                for child in theirs.children():
+                    mine = family.labels(**child.labels)
+                    _merge_metric(mine, child)
+            else:
+                kwargs = {"buckets": theirs.buckets} if isinstance(theirs, Histogram) else {}
+                mine = self._get_or_create(type(theirs), name, (), kwargs)
+                _merge_metric(mine, theirs)
+
     def __contains__(self, name: str) -> bool:
         return name in self._metrics
 
@@ -300,6 +348,16 @@ class MetricsRegistry:
                 else:
                     lines.append(f"{prom}{label_str} {_format_value(m.value)}")
         return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _merge_metric(mine, theirs) -> None:
+    """Fold one concrete metric into another of the same kind."""
+    if isinstance(theirs, Counter):
+        mine.inc(theirs.value)
+    elif isinstance(theirs, Histogram):
+        mine.merge_from(theirs)
+    else:  # Gauge: last write wins, and the incoming side is newer
+        mine.set(theirs.value)
 
 
 def _format_labels(labels: dict[str, str]) -> str:

@@ -29,6 +29,7 @@ The supervisor state machine::
 
 from __future__ import annotations
 
+import math
 from collections.abc import Callable
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -38,7 +39,7 @@ import numpy as np
 from repro import obs
 from repro.transfer.engine import ModularTransferEngine, Observation, TransferResult
 from repro.transfer.metrics import FaultEvent, RecoveryRecord, TransferMetrics
-from repro.utils.backoff import backoff_delay
+from repro.utils.backoff import RetryBudget, backoff_delay
 from repro.utils.config import (
     dump_json,
     load_json,
@@ -65,6 +66,12 @@ class SupervisorConfig:
     backoff for the *k*-th consecutive fruitless retry is
     ``min(backoff_max, backoff_base * backoff_factor**(k-1))`` scaled by a
     seeded jitter factor uniform in ``[1 - jitter, 1 + jitter]``.
+
+    ``max_elapsed`` is the retry *budget*: the supervised transfer never
+    schedules a resume more than ``max_elapsed`` virtual seconds after its
+    clock origin, so a retry loop cannot creep past a deadline one capped
+    backoff at a time.  An exhausted budget is a typed outcome
+    (:attr:`SupervisedTransferResult.budget_exhausted`), not an exception.
     """
 
     stall_intervals: int = 5
@@ -74,6 +81,7 @@ class SupervisorConfig:
     backoff_factor: float = 2.0
     backoff_max: float = 60.0
     jitter: float = 0.25
+    max_elapsed: float = math.inf
     seed: int = field(default=0, compare=False)
 
     def __post_init__(self) -> None:
@@ -84,6 +92,7 @@ class SupervisorConfig:
         require_positive(self.backoff_factor, "backoff_factor")
         require_positive(self.backoff_max, "backoff_max")
         require_in_range(self.jitter, 0.0, 1.0, "jitter")
+        require_positive(self.max_elapsed, "max_elapsed")
 
 
 @dataclass(frozen=True)
@@ -164,7 +173,13 @@ class AttemptRecord:
 
 @dataclass(frozen=True)
 class SupervisedTransferResult:
-    """Outcome of a supervised transfer across all attempts."""
+    """Outcome of a supervised transfer across all attempts.
+
+    ``budget_exhausted`` marks a transfer abandoned because the next resume
+    would have landed past :attr:`SupervisorConfig.max_elapsed` — the typed
+    :class:`~repro.utils.backoff.RetryBudget` outcome, distinct from both
+    ``timed_out`` (engine budget) and plain retry exhaustion.
+    """
 
     completed: bool
     timed_out: bool
@@ -175,6 +190,7 @@ class SupervisedTransferResult:
     retries_used: int
     last_checkpoint: TransferCheckpoint | None
     controller_name: str = ""
+    budget_exhausted: bool = False
 
     @property
     def effective_throughput(self) -> float:
@@ -302,6 +318,9 @@ class TransferSupervisor:
         retries_used = checkpoint.attempt if checkpoint is not None else 0
         consecutive_fruitless = 0
         result: TransferResult | None = None
+        budget = RetryBudget(cfg.max_elapsed)
+        budget.start(checkpoint.elapsed if checkpoint is not None else 0.0)
+        budget_exhausted = False
 
         while True:
             start_bytes = checkpoint.bytes_completed if checkpoint else 0.0
@@ -390,9 +409,18 @@ class TransferSupervisor:
                 base=cfg.backoff_base, factor=cfg.backoff_factor,
                 max_delay=cfg.backoff_max, jitter=cfg.jitter, rng=rng,
             )
+            resume_at = result.completion_time + delay
+            if not budget.allows(resume_at):
+                budget_exhausted = True
+                obs.event(
+                    "supervisor/retry_budget_exhausted", t=result.completion_time,
+                    resume_at=resume_at, max_elapsed=cfg.max_elapsed,
+                    retries_used=retries_used,
+                )
+                obs.count("supervisor/retry_budget_exhausted")
+                break
             retries_used += 1
             pending_retries += 1
-            resume_at = result.completion_time + delay
             obs.event(
                 "supervisor/backoff", t=result.completion_time,
                 delay=delay, resume_at=resume_at, retry=retries_used,
@@ -427,6 +455,7 @@ class TransferSupervisor:
             retries_used=retries_used,
             last_checkpoint=last_checkpoint,
             controller_name=result.controller_name,
+            budget_exhausted=budget_exhausted,
         )
 
 

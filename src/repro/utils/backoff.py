@@ -1,16 +1,25 @@
 """Exponential backoff with seeded jitter — shared retry arithmetic.
 
 One formula serves every layer that retries: the transfer supervisor's
-stall-recovery loop (virtual-clock delays between resume attempts) and the
-process pool's task retries (wall-clock delays before re-dispatch).  Both
-use ``min(max_delay, base * factor**(attempt-1))`` scaled by a seeded
-jitter factor uniform in ``[1 - jitter, 1 + jitter]``; centralising it
-keeps the two layers' retry behaviour identical and testable in one place.
+stall-recovery loop (virtual-clock delays between resume attempts), the
+process pool's task retries (wall-clock delays before re-dispatch) and the
+fleet scheduler's per-job re-dispatch delays.  All use
+``min(max_delay, base * factor**(attempt-1))`` scaled by a seeded jitter
+factor uniform in ``[1 - jitter, 1 + jitter]``; centralising it keeps the
+layers' retry behaviour identical and testable in one place.
+
+:class:`RetryBudget` is the companion *stop* rule: a cap on the total
+elapsed time a retry loop may consume, so backoff sequences cannot creep
+past a deadline one capped delay at a time.
 """
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
+
+from repro.utils.errors import RetryBudgetExhausted
 
 
 def backoff_delay(
@@ -33,3 +42,46 @@ def backoff_delay(
     if jitter and rng is not None:
         delay *= 1.0 + float(jitter) * float(rng.uniform(-1.0, 1.0))
     return delay
+
+
+class RetryBudget:
+    """Elapsed-time cap for a retry loop, on whichever clock the caller uses.
+
+    The budget window opens at the first :meth:`start` call and allows any
+    instant within ``max_elapsed`` of it.  Works for wall-clock callers
+    (process pool) and virtual-clock callers (supervisor, fleet scheduler)
+    alike — the budget never reads a clock itself.
+    """
+
+    __slots__ = ("max_elapsed", "started_at")
+
+    def __init__(self, max_elapsed: float = math.inf) -> None:
+        if max_elapsed <= 0:
+            raise ValueError(f"max_elapsed must be > 0, got {max_elapsed}")
+        self.max_elapsed = float(max_elapsed)
+        self.started_at: float | None = None
+
+    def start(self, t: float) -> None:
+        """Open the budget window at ``t`` (idempotent: first call wins)."""
+        if self.started_at is None:
+            self.started_at = float(t)
+
+    def elapsed(self, t: float) -> float:
+        """Time consumed so far (0 before the window opens)."""
+        return 0.0 if self.started_at is None else float(t) - self.started_at
+
+    def remaining(self, t: float) -> float:
+        """Budget left at ``t`` (may be negative once exhausted)."""
+        return self.max_elapsed - self.elapsed(t)
+
+    def allows(self, t: float) -> bool:
+        """Whether an action at ``t`` still fits in the budget."""
+        return self.elapsed(t) <= self.max_elapsed
+
+    def require(self, t: float, *, what: str = "retry") -> None:
+        """Raise :class:`RetryBudgetExhausted` when ``t`` is out of budget."""
+        if not self.allows(t):
+            raise RetryBudgetExhausted(
+                f"{what} at t={t:.1f} exceeds the {self.max_elapsed:.1f}s "
+                f"retry budget opened at t={self.started_at:.1f}"
+            )

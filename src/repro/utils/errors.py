@@ -27,3 +27,11 @@ class CheckpointVersionError(ReproError):
 
 class IntegrityError(ReproError):
     """Data-integrity accounting reached an inconsistent state."""
+
+
+class RetryBudgetExhausted(ReproError):
+    """A retry loop ran past its elapsed-time budget (see RetryBudget)."""
+
+
+class BreakerTransitionError(ReproError):
+    """A circuit breaker attempted an illegal state transition."""

@@ -1,0 +1,57 @@
+"""Global per-test timeout: a deadlocked scheduler must fail CI, not hang it.
+
+``pytest-timeout`` is not a dependency, so this uses a plain POSIX
+``SIGALRM`` itimer around each test call.  Default 300 s per test,
+overridable with ``REPRO_TEST_TIMEOUT`` (seconds; ``0`` disables).  The
+alarm only arms on the main thread of a Unix platform — anywhere else the
+hook is a no-op.  Worker processes forked by ``repro.parallel`` are safe:
+POSIX itimers are not inherited across ``fork()``.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+
+import pytest
+
+_DEFAULT_TIMEOUT = 300.0
+
+
+def _timeout_seconds() -> float:
+    raw = os.environ.get("REPRO_TEST_TIMEOUT", "")
+    try:
+        return float(raw) if raw else _DEFAULT_TIMEOUT
+    except ValueError:
+        return _DEFAULT_TIMEOUT
+
+
+def _can_use_alarm() -> bool:
+    return (
+        hasattr(signal, "SIGALRM")
+        and hasattr(signal, "setitimer")
+        and threading.current_thread() is threading.main_thread()
+    )
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    limit = _timeout_seconds()
+    if limit <= 0 or not _can_use_alarm():
+        yield
+        return
+
+    def _on_alarm(signum, frame):
+        raise TimeoutError(
+            f"test exceeded the {limit:.0f}s global timeout "
+            f"(set REPRO_TEST_TIMEOUT to change it): {item.nodeid}"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, limit)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)

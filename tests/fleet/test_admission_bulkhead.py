@@ -1,0 +1,93 @@
+"""Admission control (typed rejection) and per-tenant bulkheads."""
+
+import pytest
+
+from repro.fleet import AdmissionQueue, Bulkhead, Priority, RejectReason, TransferRequest
+from repro.utils.errors import ConfigError
+
+
+class TestTransferRequest:
+    def test_defaults(self):
+        request = TransferRequest(tenant="a")
+        assert request.priority == Priority.BATCH
+        assert request.submit_at == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            TransferRequest(tenant="a", gigabytes=0.0)
+        with pytest.raises(ConfigError):
+            TransferRequest(tenant="a", submit_at=-1.0)
+
+    def test_priority_ordering(self):
+        assert Priority.INTERACTIVE > Priority.BATCH > Priority.BEST_EFFORT
+
+
+class TestAdmissionQueue:
+    def test_admits_until_global_limit(self):
+        queue = AdmissionQueue(limit=2, per_tenant_limit=2)
+        assert queue.offer("a", 0.0).admitted
+        assert queue.offer("b", 1.0).admitted
+        decision = queue.offer("c", 2.0)
+        assert not decision.admitted
+        assert decision.reason == RejectReason.QUEUE_FULL
+        assert decision.t == 2.0
+
+    def test_per_tenant_limit_is_a_queue_bulkhead(self):
+        queue = AdmissionQueue(limit=10, per_tenant_limit=1)
+        assert queue.offer("a", 0.0).admitted
+        decision = queue.offer("a", 1.0)
+        assert not decision.admitted
+        assert decision.reason == RejectReason.TENANT_QUEUE_FULL
+        # Another tenant still gets in: the bound is per tenant.
+        assert queue.offer("b", 1.0).admitted
+
+    def test_unknown_tenant_is_typed(self):
+        queue = AdmissionQueue()
+        decision = queue.offer("ghost", 0.0, known=False)
+        assert not decision.admitted
+        assert decision.reason == RejectReason.UNKNOWN_TENANT
+
+    def test_rejection_never_raises_and_is_recorded(self):
+        queue = AdmissionQueue(limit=1)
+        queue.offer("a", 0.0)
+        queue.offer("b", 1.0)
+        assert len(queue.rejections) == 1
+        assert queue.rejections[0].to_dict()["reason"] == "queue_full"
+
+    def test_settle_frees_capacity(self):
+        queue = AdmissionQueue(limit=1)
+        queue.offer("a", 0.0)
+        queue.settle("a")
+        assert queue.offer("a", 5.0).admitted
+
+    def test_settle_without_admission_raises(self):
+        queue = AdmissionQueue()
+        with pytest.raises(ValueError):
+            queue.settle("a")
+
+
+class TestBulkhead:
+    def test_slots_bounded(self):
+        bulkhead = Bulkhead(2, name="a")
+        assert bulkhead.try_acquire()
+        assert bulkhead.try_acquire()
+        assert not bulkhead.try_acquire()
+        assert bulkhead.saturations == 1
+        assert bulkhead.available == 0
+
+    def test_release_frees_a_slot(self):
+        bulkhead = Bulkhead(1)
+        bulkhead.try_acquire()
+        bulkhead.release()
+        assert bulkhead.try_acquire()
+
+    def test_release_underflow_raises(self):
+        with pytest.raises(ValueError):
+            Bulkhead(1).release()
+
+    def test_release_all_resets_the_round(self):
+        bulkhead = Bulkhead(3)
+        bulkhead.try_acquire()
+        bulkhead.try_acquire()
+        bulkhead.release_all()
+        assert bulkhead.available == 3

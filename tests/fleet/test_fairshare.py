@@ -1,0 +1,78 @@
+"""Weighted max-min water-filling and the deterministic token bucket."""
+
+import math
+
+import pytest
+
+from repro.fleet import TokenBucket, weighted_max_min
+
+
+class TestWeightedMaxMin:
+    def test_equal_split_under_infinite_demand(self):
+        alloc = weighted_max_min(90.0, {"a": math.inf, "b": math.inf, "c": math.inf})
+        assert alloc == {"a": pytest.approx(30.0), "b": pytest.approx(30.0),
+                         "c": pytest.approx(30.0)}
+
+    def test_satisfied_demand_redistributes(self):
+        # a only wants 10; its leftover 20 splits between b and c.
+        alloc = weighted_max_min(90.0, {"a": 10.0, "b": math.inf, "c": math.inf})
+        assert alloc["a"] == pytest.approx(10.0)
+        assert alloc["b"] == alloc["c"] == pytest.approx(40.0)
+
+    def test_weights_scale_shares(self):
+        alloc = weighted_max_min(90.0, {"a": math.inf, "b": math.inf},
+                                 weights={"a": 2.0, "b": 1.0})
+        assert alloc["a"] == pytest.approx(60.0)
+        assert alloc["b"] == pytest.approx(30.0)
+
+    def test_never_exceeds_capacity_or_demand(self):
+        demands = {"a": 5.0, "b": 17.0, "c": 100.0, "d": 0.0}
+        alloc = weighted_max_min(50.0, demands)
+        assert sum(alloc.values()) <= 50.0 + 1e-9
+        for key, value in alloc.items():
+            assert value <= demands[key] + 1e-9
+        assert alloc["d"] == 0.0
+
+    def test_under_subscription_gives_everyone_their_demand(self):
+        alloc = weighted_max_min(100.0, {"a": 10.0, "b": 20.0})
+        assert alloc == {"a": pytest.approx(10.0), "b": pytest.approx(20.0)}
+
+    def test_insertion_order_irrelevant(self):
+        d1 = {"x": 30.0, "y": math.inf, "z": 12.0}
+        d2 = {"z": 12.0, "x": 30.0, "y": math.inf}
+        assert weighted_max_min(40.0, d1) == weighted_max_min(40.0, d2)
+
+    def test_zero_capacity(self):
+        assert weighted_max_min(0.0, {"a": 5.0}) == {"a": 0.0}
+
+
+class TestTokenBucket:
+    def test_unthrottled_by_default(self):
+        bucket = TokenBucket()
+        assert math.isinf(bucket.available(0.0))
+        assert bucket.take(1e12, 5.0) == 1e12
+
+    def test_burst_then_rate_limited(self):
+        bucket = TokenBucket(rate=10.0, burst=100.0)
+        assert bucket.take(100.0, 0.0) == 100.0  # full burst
+        assert bucket.take(50.0, 0.0) == 0.0  # empty
+        assert bucket.take(50.0, 2.0) == pytest.approx(20.0)  # 2 s of refill
+
+    def test_refill_caps_at_burst(self):
+        bucket = TokenBucket(rate=10.0, burst=30.0)
+        bucket.take(30.0, 0.0)
+        assert bucket.available(1000.0) == pytest.approx(30.0)
+
+    def test_clock_never_runs_backwards(self):
+        bucket = TokenBucket(rate=10.0, burst=100.0)
+        bucket.take(100.0, 10.0)
+        # An earlier timestamp neither refills nor drains.
+        assert bucket.available(5.0) == 0.0
+
+    def test_deterministic_replay(self):
+        def drive():
+            bucket = TokenBucket(rate=7.0, burst=21.0)
+            return [bucket.take(amount, t) for amount, t in
+                    [(5.0, 0.0), (30.0, 1.0), (2.0, 4.0), (50.0, 9.0)]]
+
+        assert drive() == drive()

@@ -1,0 +1,146 @@
+"""Satellite: registry merge — fold worker registries into a session registry."""
+
+import pytest
+
+from repro.obs.registry import Histogram, MetricsRegistry
+
+
+def worker(bytes_done, tenant):
+    reg = MetricsRegistry()
+    reg.counter("bytes").inc(bytes_done)
+    reg.counter("fleet/bytes", label_names=("tenant",)).labels(tenant=tenant).inc(
+        bytes_done
+    )
+    return reg
+
+
+class TestScalarMerge:
+    def test_counters_add(self):
+        main = MetricsRegistry()
+        main.counter("events").inc(3)
+        other = MetricsRegistry()
+        other.counter("events").inc(4)
+        main.merge_from(other)
+        assert main.counter("events").value == 7
+
+    def test_gauges_last_write_wins(self):
+        main = MetricsRegistry()
+        main.gauge("depth").set(10.0)
+        other = MetricsRegistry()
+        other.gauge("depth").set(3.0)
+        main.merge_from(other)
+        assert main.gauge("depth").value == 3.0
+
+    def test_histograms_sum_bucketwise(self):
+        main = MetricsRegistry()
+        main.histogram("lat", buckets=(1.0, 5.0)).observe(0.5)
+        other = MetricsRegistry()
+        other.histogram("lat", buckets=(1.0, 5.0)).observe(3.0)
+        other.histogram("lat", buckets=(1.0, 5.0)).observe(100.0)
+        main.merge_from(other)
+        merged = main.histogram("lat", buckets=(1.0, 5.0))
+        assert merged.count == 3
+        assert merged.sum == pytest.approx(103.5)
+        assert merged.bucket_counts() == [(1.0, 1), (5.0, 2), (float("inf"), 3)]
+
+    def test_histogram_bucket_mismatch_raises(self):
+        main = MetricsRegistry()
+        main.histogram("lat", buckets=(1.0,)).observe(0.5)
+        other = MetricsRegistry()
+        other.histogram("lat", buckets=(2.0,)).observe(0.5)
+        with pytest.raises(ValueError):
+            main.merge_from(other)
+
+    def test_merge_into_empty_registry_copies_values(self):
+        main = MetricsRegistry()
+        main.merge_from(worker(100.0, "a"))
+        assert main.counter("bytes").value == 100.0
+        assert "fleet/bytes" in main
+
+    def test_kind_mismatch_raises(self):
+        main = MetricsRegistry()
+        main.counter("x").inc()
+        other = MetricsRegistry()
+        other.gauge("x").set(1.0)
+        with pytest.raises(ValueError):
+            main.merge_from(other)
+
+
+class TestFamilyMerge:
+    def test_children_merge_on_full_label_tuple(self):
+        main = worker(100.0, "a")
+        main.merge_from(worker(40.0, "a"))
+        main.merge_from(worker(7.0, "b"))
+        family = main.counter("fleet/bytes", label_names=("tenant",))
+        per_tenant = {c.labels["tenant"]: c.value for c in family.children()}
+        assert per_tenant == {"a": 140.0, "b": 7.0}
+
+    def test_new_label_rows_do_not_collide(self):
+        main = worker(1.0, "a")
+        main.merge_from(worker(2.0, "b"))
+        family = main.counter("fleet/bytes", label_names=("tenant",))
+        assert len(list(family.children())) == 2
+
+    def test_family_vs_scalar_mismatch_raises(self):
+        main = MetricsRegistry()
+        main.counter("m")
+        other = MetricsRegistry()
+        other.counter("m", label_names=("tenant",)).labels(tenant="a").inc()
+        with pytest.raises(ValueError):
+            main.merge_from(other)
+
+    def test_histogram_families_merge(self):
+        def reg_with(stage, value):
+            reg = MetricsRegistry()
+            fam = reg.histogram("stage/lat", buckets=(1.0,), label_names=("stage",))
+            fam.labels(stage=stage).observe(value)
+            return reg
+
+        main = reg_with("read", 0.5)
+        main.merge_from(reg_with("read", 0.7))
+        main.merge_from(reg_with("net", 2.0))
+        family = main.histogram("stage/lat", buckets=(1.0,), label_names=("stage",))
+        by_stage = {c.labels["stage"]: c for c in family.children()}
+        assert by_stage["read"].count == 2
+        assert by_stage["net"].count == 1
+
+    def test_merge_order_is_worker_oldest_first_for_gauges(self):
+        # Documented contract: the incoming side is treated as newer.
+        main = MetricsRegistry()
+        fam = main.gauge("breaker", label_names=("job",))
+        fam.labels(job="0").set(2.0)
+        other = MetricsRegistry()
+        other.gauge("breaker", label_names=("job",)).labels(job="0").set(0.0)
+        main.merge_from(other)
+        assert fam.labels(job="0").value == 0.0
+
+
+class TestMergedExport:
+    def test_merged_registry_exports_cleanly(self):
+        main = worker(10.0, "a")
+        main.merge_from(worker(5.0, "b"))
+        snap = main.snapshot()
+        assert {e["labels"]["tenant"] for e in snap["fleet/bytes"]} == {"a", "b"}
+        text = main.to_prometheus()
+        assert 'fleet_bytes{tenant="a"} 10' in text
+        assert 'fleet_bytes{tenant="b"} 5' in text
+
+    def test_merge_is_associative_for_counters_and_histograms(self):
+        def sample(seed):
+            reg = MetricsRegistry()
+            reg.counter("n").inc(seed)
+            reg.histogram("h", buckets=(1.0, 2.0)).observe(seed * 0.5)
+            return reg
+
+        left = MetricsRegistry()
+        for s in (1, 2, 3):
+            left.merge_from(sample(s))
+        mid = sample(2)
+        mid.merge_from(sample(3))
+        right = sample(1)
+        right.merge_from(mid)
+        assert left.counter("n").value == right.counter("n").value == 6
+        lh = left.histogram("h", buckets=(1.0, 2.0))
+        rh = right.histogram("h", buckets=(1.0, 2.0))
+        assert lh.bucket_counts() == rh.bucket_counts()
+        assert isinstance(lh, Histogram)

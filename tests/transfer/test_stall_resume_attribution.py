@@ -1,0 +1,101 @@
+"""Satellite: stall → checkpoint → resume → stall again.
+
+Two independent outage windows hit one supervised transfer.  Both
+incidents must be detected, attributed to the injected fault kind, and
+recovered — and the stitched byte accounting must not double-count: each
+resumed attempt starts exactly where the previous one left off, and the
+per-attempt deltas sum to the dataset size exactly once.
+"""
+
+import pytest
+
+from repro.emulator import FaultSchedule, LinkFlap
+from repro.transfer import SupervisorConfig, TransferSupervisor
+
+from tests.transfer.test_supervisor import make_engine
+
+
+def double_stall_engine():
+    return make_engine(
+        FaultSchedule([
+            LinkFlap(start=10.0, duration=8.0),
+            LinkFlap(start=50.0, duration=8.0),
+        ]),
+        max_seconds=600.0,
+        gigabytes=6,
+    )
+
+
+@pytest.fixture(scope="module")
+def result():
+    return TransferSupervisor(double_stall_engine(), SupervisorConfig(seed=0)).run()
+
+
+class TestDoubleStallAttribution:
+    def test_completes_across_both_outages(self, result):
+        assert result.completed
+        assert result.retries_used >= 2
+        assert result.attempts[-1].outcome == "completed"
+
+    def test_both_incidents_detected_and_attributed(self, result):
+        events = result.metrics.fault_events
+        assert len(events) == 2
+        assert all(e.kind == "link_flap" for e in events)
+        # Two *separate* incidents, one per outage window, in order.
+        first, second = events
+        assert first.t_onset < second.t_onset
+        assert first.t_detected <= 10.0 + 8.0 + 10.0  # detected near window one
+        assert second.t_onset >= 45.0  # attributed to window two, not a re-report
+
+    def test_both_incidents_recovered(self, result):
+        recoveries = result.metrics.recoveries
+        assert len(recoveries) == 2
+        assert [r.kind for r in recoveries] == ["link_flap", "link_flap"]
+        assert recoveries[0].t_recovered <= recoveries[1].t_onset
+
+    def test_no_double_count_across_resume_boundaries(self, result):
+        # Each resumed attempt starts at the previous durable byte count …
+        for earlier, later in zip(result.attempts, result.attempts[1:]):
+            assert later.start_bytes == pytest.approx(earlier.end_bytes)
+        # … so the per-attempt deltas tile the dataset exactly once.
+        assert sum(a.bytes_transferred for a in result.attempts) == pytest.approx(
+            result.total_bytes, rel=1e-6
+        )
+        assert result.metrics.bytes_written.last == pytest.approx(
+            result.total_bytes, rel=1e-6
+        )
+
+    def test_stitched_timeline_is_monotonic(self, result):
+        times = list(result.metrics.bytes_written.times)
+        assert times == sorted(times)
+        values = list(result.metrics.bytes_written.values)
+        assert all(b >= a - 0.5 for a, b in zip(values, values[1:]))
+
+
+class TestExplicitCheckpointBoundary:
+    def test_second_stall_attributed_after_manual_resume(self):
+        # Supervisor A gives up after the first stall (max_retries=0); a new
+        # supervisor resumes from its checkpoint and must attribute the
+        # *second* stall correctly without re-counting the first's bytes.
+        first = TransferSupervisor(
+            double_stall_engine(), SupervisorConfig(seed=0, max_retries=0)
+        ).run()
+        assert not first.completed
+        assert len(first.metrics.fault_events) == 1
+        checkpoint = first.last_checkpoint
+        assert checkpoint is not None and checkpoint.bytes_completed > 0
+
+        second = TransferSupervisor(
+            double_stall_engine(), SupervisorConfig(seed=1)
+        ).run(resume_from=checkpoint)
+        assert second.completed
+        assert second.attempts[0].start_bytes == pytest.approx(
+            checkpoint.bytes_completed
+        )
+        events = second.metrics.fault_events
+        assert all(e.kind == "link_flap" for e in events)
+        assert all(e.t_onset > checkpoint.elapsed for e in events)
+        # Resumed side only moves the remaining bytes: no double count.
+        assert sum(a.bytes_transferred for a in second.attempts) == pytest.approx(
+            second.total_bytes - checkpoint.bytes_completed, rel=1e-6
+        )

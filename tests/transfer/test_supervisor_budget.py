@@ -1,0 +1,77 @@
+"""Satellite: the supervisor's wall-clock retry budget (``max_elapsed``)."""
+
+import math
+
+import pytest
+
+from repro.transfer import SupervisorConfig, TransferSupervisor
+from repro.emulator import FaultSchedule, LinkFlap
+from repro.utils.errors import ConfigError
+
+from tests.transfer.test_supervisor import make_engine
+
+
+def permanent_outage_engine():
+    # requires_restart=False: the path stays down however often we restart,
+    # so every retry is fruitless and only the budget (or the retry counter)
+    # can stop the loop.  max_seconds is generous so the engine's own
+    # timeout never races either stop rule.
+    return make_engine(
+        FaultSchedule([LinkFlap(start=5.0, duration=1e4, requires_restart=False)]),
+        max_seconds=2000.0,
+    )
+
+
+class TestConfig:
+    def test_default_is_unbounded(self):
+        assert SupervisorConfig().max_elapsed == math.inf
+
+    @pytest.mark.parametrize("bad", [0.0, -5.0])
+    def test_rejects_non_positive(self, bad):
+        with pytest.raises(ConfigError):
+            SupervisorConfig(max_elapsed=bad)
+
+
+class TestBudgetExhaustion:
+    def run_supervised(self, max_elapsed, seed=0):
+        return TransferSupervisor(
+            permanent_outage_engine(),
+            SupervisorConfig(seed=seed, max_retries=10, max_elapsed=max_elapsed),
+        ).run()
+
+    def test_budget_stops_the_retry_loop_early(self):
+        capped = self.run_supervised(max_elapsed=25.0)
+        assert not capped.completed
+        assert capped.budget_exhausted
+        # The budget, not the retry counter, ended the loop.
+        assert capped.retries_used < 10
+        # And no resume was ever scheduled past the cap.
+        for attempt in capped.attempts:
+            assert attempt.start_time <= 25.0
+
+    def test_unbounded_budget_exhausts_retries_instead(self):
+        free = self.run_supervised(max_elapsed=math.inf)
+        assert not free.budget_exhausted
+        assert free.retries_used == 10
+
+    def test_typed_outcome_is_distinct_from_timeout(self):
+        capped = self.run_supervised(max_elapsed=25.0)
+        assert capped.budget_exhausted and not capped.timed_out
+        timed = TransferSupervisor(
+            make_engine(max_seconds=3.0), SupervisorConfig(seed=0)
+        ).run()
+        assert timed.timed_out and not timed.budget_exhausted
+
+    def test_seeded_and_deterministic(self):
+        a = self.run_supervised(max_elapsed=25.0, seed=11)
+        b = self.run_supervised(max_elapsed=25.0, seed=11)
+        assert a.attempts == b.attempts
+        assert a.retries_used == b.retries_used
+        assert a.completion_time == b.completion_time
+
+    def test_healthy_transfer_never_touches_the_budget(self):
+        result = TransferSupervisor(
+            make_engine(), SupervisorConfig(seed=0, max_elapsed=30.0)
+        ).run()
+        assert result.completed
+        assert not result.budget_exhausted

@@ -1,8 +1,12 @@
 """Backoff arithmetic: growth, capping, and jitter staying in its bounds."""
 
-import numpy as np
+import math
 
-from repro.utils.backoff import backoff_delay
+import numpy as np
+import pytest
+
+from repro.utils.backoff import RetryBudget, backoff_delay
+from repro.utils.errors import RetryBudgetExhausted
 
 
 class TestUndithered:
@@ -50,3 +54,51 @@ class TestJitterBounds:
         b = [backoff_delay(2, jitter=0.5, rng=rng_b) for _ in range(5)]
         assert a == b
         assert len(set(a)) > 1  # the shared generator advances per draw
+
+
+class TestRetryBudget:
+    def test_default_is_unbounded(self):
+        budget = RetryBudget()
+        assert budget.max_elapsed == math.inf
+        budget.start(0.0)
+        assert budget.allows(1e12)
+        assert budget.remaining(1e12) == math.inf
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0])
+    def test_rejects_non_positive(self, bad):
+        with pytest.raises(ValueError):
+            RetryBudget(bad)
+
+    def test_window_opens_at_first_start(self):
+        budget = RetryBudget(10.0)
+        # Before the window opens nothing has been consumed.
+        assert budget.elapsed(100.0) == 0.0
+        assert budget.allows(100.0)
+        budget.start(100.0)
+        assert budget.elapsed(105.0) == 5.0
+        assert budget.remaining(105.0) == 5.0
+
+    def test_start_is_idempotent_first_call_wins(self):
+        budget = RetryBudget(10.0)
+        budget.start(5.0)
+        budget.start(50.0)  # ignored
+        assert budget.started_at == 5.0
+        assert not budget.allows(16.0)
+
+    def test_allows_is_inclusive_at_the_boundary(self):
+        budget = RetryBudget(10.0)
+        budget.start(0.0)
+        assert budget.allows(10.0)
+        assert not budget.allows(10.0 + 1e-9)
+
+    def test_remaining_goes_negative_once_exhausted(self):
+        budget = RetryBudget(10.0)
+        budget.start(0.0)
+        assert budget.remaining(25.0) == -15.0
+
+    def test_require_raises_typed_with_context(self):
+        budget = RetryBudget(10.0)
+        budget.start(3.0)
+        budget.require(13.0)  # boundary still fine
+        with pytest.raises(RetryBudgetExhausted, match="resume.*10.0s.*t=3.0"):
+            budget.require(20.0, what="resume")
