@@ -187,6 +187,10 @@ def run_bench(*, quick: bool = False, min_speedup: float = 20.0,
     out = Path(out) if out is not None else REPO_ROOT / "BENCH_dataplane.json"
     out.write_text(json.dumps(report, indent=2) + "\n")
     report["out"] = str(out)
+
+    from repro.obs.store import record_bench_report
+
+    record_bench_report(report, path=out)
     return report
 
 
@@ -206,7 +210,13 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--skip-overhead", action="store_true",
                         help="skip the end-to-end verification-overhead leg")
     parser.add_argument("--out", default=None, help="report path (default: repo root)")
+    parser.add_argument("--store", default=None,
+                        help="append the report to this results store (also $AUTOMDT_STORE)")
     args = parser.parse_args(argv)
+    if args.store:
+        from repro.obs.store import set_default_store
+
+        set_default_store(args.store)
     report = run_bench(quick=args.quick, min_speedup=args.min_speedup,
                        skip_overhead=args.skip_overhead, out=args.out)
     print(json.dumps(report, indent=2))

@@ -190,6 +190,10 @@ def run_bench(*, quick: bool = False, out: str | Path | None = None,
     out = Path(out) if out is not None else REPO_ROOT / "BENCH_fleet.json"
     out.write_text(json.dumps(report, indent=2) + "\n")
     report["out"] = str(out)
+
+    from repro.obs.store import record_bench_report
+
+    record_bench_report(report, path=out)
     return report
 
 
@@ -205,7 +209,13 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true", help="smaller budgets (CI smoke)")
     parser.add_argument("--out", default=None, help="report path (default: repo root)")
+    parser.add_argument("--store", default=None,
+                        help="append the report to this results store (also $AUTOMDT_STORE)")
     args = parser.parse_args(argv)
+    if args.store:
+        from repro.obs.store import set_default_store
+
+        set_default_store(args.store)
     report = run_bench(quick=args.quick, out=args.out)
     print(json.dumps(report, indent=2))
     if not report["ok"]:

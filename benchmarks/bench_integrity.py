@@ -138,13 +138,23 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--budget", type=float, default=0.05, help="max overhead fraction")
     parser.add_argument("--out", default=None, help="report path (default: repo root)")
+    parser.add_argument("--store", default=None,
+                        help="append the report to this results store (also $AUTOMDT_STORE)")
     args = parser.parse_args(argv)
+    if args.store:
+        from repro.obs.store import set_default_store
+
+        set_default_store(args.store)
     pairs = args.pairs if args.pairs is not None else (8 if args.quick else 20)
     report = measure_overhead(pairs=pairs, chunk_size=args.chunk_size)
     report["budget"] = args.budget
     report["within_budget"] = report["overhead"] < args.budget
     out = Path(args.out) if args.out else REPO_ROOT / "BENCH_integrity.json"
     out.write_text(json.dumps(report, indent=2) + "\n")
+
+    from repro.obs.store import record_bench_report
+
+    record_bench_report(report, path=out)
     print(json.dumps(report, indent=2))
     if not report["within_budget"]:
         print(

@@ -140,11 +140,21 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--pairs", type=int, default=None, help="override pair count")
     parser.add_argument("--out", default="/tmp/obs-bench", help="run directory root")
     parser.add_argument("--budget", type=float, default=0.03, help="max overhead fraction")
+    parser.add_argument("--store", default=None,
+                        help="append the report to this results store (also $AUTOMDT_STORE)")
     args = parser.parse_args(argv)
+    if args.store:
+        from repro.obs.store import set_default_store
+
+        set_default_store(args.store)
     pairs = args.pairs if args.pairs is not None else (12 if args.quick else 30)
     report = measure_overhead(pairs=pairs, out_dir=args.out)
     report["budget"] = args.budget
     report["within_budget"] = report["overhead"] < args.budget
+
+    from repro.obs.store import record_bench_report
+
+    record_bench_report(report)
     print(json.dumps(report, indent=2))
     if not report["within_budget"]:
         print(

@@ -271,6 +271,10 @@ def run_bench(*, quick: bool = False, workers: int = 4,
     out = Path(out) if out is not None else REPO_ROOT / "BENCH_parallel.json"
     out.write_text(json.dumps(report, indent=2) + "\n")
     report["out"] = str(out)
+
+    from repro.obs.store import record_bench_report
+
+    record_bench_report(report, path=out)
     return report
 
 
@@ -285,7 +289,13 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--quick", action="store_true", help="smaller budgets (CI smoke)")
     parser.add_argument("--workers", type=int, default=4, help="pool size for the sweeps")
     parser.add_argument("--out", default=None, help="report path (default: repo root)")
+    parser.add_argument("--store", default=None,
+                        help="append the report to this results store (also $AUTOMDT_STORE)")
     args = parser.parse_args(argv)
+    if args.store:
+        from repro.obs.store import set_default_store
+
+        set_default_store(args.store)
     report = run_bench(quick=args.quick, workers=args.workers, out=args.out)
     print(json.dumps(report, indent=2))
     if not report["ok"]:

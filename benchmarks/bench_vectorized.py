@@ -133,6 +133,10 @@ def run_bench(*, episodes: int = EPISODES, batch_size: int = 8,
     out = Path(out) if out is not None else REPO_ROOT / "BENCH_vectorized.json"
     out.write_text(json.dumps(report, indent=2) + "\n")
     report["out"] = str(out)
+
+    from repro.obs.store import record_bench_report
+
+    record_bench_report(report, path=out)
     return report
 
 
@@ -141,7 +145,13 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--quick", action="store_true", help="smaller budget (CI smoke)")
     parser.add_argument("--batch-size", type=int, default=8)
     parser.add_argument("--out", default=None, help="report path (default: repo root)")
+    parser.add_argument("--store", default=None,
+                        help="append the report to this results store (also $AUTOMDT_STORE)")
     args = parser.parse_args(argv)
+    if args.store:
+        from repro.obs.store import set_default_store
+
+        set_default_store(args.store)
     report = run_bench(
         episodes=48 if args.quick else EPISODES,
         batch_size=args.batch_size,

@@ -17,10 +17,17 @@ Commands::
     automdt obs summary RUN_DIR                    # inspect an instrumented run
     automdt obs tail RUN_DIR [-n 20]
     automdt obs diff RUN_A RUN_B
+    automdt store ingest BENCH_*.json              # backfill the results store
+    automdt report --store automdt.db [--out report.md]
+    automdt regress BENCH_*.json --store automdt.db
 
 ``run`` and ``transfer`` accept ``--obs RUN_DIR`` to record a telemetry
 event log (spans, PPO losses, per-interval transfer samples, supervisor
-incidents) that the ``obs`` subcommands reconstruct.
+incidents) that the ``obs`` subcommands reconstruct.  ``run``, ``sweep``,
+``soak`` and ``fleet`` accept ``--store DB`` (or ``AUTOMDT_STORE``) to
+append every run's metrics to the results store (see
+:mod:`repro.obs.store`); with a store, ``sweep`` also *resumes* — cells
+already completed at the current revision are skipped.
 """
 
 from __future__ import annotations
@@ -34,6 +41,12 @@ from contextlib import nullcontext
 from repro import obs
 from repro.harness.experiments import EXPERIMENTS
 from repro.obs.cli import add_obs_parser, run_obs
+from repro.obs.store.cli import (
+    add_store_parsers,
+    run_regress_command,
+    run_report_command,
+    run_store_command,
+)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -63,6 +76,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--obs", default=None, metavar="DIR",
         help="record a telemetry event log into DIR (see 'automdt obs')",
     )
+    _add_store_flag(run)
 
     sweep = sub.add_parser(
         "sweep", help="run an experiments × seeds grid over a process pool"
@@ -92,6 +106,11 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--obs", default=None, metavar="DIR",
         help="record telemetry (per-worker logs merged after the sweep)",
+    )
+    _add_store_flag(sweep)
+    sweep.add_argument(
+        "--no-resume", action="store_true",
+        help="with --store: re-run cells even when the store holds them",
     )
 
     explore = sub.add_parser("explore", help="run the §IV-A logging phase on a preset")
@@ -138,6 +157,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default=None,
         help="directory for per-case artifacts and soak_report.json",
     )
+    _add_store_flag(soak)
 
     fleet = sub.add_parser(
         "fleet",
@@ -177,6 +197,7 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument(
         "--out", default=None, help="directory for per-job artifacts and the report JSON"
     )
+    _add_store_flag(fleet)
 
     verify = sub.add_parser(
         "verify", help="offline-verify a run directory's integrity artifacts"
@@ -186,7 +207,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     add_obs_parser(sub)
+    add_store_parsers(sub)
     return parser
+
+
+def _add_store_flag(parser) -> None:
+    parser.add_argument(
+        "--store", default=None, metavar="DB",
+        help="append results to this store (also: $AUTOMDT_STORE)",
+    )
 
 
 def _resolve_preset(name: str):
@@ -248,6 +277,7 @@ def _cmd_run(args) -> int:
                 for run in aggregate.runs:
                     run.name = f"{run.name}_seed{run.summary.get('seed', '')}"
         else:
+            wall_start = time.time()
             result = EXPERIMENTS[name](fast=not args.full, seed=args.seed)
             print(result.render())
             if _transfer_failed(result.summary):
@@ -256,6 +286,18 @@ def _cmd_run(args) -> int:
                 exit_code = 1
             if args.out:
                 print(f"saved {result.save(args.out)}")
+
+            from repro.harness.multirun import flatten_summary
+            from repro.obs.store import experiment_config, record_report
+
+            record_report(
+                "experiment",
+                name,
+                seed=args.seed,
+                config=experiment_config(name, fast=not args.full),
+                metrics=flatten_summary(result.summary),
+                started=wall_start,
+            )
         print(f"[{name} finished in {time.perf_counter() - started:.1f}s]\n")
     return exit_code
 
@@ -286,6 +328,7 @@ def _cmd_sweep(args) -> int:
         timeout=args.timeout,
         retries=args.retries,
         out=args.out,
+        resume=not args.no_resume,
     )
     for name in names:
         agg = result.aggregates.get(name)
@@ -499,6 +542,31 @@ def _cmd_fleet(args) -> int:
     path = out_dir / "fleet_report.json"
     dump_json(report, path)
     print(f"report saved to {path}")
+
+    from repro.obs.store import flatten_numeric, record_report
+
+    record_report(
+        "fleet",
+        "fleet",
+        seed=args.seed,
+        config={
+            "v": 1,
+            "tenants": args.tenants,
+            "transfers": args.transfers,
+            "gigabytes": args.gb,
+            "quantum": args.quantum,
+            "max_parallel": args.max_parallel,
+        },
+        metrics=flatten_numeric(
+            {k: v for k, v in report.items() if k not in ("jobs", "tenants")}
+        ),
+        labelled_metrics=[
+            ("tenant.goodput_bytes_per_s", float(stats["goodput_bytes_per_s"]),
+             {"tenant": tenant})
+            for tenant, stats in report["tenants"].items()
+        ],
+        artifacts=[path],
+    )
     # A fleet run fails loudly: any admitted transfer that did not end
     # verified-and-recovered, or any violated invariant, is exit code 1.
     return 0 if report["all_passed"] else 1
@@ -522,6 +590,10 @@ def _cmd_verify(args) -> int:
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    if getattr(args, "store", None) and args.command not in ("store", "report", "regress"):
+        from repro.obs.store import set_default_store
+
+        set_default_store(args.store)
     obs_dir = getattr(args, "obs", None)
     target = (
         getattr(args, "experiment", None)
@@ -553,6 +625,12 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_verify(args)
         if args.command == "obs":
             return run_obs(args)
+        if args.command == "store":
+            return run_store_command(args)
+        if args.command == "report":
+            return run_report_command(args)
+        if args.command == "regress":
+            return run_regress_command(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

@@ -11,6 +11,15 @@ Each cell calls the registered experiment exactly as the serial harness
 would, so a parallel grid reproduces the serial numbers bit-for-bit; cells
 that fail (crash, timeout, exception) are reported per-cell instead of
 sinking the sweep.
+
+With a results store active (``--store`` / ``AUTOMDT_STORE``, see
+:mod:`repro.obs.store`) the grid becomes *resumable*: before dispatch it
+queries the store for already-completed (cell, seed) pairs at the current
+git revision and config fingerprint and skips them, loading their stored
+metrics into the aggregates instead of recomputing — the
+``run_missing_experiments`` pattern.  Fresh cells are ingested on
+completion, so an interrupted sweep re-run finishes only the missing
+cells and appends no duplicate rows.
 """
 
 from __future__ import annotations
@@ -72,6 +81,8 @@ class GridResult:
     aggregates: dict[str, AggregateResult] = field(default_factory=dict)
     #: failed cells; ``TaskOutcome.value`` is None, ``.error`` says why
     failures: list[tuple[str, int, TaskOutcome]] = field(default_factory=list)
+    #: cells found complete in the results store and not re-run
+    skipped: list[tuple[str, int]] = field(default_factory=list)
     workers: int = 1
     wall_seconds: float = 0.0
 
@@ -85,16 +96,20 @@ class GridResult:
         failed_by_name: dict[str, int] = {}
         for name, _seed, _outcome in self.failures:
             failed_by_name[name] = failed_by_name.get(name, 0) + 1
+        skipped_by_name: dict[str, int] = {}
+        for name, _seed in self.skipped:
+            skipped_by_name[name] = skipped_by_name.get(name, 0) + 1
         for name in self.experiments:
             agg = self.aggregates.get(name)
             rows.append([
                 name,
                 len(agg.runs) if agg is not None else 0,
                 failed_by_name.get(name, 0),
+                skipped_by_name.get(name, 0),
                 len(agg.stats) if agg is not None else 0,
             ])
         return render_table(
-            ["experiment", "runs", "failed", "metrics"],
+            ["experiment", "runs", "failed", "skipped", "metrics"],
             rows,
             title=(
                 f"sweep over seeds {list(self.seeds)} — "
@@ -112,6 +127,8 @@ def run_grid(
     timeout: float | None = None,
     retries: int = 0,
     out: str | Path | None = None,
+    store=None,
+    resume: bool = True,
 ) -> GridResult:
     """Run every (experiment, seed) cell, optionally in parallel.
 
@@ -120,9 +137,23 @@ def run_grid(
     directory is active, pool workers write per-worker event logs there and
     they are merged back after the sweep.  With ``out`` set, every
     successful cell is saved as ``<out>/<experiment>_seed<k>.json``.
+
+    ``store`` is a results database (path or
+    :class:`~repro.obs.store.ResultsStore`; defaults to the process's
+    active store, if any).  Fresh cells are ingested as they complete;
+    with ``resume`` (default) cells the store already holds — same
+    experiment, seed, config fingerprint and git revision — are skipped
+    and their stored metrics join the aggregates, so re-running an
+    interrupted sweep computes only what is missing and never duplicates
+    rows.
     """
+    import time as wall_clock
+
     from repro import obs
     from repro.harness.experiments import EXPERIMENTS
+    from repro.harness.multirun import flatten_summary
+    from repro.obs.store import RunRecord, experiment_config, fingerprint_config
+    from repro.obs.store import resolve_store as _resolve_store
 
     unknown = [n for n in experiments if n not in EXPERIMENTS]
     if unknown:
@@ -131,40 +162,73 @@ def run_grid(
     if not seeds:
         raise ValueError("need at least one seed")
 
+    sink = _resolve_store(store)
     cells = [(name, seed, fast) for name in experiments for seed in seeds]
+    fingerprints = {
+        name: fingerprint_config(experiment_config(name, fast=fast))
+        for name in experiments
+    }
+
+    result = GridResult(experiments=tuple(experiments), seeds=tuple(seeds))
+    runs_by_name: dict[str, list[tuple[int, ExperimentResult]]] = {}
+
+    pending = cells
+    if sink is not None and resume:
+        pending = []
+        for name, seed, fast_flag in cells:
+            run_id = sink.completed_run("experiment", name, seed, fingerprints[name])
+            if run_id is None:
+                pending.append((name, seed, fast_flag))
+            else:
+                # Rebuild the cell's result from its stored flat metrics —
+                # flattening is idempotent, so the aggregate is identical.
+                stored = ExperimentResult(name, summary=sink.run_metrics(run_id))
+                runs_by_name.setdefault(name, []).append((seed, stored))
+                result.skipped.append((name, seed))
+
     sess = obs.active()
     run_dir = sess.run_dir if sess is not None else None
 
     started = time.perf_counter()
+    sweep_started = wall_clock.time()
     pool = ParallelMap(
         _grid_call, workers=workers, timeout=timeout, retries=retries, obs_dir=run_dir
     )
     try:
-        outcomes = pool.map(cells)
+        outcomes = pool.map(pending) if pending else []
     finally:
         if run_dir is not None:
             merge_worker_logs(run_dir)
-    wall = time.perf_counter() - started
+    result.workers = pool.workers
+    result.wall_seconds = time.perf_counter() - started
 
-    result = GridResult(
-        experiments=tuple(experiments),
-        seeds=tuple(seeds),
-        workers=pool.workers,
-        wall_seconds=wall,
-    )
-    runs_by_name: dict[str, list[tuple[int, ExperimentResult]]] = {}
-    for (name, seed, _fast), outcome in zip(cells, outcomes):
+    fresh: list[tuple[str, int, ExperimentResult]] = []
+    for (name, seed, _fast), outcome in zip(pending, outcomes):
         if outcome.ok:
             runs_by_name.setdefault(name, []).append((seed, outcome.value))
+            fresh.append((name, seed, outcome.value))
         else:
             result.failures.append((name, seed, outcome))
+    if sink is not None:
+        finished = wall_clock.time()
+        for name, seed, run in fresh:
+            sink.ingest(
+                RunRecord(
+                    kind="experiment",
+                    scenario=name,
+                    seed=seed,
+                    config=experiment_config(name, fast=fast),
+                    started=sweep_started,
+                    finished=finished,
+                    metrics=flatten_summary(run.summary),
+                )
+            )
     for name, seeded_runs in runs_by_name.items():
         result.aggregates[name] = aggregate(
             name, [s for s, _ in seeded_runs], [r for _, r in seeded_runs]
         )
     if out is not None:
-        for name, seeded_runs in runs_by_name.items():
-            for seed, run in seeded_runs:
-                run.name = f"{name}_seed{seed}"
-                run.save(out)
+        for name, seed, run in fresh:
+            run.name = f"{name}_seed{seed}"
+            run.save(out)
     return result

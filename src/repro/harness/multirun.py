@@ -103,6 +103,7 @@ def run_seeded(
     workers: int = 1,
     timeout: float | None = None,
     retries: int = 0,
+    store=None,
     **kwargs,
 ) -> AggregateResult:
     """Run ``experiment(seed=s, **kwargs)`` for each seed and aggregate.
@@ -114,10 +115,17 @@ def run_seeded(
     :class:`repro.parallel.ParallelMapError` rather than silently shrinking
     the sample.  If a global obs session with a run directory is active,
     workers log to per-worker event files which are merged back afterwards.
+
+    With a results store resolved (``store`` argument, or the process's
+    active store) every per-seed run is ingested as one ``experiment``
+    row keyed on the current git revision and config fingerprint.
     """
+    import time
+
     if not seeds:
         raise ValueError("need at least one seed")
     seed_list = [int(s) for s in seeds]
+    started = time.time()
     if workers == 1:
         runs = [experiment(seed=s, **kwargs) for s in seed_list]
     else:
@@ -138,4 +146,24 @@ def run_seeded(
         finally:
             if run_dir is not None:
                 merge_worker_logs(run_dir)
+
+    from repro.obs.store import RunRecord, experiment_config, resolve_store
+
+    sink = resolve_store(store)
+    if sink is not None:
+        name = runs[0].name
+        config = experiment_config(name, **kwargs)
+        finished = time.time()
+        for seed, run in zip(seed_list, runs):
+            sink.ingest(
+                RunRecord(
+                    kind="experiment",
+                    scenario=name,
+                    seed=seed,
+                    config=config,
+                    started=started,
+                    finished=finished,
+                    metrics=flatten_summary(run.summary),
+                )
+            )
     return aggregate(runs[0].name, seed_list, runs)

@@ -91,6 +91,38 @@ class SoakConfig:
         return cls(cases=3, root_seed=root_seed, gigabytes=1.0, max_crashes=1)
 
 
+def _record_soak_report(kind: str, report: dict, root_seed: int) -> None:
+    """Ingest a soak/fleet-soak report into the active results store, if any.
+
+    One run per soak: scalar report fields become plain metrics, each
+    case's pass/fail becomes a labelled ``case.passed`` metric, and the
+    written report file (when present) is attached as an artifact.
+    """
+    from repro.obs.store import flatten_numeric, record_report, resolve_store
+
+    sink = resolve_store(None)
+    if sink is None:
+        return
+    metrics = flatten_numeric(
+        {k: v for k, v in report.items() if k not in ("cases", "config")}
+    )
+    labelled = [
+        ("case.passed", float(case["passed"]), {"case": str(case["case"])})
+        for case in report["cases"]
+    ]
+    artifacts = [report["report_path"]] if "report_path" in report else []
+    record_report(
+        kind,
+        kind,
+        seed=root_seed,
+        config=report["config"],
+        metrics=metrics,
+        labelled_metrics=labelled,
+        artifacts=artifacts,
+        store=sink,
+    )
+
+
 class _SimulatedCrash(Exception):
     """Raised by the soak observer at a scheduled crash instant."""
 
@@ -298,6 +330,7 @@ def run_soak(config: SoakConfig | None = None, *, out_dir: str | Path | None = N
         path = Path(out_dir) / "soak_report.json"
         dump_json(report, path)
         report["report_path"] = str(path)
+    _record_soak_report("soak", report, config.root_seed)
     return report
 
 
@@ -514,6 +547,7 @@ def run_fleet_soak(
         path = Path(out_dir) / "fleet_soak_report.json"
         dump_json(report, path)
         report["report_path"] = str(path)
+    _record_soak_report("fleet_soak", report, config.root_seed)
     return report
 
 

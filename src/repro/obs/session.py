@@ -54,11 +54,17 @@ class ObsSession:
     ``events_filename`` overrides the log name inside ``run_dir`` — pool
     workers use it to write ``events-worker<k>.jsonl`` next to the parent's
     ``events.jsonl`` (see :mod:`repro.parallel.obslog`).
+
+    With ``ingest_on_close`` (the default) a closing session hands its
+    registry snapshot to the active results store, if one is configured —
+    pool workers pass ``False`` so a sweep records one run, not one per
+    worker.
     """
 
     def __init__(self, run_dir: str | Path | None = None, *, label: str = "",
                  flush_every: int = 4096, mode: str = "a",
-                 events_filename: str | None = None) -> None:
+                 events_filename: str | None = None,
+                 ingest_on_close: bool = True) -> None:
         self.run_dir = Path(run_dir) if run_dir is not None else None
         self.label = label
         self.registry = MetricsRegistry()
@@ -71,6 +77,7 @@ class ObsSession:
         self.virtual_time: float | None = None
         self.tracer = Tracer(sink=self._sink, virtual_clock=lambda: self.virtual_time)
         self.events_emitted = 0
+        self.ingest_on_close = ingest_on_close
         self._closed = False
         if self.writer is not None:
             self._sink({"type": "meta", "label": label, "unix_time": time.time()})
@@ -208,6 +215,10 @@ class ObsSession:
             self.writer.close()
         if self.run_dir is not None:
             (self.run_dir / PROMETHEUS_FILENAME).write_text(self.prometheus_snapshot())
+        if self.ingest_on_close:
+            from repro.obs.store import record_session
+
+            record_session(self)
 
 
 # --------------------------------------------------------------- module state
@@ -217,13 +228,15 @@ _NULL = nullcontext()
 
 def configure(run_dir: str | Path | None = None, *, label: str = "",
               flush_every: int = 256, mode: str = "a",
-              events_filename: str | None = None) -> ObsSession:
+              events_filename: str | None = None,
+              ingest_on_close: bool = True) -> ObsSession:
     """Install a global session (closing any previous one) and return it."""
     global _session
     if _session is not None:
         _session.close()
     _session = ObsSession(run_dir, label=label, flush_every=flush_every, mode=mode,
-                          events_filename=events_filename)
+                          events_filename=events_filename,
+                          ingest_on_close=ingest_on_close)
     return _session
 
 

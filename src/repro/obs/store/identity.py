@@ -1,0 +1,72 @@
+"""Run identity: git revision, config fingerprints, and derived run ids.
+
+Every row in the results store hangs off a ``run_id`` that is a pure
+function of *(git_rev, config fingerprint, seed, wall-start)* — the same
+experiment re-ingested from the same execution maps onto the same id (so
+double-ingest is idempotent), while a fresh execution at a later
+wall-start appends a new trajectory point instead of overwriting history.
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+import json
+import os
+import subprocess
+from pathlib import Path
+
+from repro.utils.config import to_jsonable
+
+__all__ = [
+    "canonical_json",
+    "current_git_rev",
+    "fingerprint_config",
+    "make_run_id",
+]
+
+
+def canonical_json(obj) -> str:
+    """Stable JSON encoding: sorted keys, no whitespace, jsonable-coerced."""
+    return json.dumps(to_jsonable(obj), sort_keys=True, separators=(",", ":"))
+
+
+@functools.lru_cache(maxsize=1)
+def current_git_rev() -> str:
+    """The working tree's commit (short hash), ``AUTOMDT_GIT_REV``-overridable.
+
+    Falls back to ``"unknown"`` outside a git checkout (e.g. an installed
+    wheel) rather than failing — identity degrades, ingestion does not.
+    """
+    override = os.environ.get("AUTOMDT_GIT_REV")
+    if override:
+        return override
+    for cwd in (Path(__file__).resolve().parent, Path.cwd()):
+        try:
+            out = subprocess.run(
+                ["git", "rev-parse", "--short=12", "HEAD"],
+                cwd=cwd, capture_output=True, text=True, timeout=10.0,
+            )
+        except (OSError, subprocess.TimeoutExpired):
+            continue
+        if out.returncode == 0 and out.stdout.strip():
+            return out.stdout.strip()
+    return "unknown"
+
+
+def fingerprint_config(config) -> str:
+    """Short stable digest of a configuration mapping (or any jsonable)."""
+    return hashlib.sha256(canonical_json(config).encode()).hexdigest()[:16]
+
+
+def make_run_id(
+    git_rev: str, fingerprint: str, seed: int | None, started: float
+) -> str:
+    """Derive a run id from (git_rev, config fingerprint, seed, wall-start).
+
+    Wall-start is rounded to milliseconds so the id survives a float
+    round-trip through JSON.
+    """
+    seed_part = "none" if seed is None else str(int(seed))
+    text = f"{git_rev}|{fingerprint}|{seed_part}|{round(float(started), 3)}"
+    return hashlib.sha256(text.encode()).hexdigest()[:20]

@@ -214,8 +214,11 @@ def _worker_main(worker_id: int, fn: Callable, conn, result_fd: int,
         # (its buffered records belong to the parent), then open this
         # worker's own log file in the same run directory.
         obs.discard()
+        # ingest_on_close=False: the sweep's parent session is the one run
+        # the results store should see, not one row per pool worker.
         obs.configure(obs_dir, label=f"worker{worker_id}",
-                      events_filename=worker_log_name(worker_id))
+                      events_filename=worker_log_name(worker_id),
+                      ingest_on_close=False)
     else:
         obs.discard()
     try:

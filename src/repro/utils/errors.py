@@ -35,3 +35,11 @@ class RetryBudgetExhausted(ReproError):
 
 class BreakerTransitionError(ReproError):
     """A circuit breaker attempted an illegal state transition."""
+
+
+class StoreError(ReproError):
+    """The experiment results store is unusable or inconsistent."""
+
+
+class BenchSchemaError(StoreError):
+    """A BENCH_*.json report carries a missing or unsupported schema version."""

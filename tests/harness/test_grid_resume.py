@@ -1,0 +1,65 @@
+"""Resumable sweeps: a re-run of a completed grid skips every cell."""
+
+from repro.harness.grid import run_grid
+from repro.obs.store import ResultsStore
+
+
+def _stats_by_metric(aggregates):
+    return {
+        (name, metric): stat
+        for name, agg in aggregates.items()
+        for metric, stat in agg.stats.items()
+    }
+
+
+def test_rerun_skips_completed_cells_and_appends_nothing(tmp_path):
+    db = tmp_path / "results.db"
+
+    first = run_grid(["figure1"], [0, 1], store=db)
+    assert first.ok
+    assert first.skipped == []
+    store = ResultsStore(db)
+    assert store.counts()["runs"] == 2
+
+    second = run_grid(["figure1"], [0, 1], store=db)
+    assert second.ok
+    assert sorted(second.skipped) == [("figure1", 0), ("figure1", 1)]
+    # No new rows: the whole grid was served from the store.
+    assert store.counts()["runs"] == 2
+
+    # Aggregates rebuilt from stored metrics match the fresh run key-by-key.
+    assert _stats_by_metric(second.aggregates) == _stats_by_metric(first.aggregates)
+
+
+def test_partial_grid_only_runs_missing_cells(tmp_path):
+    db = tmp_path / "results.db"
+    run_grid(["figure1"], [0], store=db)
+    store = ResultsStore(db)
+    assert store.counts()["runs"] == 1
+
+    widened = run_grid(["figure1"], [0, 1, 2], store=db)
+    assert widened.ok
+    assert widened.skipped == [("figure1", 0)]
+    assert store.counts()["runs"] == 3
+    assert len(widened.aggregates["figure1"].runs) == 3
+
+
+def test_resume_false_recomputes_everything(tmp_path):
+    db = tmp_path / "results.db"
+    run_grid(["figure1"], [0], store=db)
+    store = ResultsStore(db)
+    assert store.counts()["runs"] == 1
+
+    again = run_grid(["figure1"], [0], store=db, resume=False)
+    assert again.ok
+    assert again.skipped == []
+    # The recomputed cell has a fresh wall-start, so it lands as a new row:
+    # the store stays append-only even for repeated cells.
+    assert store.counts()["runs"] == 2
+
+
+def test_grid_without_store_still_runs(tmp_path):
+    result = run_grid(["figure1"], [0])
+    assert result.ok
+    assert result.skipped == []
+    assert "figure1" in result.aggregates

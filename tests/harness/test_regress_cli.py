@@ -1,0 +1,135 @@
+"""``automdt regress``: cross-PR bench gating against the stored trajectory."""
+
+import json
+
+import pytest
+
+from repro.harness.cli import main
+from repro.obs.store import ResultsStore
+from repro.obs.store.regress import BOOL, HIGHER, INFO, LOWER, classify_key, run_regress
+from repro.utils.errors import BenchSchemaError
+
+
+def _baseline(db, suite="kernels", **values):
+    store = ResultsStore(db)
+    report = {"bench": suite, "schema": 1}
+    report.update(values)
+    store.ingest_bench(suite, report, git_rev="baseline", started=100.0)
+    return store
+
+
+def _current(tmp_path, suite="kernels", **values):
+    report = {"bench": suite, "schema": 1}
+    report.update(values)
+    path = tmp_path / f"BENCH_{suite}.json"
+    path.write_text(json.dumps(report) + "\n")
+    return path
+
+
+def test_classify_key_directions():
+    assert classify_key("crc32c.speedup") == HIGHER
+    assert classify_key("cache_speedup") == HIGHER
+    assert classify_key("overhead") == LOWER
+    assert classify_key("verify.overhead_fraction") == LOWER
+    assert classify_key("ok") == BOOL
+    assert classify_key("determinism.identical") == BOOL
+    assert classify_key("fairness.within_bound") == BOOL
+    assert classify_key("best_wall_s") == INFO
+    assert classify_key("verify_mb_per_s") == INFO
+
+
+def test_small_drift_within_threshold_passes(tmp_path):
+    db = tmp_path / "store.db"
+    _baseline(db, speedup=4.0, ok=True)
+    path = _current(tmp_path, speedup=3.9, ok=True)
+    assert main(["regress", str(path), "--store", str(db)]) == 0
+
+
+def test_large_regression_fails_with_nonzero_exit(tmp_path, capsys):
+    db = tmp_path / "store.db"
+    _baseline(db, speedup=4.0, ok=True)
+    path = _current(tmp_path, speedup=2.0, ok=True)
+    assert main(["regress", str(path), "--store", str(db)]) == 1
+    out = capsys.readouterr().out
+    assert "REGRESSION" in out and "speedup" in out
+
+
+def test_lower_better_keys_gate_increases(tmp_path):
+    db = tmp_path / "store.db"
+    _baseline(db, overhead=0.010)
+    worse = _current(tmp_path, overhead=0.020)
+    assert main(["regress", str(worse), "--store", str(db), "--no-ingest"]) == 1
+    better = _current(tmp_path, overhead=0.005)
+    assert main(["regress", str(better), "--store", str(db), "--no-ingest"]) == 0
+
+
+def test_boolean_gate_must_stay_true(tmp_path):
+    db = tmp_path / "store.db"
+    _baseline(db, ok=True)
+    path = _current(tmp_path, ok=False)
+    assert main(["regress", str(path), "--store", str(db)]) == 1
+
+
+def test_informational_keys_do_not_gate_by_default(tmp_path):
+    db = tmp_path / "store.db"
+    _baseline(db, best_wall_s=1.0)
+    path = _current(tmp_path, best_wall_s=3.0)  # 3x slower wall clock
+    assert main(["regress", str(path), "--store", str(db), "--no-ingest"]) == 0
+    # ...unless absolute gating is requested explicitly.
+    assert main(["regress", str(path), "--store", str(db), "--no-ingest",
+                 "--gate-absolute"]) == 1
+
+
+def test_threshold_is_configurable(tmp_path):
+    db = tmp_path / "store.db"
+    _baseline(db, speedup=4.0)
+    path = _current(tmp_path, speedup=3.9)  # -2.5%
+    assert main(["regress", str(path), "--store", str(db), "--no-ingest",
+                 "--threshold", "0.01"]) == 1
+
+
+def test_no_baseline_seeds_the_trajectory(tmp_path, capsys):
+    db = tmp_path / "store.db"
+    path = _current(tmp_path, speedup=4.0)
+    assert main(["regress", str(path), "--store", str(db)]) == 0
+    assert "no stored baseline" in capsys.readouterr().out
+    # The ingest seeded the trajectory: the next comparison has a baseline.
+    path2 = _current(tmp_path, speedup=2.0)
+    assert main(["regress", str(path2), "--store", str(db)]) == 1
+
+
+def test_regress_appends_trajectory_unless_no_ingest(tmp_path):
+    db = tmp_path / "store.db"
+    store = _baseline(db, speedup=4.0)
+    path = _current(tmp_path, speedup=4.2)
+    result = run_regress(store, [path], ingest=False)
+    assert result["ok"]
+    assert len(store.bench_trajectory("kernels", "speedup")) == 1
+    result = run_regress(store, [path], ingest=True)
+    assert result["ok"]
+    trajectory = store.bench_trajectory("kernels", "speedup")
+    assert [value for _, _, value in trajectory] == [4.0, 4.2]
+
+
+def test_regress_rejects_unknown_schema(tmp_path, capsys):
+    db = tmp_path / "store.db"
+    report = {"bench": "kernels", "schema": 7, "speedup": 4.0}
+    path = tmp_path / "BENCH_kernels.json"
+    path.write_text(json.dumps(report))
+    assert main(["regress", str(path), "--store", str(db)]) == 2
+    assert "BenchSchemaError" in capsys.readouterr().err
+    with pytest.raises(BenchSchemaError):
+        run_regress(ResultsStore(db), [path])
+
+
+def test_regress_json_output(tmp_path, capsys):
+    db = tmp_path / "store.db"
+    _baseline(db, speedup=4.0)
+    path = _current(tmp_path, speedup=3.9)
+    assert main(["regress", str(path), "--store", str(db), "--json",
+                 "--no-ingest"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["ok"] is True
+    assert payload["suites"]["kernels"]["status"] == "ok"
+    findings = payload["suites"]["kernels"]["findings"]
+    assert any(f["key"] == "speedup" and not f["regressed"] for f in findings)

@@ -1,0 +1,107 @@
+"""``automdt report``: every rendered number comes from store queries."""
+
+import json
+
+from repro.harness.cli import main
+from repro.obs.store import ResultsStore, RunRecord
+from repro.obs.store.report import build_report, split_policy_metric
+
+
+def _seed_store(db):
+    """Two seeds of a policy-matrix scenario plus an off-grid metric."""
+    store = ResultsStore(db)
+    for seed, (auto, marlin) in enumerate([(900.0, 700.0), (920.0, 720.0)]):
+        store.ingest(
+            RunRecord(
+                kind="experiment",
+                scenario="baselines_read",
+                seed=seed,
+                config={"experiment": "baselines_read", "v": 1},
+                started=100.0 + seed,
+                finished=101.0 + seed,
+                metrics={
+                    "automdt_throughput_mbps": auto,
+                    "marlin_throughput_mbps": marlin,
+                    "automdt_completion_s": 30.0 + seed,
+                    "monolithic_mean_threads": 38.0,
+                    "multivariate_gd_reach_90pct_s": 15.0,
+                    "unclassified_metric": 7.0,
+                },
+            )
+        )
+    return store
+
+
+def test_split_policy_metric_conventions():
+    assert split_policy_metric("automdt_throughput_mbps") == ("AutoMDT", "goodput (Mbps)")
+    assert split_policy_metric("marlin_completion_s") == ("Marlin", "completion (s)")
+    assert split_policy_metric("multivariate_gd_reach_90pct_s") == (
+        "gradient-descent", "ramp/recovery (s)",
+    )
+    assert split_policy_metric("monolithic_mean_threads") == ("monolithic", "mean threads")
+    assert split_policy_metric("automdt_mean_total_threads") == ("AutoMDT", "mean threads")
+    assert split_policy_metric("unrelated_metric") is None
+
+
+def test_build_report_aggregates_over_seeds(tmp_path):
+    store = _seed_store(tmp_path / "store.db")
+    report = build_report(store)
+    entry = report["scenarios"]["baselines_read"]
+    assert entry["seeds"] == [0, 1]
+    assert entry["runs"] == 2
+    goodput = entry["policies"]["AutoMDT"]["goodput (Mbps)"]
+    assert goodput["mean"] == 910.0
+    assert goodput["n"] == 2
+    assert entry["policies"]["Marlin"]["goodput (Mbps)"]["mean"] == 710.0
+    # Off-grid metrics land in the plain metrics section, not the table.
+    assert entry["metrics"]["unclassified_metric"]["mean"] == 7.0
+    assert "unclassified_metric" not in str(entry["policies"])
+
+
+def test_report_only_latest_revision_per_scenario(tmp_path):
+    store = _seed_store(tmp_path / "store.db")
+    store.ingest(
+        RunRecord(
+            kind="experiment", scenario="baselines_read", seed=0,
+            config={"experiment": "baselines_read", "v": 2},
+            git_rev="newrev", started=500.0, finished=501.0,
+            metrics={"automdt_throughput_mbps": 1000.0},
+        )
+    )
+    entry = build_report(store)["scenarios"]["baselines_read"]
+    assert entry["git_rev"] == "newrev"
+    assert entry["policies"]["AutoMDT"]["goodput (Mbps)"]["mean"] == 1000.0
+
+
+def test_report_cli_markdown_and_json(tmp_path, capsys):
+    db = tmp_path / "store.db"
+    _seed_store(db)
+
+    assert main(["report", "--store", str(db)]) == 0
+    out = capsys.readouterr().out
+    assert "| AutoMDT |" in out and "| Marlin |" in out
+    assert "910" in out and "710" in out  # means over the two seeds
+
+    out_path = tmp_path / "report.json"
+    assert main(["report", "--store", str(db), "--format", "json",
+                 "--out", str(out_path)]) == 0
+    payload = json.loads(out_path.read_text())
+    scenario = payload["scenarios"]["baselines_read"]
+    assert scenario["policies"]["AutoMDT"]["goodput (Mbps)"]["mean"] == 910.0
+
+
+def test_report_cli_missing_store_is_an_error(tmp_path, capsys):
+    assert main(["report", "--store", str(tmp_path / "absent.db")]) == 2
+    assert "no results store" in capsys.readouterr().err
+
+
+def test_report_scenario_filter(tmp_path, capsys):
+    db = tmp_path / "store.db"
+    store = _seed_store(db)
+    store.ingest(
+        RunRecord(kind="experiment", scenario="other", seed=0,
+                  started=1.0, finished=2.0, metrics={"automdt_completion_s": 5.0})
+    )
+    assert main(["report", "--store", str(db), "--scenario", "other"]) == 0
+    out = capsys.readouterr().out
+    assert "other" in out and "baselines_read" not in out

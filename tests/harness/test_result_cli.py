@@ -43,6 +43,7 @@ class TestRegistry:
             "table1", "training", "finetune",
             "k_sweep", "state_ablation", "monolithic", "sim2real", "filelevel",
             "online_drl", "parallelism",
+            "baselines_read", "baselines_network", "baselines_write",
             "faults_link_flap", "faults_storage_stall", "faults_receiver_restart",
             "faults_probe_dropout", "faults_report_loss", "faults_random",
             "integrity_corruption",

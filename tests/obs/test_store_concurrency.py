@@ -1,0 +1,104 @@
+"""Store concurrency and crash-safety: WAL appends from parallel workers.
+
+Two classes of hazard:
+
+* concurrent appenders — two ``ParallelMap`` workers ingesting into the
+  same database file at once must both land, with no lost or duplicated
+  rows (WAL + ``BEGIN IMMEDIATE`` serialise the writes);
+* torn writes — a process dying mid-ingest must leave previously
+  committed runs intact and the partial run completely absent (the whole
+  ingest is one transaction).
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.obs.store import ResultsStore, RunRecord
+from repro.parallel import ParallelMap
+
+RUNS_PER_WORKER = 8
+
+
+def _ingest_batch(item):
+    """Worker body: append RUNS_PER_WORKER runs to the shared database."""
+    db_path, worker = item
+    store = ResultsStore(db_path)
+    ids = []
+    for j in range(RUNS_PER_WORKER):
+        ids.append(
+            store.ingest(
+                RunRecord(
+                    kind="experiment",
+                    scenario=f"worker{worker}",
+                    seed=j,
+                    config={"worker": worker, "j": j},
+                    started=1000.0 * worker + j,
+                    finished=1000.0 * worker + j + 1,
+                    metrics={"value": float(j), "worker": float(worker)},
+                )
+            )
+        )
+    return ids
+
+
+def test_two_workers_append_concurrently(tmp_path):
+    db = str(tmp_path / "shared.db")
+    pool = ParallelMap(_ingest_batch, workers=2)
+    ids = pool.map_values([(db, 0), (db, 1)])
+
+    all_ids = [run_id for batch in ids for run_id in batch]
+    assert len(set(all_ids)) == 2 * RUNS_PER_WORKER
+
+    store = ResultsStore(db)
+    counts = store.counts()
+    assert counts["runs"] == 2 * RUNS_PER_WORKER
+    assert counts["metrics"] == 2 * RUNS_PER_WORKER * 2
+    for worker in (0, 1):
+        rows = store.runs(kind="experiment", scenario=f"worker{worker}")
+        assert len(rows) == RUNS_PER_WORKER
+        assert sorted(row["seed"] for row in rows) == list(range(RUNS_PER_WORKER))
+
+
+_CRASH_SCRIPT = """
+import os, sys
+from repro.obs.store import ResultsStore, RunRecord
+
+store = ResultsStore(sys.argv[1])
+store.ingest(RunRecord(kind="experiment", scenario="committed", seed=0,
+                       started=1.0, finished=2.0, metrics={"m": 1.0}))
+# Second ingest: open the transaction, write the run and a metric row,
+# then die before COMMIT — simulating a crash mid-ingest.
+conn = store.connection
+conn.execute("BEGIN IMMEDIATE")
+conn.execute(
+    "INSERT INTO runs VALUES ('torn','experiment','partial','rev',1,'fp','{}',3.0,4.0,'')"
+)
+conn.execute("INSERT INTO metrics VALUES ('torn','m',1.0,'{}')")
+os._exit(1)
+"""
+
+
+def test_crash_mid_ingest_leaves_partial_absent(tmp_path):
+    db = tmp_path / "crash.db"
+    src = Path(__file__).resolve().parents[2] / "src"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = f"{src}{os.pathsep}{env.get('PYTHONPATH', '')}"
+    proc = subprocess.run(
+        [sys.executable, "-c", _CRASH_SCRIPT, str(db)],
+        env=env, capture_output=True, text=True,
+    )
+    assert proc.returncode == 1, proc.stderr
+
+    store = ResultsStore(db)
+    rows = store.runs()
+    assert [row["scenario"] for row in rows] == ["committed"]
+    assert store.counts()["metrics"] == 1  # only the committed run's metric
+
+    # The store stays fully writable after the crashed writer.
+    store.ingest(
+        RunRecord(kind="experiment", scenario="after", seed=2,
+                  started=5.0, finished=6.0, metrics={"m": 2.0})
+    )
+    assert store.counts()["runs"] == 2
