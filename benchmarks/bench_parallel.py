@@ -16,13 +16,19 @@ repo root, like the other ``BENCH_*.json`` artifacts):
 * ``sim_hotpath`` — ``IONetworkSimulator.step_second`` with the rate
   cache on vs off over held thread triples (the training-loop access
   pattern), asserting throughput values are bit-identical.
+* ``fleet_steps`` — the fleet-vectorized ``BatchedSimulator`` stepping
+  1/16/64/256 transfers per call vs one scalar event loop, asserting
+  bit-identical outputs *and* a ≥5× transfer-steps/s speedup at batch
+  ≥ 64 (the one gated speed number: it measures vectorization, a code
+  property, not the host).
 
 Run standalone (what the CI ``bench-smoke`` job does)::
 
     PYTHONPATH=src python benchmarks/bench_parallel.py --quick
 
-Exits 1 if parallel results diverge from serial or the cached simulator
-changes any throughput value; speed numbers are reported, not gated —
+Exits 1 if parallel results diverge from serial, the cached simulator
+changes any throughput value, or the batched engine misses bit-identity
+or its speedup floor; other speed numbers are reported, not gated —
 they are hardware statements, not correctness ones.
 """
 
@@ -236,6 +242,93 @@ def bench_sim_hotpath(*, steps: int = 2000, held_triples: int = 8) -> dict:
     }
 
 
+def bench_fleet_steps(*, steps: int = 48, batches: tuple[int, ...] = (1, 16, 64, 256),
+                      check_steps: int = 12, min_speedup: float = 5.0) -> dict:
+    """Fleet-vectorized stepping: ``BatchedSimulator`` vs N scalar loops.
+
+    The regime is the paper's thread-throttled operating point (per-thread
+    bandwidth share above the stage throttle for every stage), where many
+    tenants' transfers run the same steady cadence — the fleet/population
+    shape the batched engine exists for.  ``fleet_steps_per_s`` counts
+    *transfer*-steps per wall second (batch × calls / wall); ``speedup``
+    is against one scalar ``IONetworkSimulator`` driven through the same
+    regime.  Gated: the largest batch ≥ 64 must clear ``min_speedup``,
+    and a lockstep sub-run must be bit-identical to the scalar oracle.
+    """
+    from repro.simulator.batch import BatchedSimulator
+    from repro.simulator.config import SimulatorConfig
+    from repro.simulator.core import IONetworkSimulator
+
+    config = SimulatorConfig(
+        tpt_read=100.0, tpt_network=100.0, tpt_write=100.0,
+        bandwidth_read=3000.0, bandwidth_network=2800.0, bandwidth_write=2600.0,
+        max_threads=26, label="bench-fleet",
+    )
+    caps = (config.sender_buffer_capacity, config.receiver_buffer_capacity)
+
+    def drive_batched(batch: int, n_steps: int) -> float:
+        rng = np.random.default_rng(7)
+        sim = BatchedSimulator(config, batch)
+        sim.step_second(rng.integers(20, 27, (batch, 3)))  # warm-up/alloc
+        t0 = time.perf_counter()
+        for step in range(n_steps):
+            if step % 32 == 0:
+                sim.reset(sender_usage=rng.uniform(0.2, 0.3, batch) * caps[0],
+                          receiver_usage=rng.uniform(0.2, 0.3, batch) * caps[1])
+            sim.step_second(rng.integers(20, 27, (batch, 3)))
+        return time.perf_counter() - t0
+
+    def drive_scalar(n_steps: int) -> float:
+        rng = np.random.default_rng(7)
+        sim = IONetworkSimulator(config, cache_rates=True)
+        sim.step_second(tuple(int(v) for v in rng.integers(20, 27, 3)))
+        t0 = time.perf_counter()
+        for step in range(n_steps):
+            if step % 32 == 0:
+                sim.reset(sender_usage=float(rng.uniform(0.2, 0.3)) * caps[0],
+                          receiver_usage=float(rng.uniform(0.2, 0.3)) * caps[1])
+            sim.step_second(tuple(int(v) for v in rng.integers(20, 27, 3)))
+        return time.perf_counter() - t0
+
+    scalar_steps = max(4 * steps, 128)
+    scalar_wall = drive_scalar(scalar_steps)
+    scalar_rate = scalar_steps / scalar_wall
+
+    arms = []
+    for batch in batches:
+        wall = drive_batched(batch, steps)
+        rate = batch * steps / wall
+        arms.append({
+            "batch": batch,
+            "wall_s": round(wall, 4),
+            "fleet_steps_per_s": round(rate, 1),
+            "speedup": round(rate / scalar_rate, 2),
+        })
+
+    # Lockstep identity sub-run: every column vs its own scalar oracle.
+    check_batch = 16
+    rng = np.random.default_rng(3)
+    batched = BatchedSimulator(config, check_batch)
+    scalars = [IONetworkSimulator(config, cache_rates=True) for _ in range(check_batch)]
+    identical = True
+    for _ in range(check_steps):
+        threads = rng.integers(20, 27, (check_batch, 3))
+        got = batched.step_second(threads)
+        for i, sim in enumerate(scalars):
+            want = sim.step_second(tuple(int(v) for v in threads[i]))
+            identical = identical and got.column(i) == want
+    gated = [a["speedup"] for a in arms if a["batch"] >= 64]
+    return {
+        "steps": steps,
+        "scalar_steps_per_s": round(scalar_rate, 1),
+        "arms": arms,
+        "outputs_identical": identical,
+        "min_speedup": min_speedup,
+        "best_speedup_batch64plus": max(gated) if gated else 0.0,
+        "meets_target": bool(gated and max(gated) >= min_speedup),
+    }
+
+
 # ------------------------------------------------------------------- report
 def run_bench(*, quick: bool = False, workers: int = 4,
               out: str | Path | None = None) -> dict:
@@ -265,9 +358,16 @@ def run_bench(*, quick: bool = False, workers: int = 4,
             workers=workers,
         ),
         "sim_hotpath": bench_sim_hotpath(steps=800 if quick else 2000),
+        "fleet_steps": bench_fleet_steps(steps=16 if quick else 48),
     }
     sweep_ok = sweep.get("status") == "skipped_single_core" or sweep["aggregates_identical"]
-    report["ok"] = bool(sweep_ok and report["sim_hotpath"]["throughput_identical"])
+    fleet = report["fleet_steps"]
+    report["ok"] = bool(
+        sweep_ok
+        and report["sim_hotpath"]["throughput_identical"]
+        and fleet["outputs_identical"]
+        and fleet["meets_target"]
+    )
     out = Path(out) if out is not None else REPO_ROOT / "BENCH_parallel.json"
     out.write_text(json.dumps(report, indent=2) + "\n")
     report["out"] = str(out)
@@ -299,7 +399,8 @@ def main(argv: list[str] | None = None) -> int:
     report = run_bench(quick=args.quick, workers=args.workers, out=args.out)
     print(json.dumps(report, indent=2))
     if not report["ok"]:
-        print("FAIL: parallel or cached results diverged from serial", file=sys.stderr)
+        print("FAIL: results diverged from serial or the batched engine "
+              "missed its identity/speedup gate", file=sys.stderr)
         return 1
     return 0
 

@@ -12,10 +12,19 @@ Members are independent, so the population fans out over
 :func:`repro.parallel.seeds.derive_seed`, a pure function of the root seed
 and the member index, which makes ``workers=K`` bit-identical to
 ``workers=1``.
+
+``batched=True`` selects a third, in-process execution mode: all members
+step one :class:`repro.core.batched_env.BatchedEnv` together, so the
+population's simulated seconds cost one fleet-vectorized
+``step_second`` call per step instead of K scalar event loops.  The
+batched path derives the same per-member seed streams and replays the
+same per-member call sequence as ``_train_member``, so its results are
+bit-identical to ``workers=1`` (and therefore to any worker count).
 """
 
 from __future__ import annotations
 
+import time
 from collections.abc import Sequence
 from dataclasses import dataclass
 
@@ -93,6 +102,149 @@ def _train_member(payload, seed: int) -> tuple[TrainingResult, float]:
     return result, eval_reward
 
 
+def _train_population_batched(
+    variants: Sequence[SimulatorConfig],
+    *,
+    root_seed: int,
+    training_config: TrainingConfig,
+    ppo_config: PPOConfig,
+    eval_episodes: int,
+) -> PopulationResult:
+    """All members training in lockstep on one fleet-vectorized simulator.
+
+    Replays ``_train_member``'s exact call sequence per member — same
+    derived seed streams, same per-episode act/store/update cadence, same
+    convergence bookkeeping — with the K scalar ``step_second`` loops
+    fused into one :class:`BatchedEnv` call per step.  Members that stop
+    early (converged + stagnant) keep their column idle: no further RNG
+    draws, no stored transitions.
+    """
+    from repro.core.batched_env import BatchedEnv
+
+    n = len(variants)
+    cfg = training_config
+    seeds = [derive_seed(root_seed, i) for i in range(n)]
+    env = BatchedEnv(variants, rngs=[derive_seed(s, 0) for s in seeds])
+    agents = [
+        PPOAgent(env.state_dim, env.action_dim, ppo_config, rng=derive_seed(s, 1))
+        for s in seeds
+    ]
+    r_max = float(cfg.steps_per_episode)
+    target = cfg.convergence_threshold * r_max
+
+    rewards: list[list[float]] = [[] for _ in range(n)]
+    best_reward = [-np.inf] * n
+    best_episode = [-1] * n
+    best_state = [agent.state_dict() for agent in agents]
+    stagnant = [0] * n
+    converged = [False] * n
+    convergence_episode: list[int | None] = [None] * n
+    episodes_run = [0] * n
+    total_steps = [0] * n
+    active = np.ones(n, dtype=bool)
+    started = time.perf_counter()
+
+    for agent in agents:
+        agent.memory.clear()
+    episode = 0
+    steps = min(cfg.steps_per_episode, env.episode_steps)
+    actions = np.zeros((n, 3))
+    while episode < cfg.max_episodes and active.any():
+        states = env.reset_all(mask=active)
+        episode_rewards = np.zeros(n)
+        member_actions: list = [None] * n
+        log_probs = [0.0] * n
+        for _ in range(steps):
+            for i in np.flatnonzero(active):
+                member_actions[i], log_probs[i] = agents[i].act(states[i])
+                actions[i] = member_actions[i]
+            next_states, step_rewards, _done, _info = env.step_all(actions)
+            for i in np.flatnonzero(active):
+                agents[i].memory.store(
+                    states[i], member_actions[i], log_probs[i], float(step_rewards[i])
+                )
+                total_steps[i] += 1
+            states = next_states
+            episode_rewards += step_rewards
+        for i in np.flatnonzero(active):
+            agents[i].memory.end_episode(agents[i].config.gamma)
+        if (episode + 1) % cfg.episodes_per_update == 0:
+            for i in np.flatnonzero(active):
+                agents[i].set_lr_progress(episode / cfg.max_episodes)
+                agents[i].update()
+                agents[i].memory.clear()
+        for i in np.flatnonzero(active):
+            episode_reward = float(episode_rewards[i])
+            rewards[i].append(episode_reward)
+            if episode_reward > best_reward[i]:
+                best_reward[i] = episode_reward
+                best_episode[i] = episode
+                best_state[i] = agents[i].state_dict()
+                stagnant[i] = 0
+            else:
+                stagnant[i] += 1
+            if convergence_episode[i] is None and best_reward[i] >= target:
+                convergence_episode[i] = episode
+            if best_reward[i] >= target and stagnant[i] >= cfg.stagnation_episodes:
+                converged[i] = True
+                episodes_run[i] = episode + 1
+                active[i] = False
+        episode += 1
+    wall = time.perf_counter() - started
+    for i in np.flatnonzero(active):
+        episodes_run[i] = episode
+        if best_reward[i] >= target:
+            converged[i] = True
+    env.simulator.export_telemetry()
+
+    results = [
+        TrainingResult(
+            episode_rewards=np.asarray(rewards[i]),
+            best_reward=float(best_reward[i]),
+            best_episode=best_episode[i],
+            converged=converged[i],
+            convergence_episode=convergence_episode[i],
+            episodes_run=episodes_run[i],
+            wall_seconds=wall,
+            best_state=best_state[i],
+            max_episode_reward=r_max,
+            steps_per_episode=cfg.steps_per_episode,
+            total_steps=total_steps[i],
+        )
+        for i in range(n)
+    ]
+
+    # Evaluation: best checkpoints, deterministic policy, batched columns.
+    eval_env = BatchedEnv(variants, rngs=[derive_seed(s, 2) for s in seeds])
+    for i, agent in enumerate(agents):
+        agent.load_state_dict(results[i].best_state)
+    totals = np.zeros(n)
+    for _ in range(int(eval_episodes)):
+        states = eval_env.reset_all()
+        for _ in range(eval_env.episode_steps):
+            for i in range(n):
+                actions[i], _lp = agents[i].act(states[i], deterministic=True)
+            states, step_rewards, done, _info = eval_env.step_all(actions)
+            totals += step_rewards
+            if done:
+                break
+    eval_rewards = totals / int(eval_episodes)
+    eval_env.simulator.export_telemetry()
+
+    members = [
+        PopulationMember(
+            index=i,
+            config=variants[i],
+            seed=seeds[i],
+            training=results[i],
+            eval_reward=float(eval_rewards[i]),
+        )
+        for i in range(n)
+    ]
+    best_index = int(np.asarray(eval_rewards).argmax())
+    return PopulationResult(members=members, best_index=best_index)
+
+
 def train_population(
     variants: Sequence[SimulatorConfig],
     *,
@@ -103,6 +255,7 @@ def train_population(
     workers: int = 1,
     timeout: float | None = None,
     retries: int = 0,
+    batched: bool = False,
 ) -> PopulationResult:
     """Train one agent per scenario variant and pick the best by evaluation.
 
@@ -110,11 +263,24 @@ def train_population(
     ``1`` = serial).  Any member failing (crash, timeout) raises
     :class:`repro.parallel.ParallelMapError` — a population with silently
     missing members would bias the "best" selection.
+
+    ``batched=True`` runs the whole population in-process on one
+    fleet-vectorized simulator (``workers``/``timeout``/``retries`` do not
+    apply) — bit-identical results, one ``step_second`` call per
+    population step.
     """
     if not variants:
         raise ValueError("need at least one scenario variant")
     training_config = training_config or TrainingConfig()
     ppo_config = ppo_config or PPOConfig()
+    if batched:
+        return _train_population_batched(
+            list(variants),
+            root_seed=root_seed,
+            training_config=training_config,
+            ppo_config=ppo_config,
+            eval_episodes=eval_episodes,
+        )
 
     payloads = [
         (i, config, training_config, ppo_config, int(eval_episodes))

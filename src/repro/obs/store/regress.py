@@ -31,6 +31,7 @@ __all__ = [
     "load_bench_file",
     "render_regress",
     "run_regress",
+    "skipped_prefixes",
 ]
 
 HIGHER = "higher_better"
@@ -46,6 +47,29 @@ _BOOL_SUFFIXES = (
     "capacity_respected", "throughput_identical", "equivalent", "bit_identical",
 )
 _INFO_MARKERS = ("wall", "mb_per_s", "mbps", "seconds", "_s", "ms_per_round")
+
+
+def skipped_prefixes(report: Mapping) -> tuple[str, ...]:
+    """Dotted paths of report legs marked ``status: skipped_*``.
+
+    Benches record honestly-skipped legs (e.g. the parallel sweep on a
+    single-core runner) as ``{"status": "skipped_<reason>", ...}``.  Any
+    numeric key under such a leg describes the skip, not the code under
+    test, so the comparison must not gate it against the trajectory.
+    """
+    found: list[str] = []
+
+    def walk(node: Mapping, path: str) -> None:
+        status = node.get("status")
+        if path and isinstance(status, str) and status.startswith("skipped_"):
+            found.append(path)
+            return
+        for name, value in node.items():
+            if isinstance(value, Mapping):
+                walk(value, f"{path}.{name}" if path else str(name))
+
+    walk(report, "")
+    return tuple(found)
 
 
 def classify_key(key: str) -> str:
@@ -115,12 +139,21 @@ def compare_suite(
     *,
     threshold: float,
     gate_informational: bool = False,
+    info_prefixes: Sequence[str] = (),
 ) -> list[Finding]:
-    """Per-key findings for one suite (keys present on both sides)."""
+    """Per-key findings for one suite (keys present on both sides).
+
+    Keys under any of ``info_prefixes`` (dotted leg paths, typically from
+    :func:`skipped_prefixes`) are demoted to informational regardless of
+    their suffix — a skipped leg's numbers carry no gate-worthy signal.
+    """
     findings: list[Finding] = []
     for key in sorted(set(baseline) & set(current)):
         base, cur = float(baseline[key]), float(current[key])
-        direction = classify_key(key)
+        if any(key == p or key.startswith(p + ".") for p in info_prefixes):
+            direction = INFO
+        else:
+            direction = classify_key(key)
         change = (cur - base) / abs(base) if base != 0 else (0.0 if cur == base else 1.0)
         if direction == BOOL:
             regressed = base >= 1.0 and cur < 1.0
@@ -163,6 +196,9 @@ def run_regress(
             continue
         point = store.latest_bench(suite)
         entry: dict = {"path": str(path), "keys": len(flat)}
+        skipped = skipped_prefixes(report)
+        if skipped:
+            entry["skipped_legs"] = list(skipped)
         if point is None:
             entry["status"] = "no_baseline"
             entry["findings"] = []
@@ -170,6 +206,7 @@ def run_regress(
             findings = compare_suite(
                 suite, point.values, flat,
                 threshold=threshold, gate_informational=gate_informational,
+                info_prefixes=skipped,
             )
             regressions = [f for f in findings if f.regressed]
             entry["status"] = "regressed" if regressions else "ok"
@@ -198,6 +235,8 @@ def render_regress(result: Mapping) -> str:
             f"{suite}: {status.upper()} — {len(gated)} gated key(s) vs "
             f"baseline {entry['baseline_rev']}"
         )
+        for leg in entry.get("skipped_legs", ()):
+            lines.append(f"  leg {leg} skipped — keys informational")
         for finding in regressed:
             lines.append(f"  REGRESSION {finding.describe()}")
         if not regressed:

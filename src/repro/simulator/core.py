@@ -175,7 +175,10 @@ class IONetworkSimulator:
                     init_queue.append((0.0, len(init_queue), stage))
             if self.cache_rates:
                 if len(self._rate_cache) >= self._RATE_CACHE_MAX:
-                    self._rate_cache.clear()
+                    # FIFO eviction: drop the oldest triple (dict insertion
+                    # order) so a sweep of cold triples cannot wipe the
+                    # whole cache and with it the hot working set.
+                    del self._rate_cache[next(iter(self._rate_cache))]
                 self._rate_cache[n] = (rates, chunks, init_queue)
         else:
             rates, chunks, init_queue = cached

@@ -47,6 +47,31 @@ def scenario_from_profile(
     )
 
 
+def simulator_config_from_testbed(testbed, **overrides) -> SimulatorConfig:
+    """Simulator config matching an emulator testbed's measured profile.
+
+    Maps a :class:`repro.emulator.testbed.TestbedConfig`'s per-thread
+    throughputs and aggregate ceilings onto the Algorithm-1 simulator —
+    the same bridge the exploration phase provides on a real deployment,
+    here taken from the testbed's ground truth.  Keyword ``overrides``
+    pass through to :class:`SimulatorConfig` (e.g. ``duration``).
+    """
+    fields = dict(
+        tpt_read=testbed.source.tpt,
+        tpt_network=testbed.network.tpt,
+        tpt_write=testbed.destination.tpt,
+        bandwidth_read=testbed.source.bandwidth,
+        bandwidth_network=testbed.network.capacity,
+        bandwidth_write=testbed.destination.bandwidth,
+        sender_buffer_capacity=testbed.sender_buffer_capacity,
+        receiver_buffer_capacity=testbed.receiver_buffer_capacity,
+        max_threads=testbed.max_threads,
+        label=testbed.label,
+    )
+    fields.update(overrides)
+    return SimulatorConfig(**fields)
+
+
 def sample_scenario(
     rng: int | np.random.Generator | None = None,
     *,

@@ -1,0 +1,98 @@
+"""Batched population training must be bit-identical to the scalar path.
+
+``train_population(batched=True)`` fuses every member's simulator into one
+:class:`BatchedEnv`, but derives the same per-member seed streams and
+replays the same act/store/update cadence as ``_train_member``.  These
+tests pin that contract: every reward, checkpoint metric and evaluation
+score must match ``workers=1`` exactly — ``==`` on floats, no tolerance.
+"""
+
+import numpy as np
+
+from repro.core.batched_env import BatchedEnv
+from repro.core.env import SimulatorEnv
+from repro.core.population import train_population
+from repro.core.ppo import PPOConfig
+from repro.core.training import TrainingConfig
+from repro.parallel import derive_seed
+from repro.simulator.config import SimulatorConfig
+
+
+def _variant(scale: float) -> SimulatorConfig:
+    return SimulatorConfig(
+        tpt_read=80.0 * scale,
+        tpt_network=160.0,
+        tpt_write=200.0,
+        max_threads=8,
+        label=f"variant-{scale:g}",
+    )
+
+
+def test_batched_env_columns_match_scalar_envs():
+    """Each BatchedEnv column replays SimulatorEnv's exact RNG + state math."""
+    configs = [_variant(1.0), _variant(0.8), _variant(1.3)]
+    seeds = [101, 202, 303]
+    scalars = [
+        SimulatorEnv(c, rng=np.random.default_rng(s))
+        for c, s in zip(configs, seeds)
+    ]
+    batched = BatchedEnv(configs, rngs=[np.random.default_rng(s) for s in seeds])
+    rng = np.random.default_rng(7)
+    for _episode in range(3):
+        states = batched.reset_all()
+        for i, env in enumerate(scalars):
+            assert np.array_equal(states[i], env.reset())
+        for _step in range(batched.episode_steps):
+            actions = rng.uniform(0.0, 1.0, (len(configs), 3))
+            states, rewards, done, _info = batched.step_all(actions)
+            for i, env in enumerate(scalars):
+                want_state, want_reward, want_done, _ = env.step(actions[i])
+                assert np.array_equal(states[i], want_state), f"column {i}"
+                assert rewards[i] == want_reward
+                assert done == want_done
+
+
+def test_batched_env_masked_reset_skips_finished_columns():
+    """Unselected columns draw nothing: their RNG streams stay untouched."""
+    configs = [_variant(1.0), _variant(1.0)]
+    batched = BatchedEnv(configs, rngs=[5, 6])
+    batched.reset_all()
+    # Column 1 "finishes": only column 0 resets; column 1's stream must be
+    # exactly where a scalar env's stream would be after one reset.
+    batched.reset_all(mask=np.array([True, False]))
+    probe = SimulatorEnv(configs[1], rng=6)
+    probe.reset()
+    assert batched.rngs[1].integers(0, 1 << 30) == probe.rng.integers(0, 1 << 30)
+
+
+def test_population_batched_matches_serial():
+    """Full pipeline: rewards, checkpoints, eval scores, winner — all equal."""
+    variants = [_variant(1.0), _variant(0.7), _variant(1.2)]
+    training = TrainingConfig(
+        max_episodes=6, steps_per_episode=5, episodes_per_update=2,
+        stagnation_episodes=2, convergence_threshold=0.5,
+    )
+    ppo = PPOConfig(hidden_dim=16, policy_blocks=1, value_blocks=1, update_epochs=2)
+    kwargs = dict(
+        root_seed=42, training_config=training, ppo_config=ppo, eval_episodes=2
+    )
+    serial = train_population(variants, workers=1, **kwargs)
+    batched = train_population(variants, batched=True, **kwargs)
+
+    assert batched.best_index == serial.best_index
+    assert batched.eval_rewards() == serial.eval_rewards()
+    for got, want in zip(batched.members, serial.members):
+        assert got.index == want.index
+        assert got.seed == want.seed == derive_seed(42, want.index)
+        assert got.eval_reward == want.eval_reward
+        t_got, t_want = got.training, want.training
+        assert np.array_equal(t_got.episode_rewards, t_want.episode_rewards)
+        assert t_got.best_reward == t_want.best_reward
+        assert t_got.best_episode == t_want.best_episode
+        assert t_got.converged == t_want.converged
+        assert t_got.convergence_episode == t_want.convergence_episode
+        assert t_got.episodes_run == t_want.episodes_run
+        assert t_got.total_steps == t_want.total_steps
+        for key in ("policy", "value"):
+            for k, a in t_want.best_state[key].items():
+                assert np.array_equal(t_got.best_state[key][k], a), (key, k)

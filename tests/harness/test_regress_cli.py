@@ -111,6 +111,44 @@ def test_regress_appends_trajectory_unless_no_ingest(tmp_path):
     assert [value for _, _, value in trajectory] == [4.0, 4.2]
 
 
+def test_skipped_legs_are_informational(tmp_path, capsys):
+    """``status: skipped_*`` legs never gate, whatever their key suffixes.
+
+    A single-core runner records the sweep leg as skipped; gated-looking
+    keys under that leg (a stale ``speedup``, an ``ok`` bool) must be
+    demoted to informational instead of compared against the trajectory.
+    """
+    db = tmp_path / "store.db"
+    _baseline(db, sweep={"speedup": 4.0, "ok": True, "cpu_count": 8})
+    path = _current(
+        tmp_path,
+        sweep={
+            "status": "skipped_single_core",
+            "speedup": 0.8,
+            "ok": False,
+            "cpu_count": 1,
+        },
+    )
+    assert main(["regress", str(path), "--store", str(db), "--no-ingest"]) == 0
+    assert "sweep skipped" in capsys.readouterr().out
+    # The same values without the skip marker regress as usual.
+    bad = _current(tmp_path, sweep={"speedup": 0.8, "ok": False, "cpu_count": 1})
+    assert main(["regress", str(bad), "--store", str(db), "--no-ingest"]) == 1
+
+
+def test_skipped_prefixes_walks_nested_legs():
+    from repro.obs.store.regress import skipped_prefixes
+
+    report = {
+        "bench": "parallel",
+        "schema": 1,
+        "sweep": {"status": "skipped_single_core"},
+        "nested": {"inner": {"status": "skipped_no_gpu", "x": 1.0}},
+        "fine": {"status": "ok", "speedup": 2.0},
+    }
+    assert skipped_prefixes(report) == ("sweep", "nested.inner")
+
+
 def test_regress_rejects_unknown_schema(tmp_path, capsys):
     db = tmp_path / "store.db"
     report = {"bench": "kernels", "schema": 7, "speedup": 4.0}

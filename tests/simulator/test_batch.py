@@ -1,0 +1,117 @@
+"""BatchedSimulator unit behaviour: API, reset masks, telemetry discipline."""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.simulator import BatchedSimulator, SimulatorConfig
+from repro.utils.errors import SimulationError
+
+
+def _config(**kw):
+    kw.setdefault("tpt_read", 80.0)
+    kw.setdefault("tpt_network", 160.0)
+    kw.setdefault("tpt_write", 200.0)
+    kw.setdefault("max_threads", 10)
+    return SimulatorConfig(**kw)
+
+
+class TestConstruction:
+    def test_single_config_replicated(self):
+        sim = BatchedSimulator(_config(), 5)
+        assert sim.batch == 5
+        assert len(sim.configs) == 5
+
+    def test_empty_config_list_rejected(self):
+        with pytest.raises(SimulationError):
+            BatchedSimulator([])
+
+    def test_batch_mismatch_rejected(self):
+        with pytest.raises(SimulationError):
+            BatchedSimulator([_config(), _config()], 3)
+
+    def test_bad_threads_shape_rejected(self):
+        sim = BatchedSimulator(_config(), 2)
+        with pytest.raises(SimulationError):
+            sim.step_second(np.ones((3, 3)))
+
+    def test_out_of_range_usage_rejected(self):
+        config = _config()
+        with pytest.raises(SimulationError):
+            BatchedSimulator(config, 2, sender_usage=[0.0, -1.0])
+        sim = BatchedSimulator(config, 2)
+        with pytest.raises(SimulationError):
+            sim.reset(receiver_usage=config.receiver_buffer_capacity * 2.0)
+
+
+class TestStepping:
+    def test_metrics_shapes_and_elapsed(self):
+        sim = BatchedSimulator(_config(), 4)
+        metrics = sim.step_second(np.full((4, 3), 5))
+        assert len(metrics) == 4
+        assert metrics.throughputs.shape == (4, 3)
+        assert metrics.threads.shape == (4, 3)
+        assert np.all(sim.elapsed == 1.0)
+        assert sim.last_blocked_retries.shape == (4,)
+        assert np.all(sim.last_queue_peak == 15)
+
+    def test_identical_columns_march_identically(self):
+        sim = BatchedSimulator(_config(), 3)
+        metrics = sim.step_second(np.full((3, 3), 4))
+        for field in ("throughput_read", "throughput_network", "throughput_write",
+                      "sender_usage", "receiver_usage"):
+            column = getattr(metrics, field)
+            assert column[0] == column[1] == column[2]
+
+    def test_masked_reset_touches_only_selected_columns(self):
+        sim = BatchedSimulator(_config(), 3)
+        sim.step_second(np.full((3, 3), 6))
+        before_snd = sim.sender_usage.copy()
+        before_rcv = sim.receiver_usage.copy()
+        mask = np.array([True, False, False])
+        sim.reset(sender_usage=1234.0, receiver_usage=567.0, mask=mask)
+        assert sim.sender_usage[0] == 1234.0 and sim.receiver_usage[0] == 567.0
+        assert sim.elapsed[0] == 0.0
+        assert np.all(sim.sender_usage[1:] == before_snd[1:])
+        assert np.all(sim.receiver_usage[1:] == before_rcv[1:])
+        assert np.all(sim.elapsed[1:] == 1.0)
+
+
+class TestTelemetry:
+    def test_hot_loop_makes_no_session_lookups(self, monkeypatch):
+        """Obs-off stepping must never consult the obs session registry."""
+        import repro.simulator.batch as batch_module
+
+        calls = []
+
+        def spy_active():
+            calls.append(1)
+            return None
+
+        monkeypatch.setattr(batch_module.obs, "active", spy_active)
+        sim = BatchedSimulator(_config(), 4)
+        for _ in range(3):
+            sim.step_second(np.full((4, 3), 5))
+        assert calls == []  # zero lookups across construction + stepping
+        assert sim.export_telemetry() is False
+        assert calls == [1]  # the one explicit end-of-run export call
+
+    def test_export_telemetry_flushes_counters(self, tmp_path):
+        with obs.session(tmp_path) as sess:
+            sim = BatchedSimulator(_config(), 8)
+            sim.step_second(np.full((8, 3), 5))
+            sim.step_second(np.full((8, 3), 7))
+            assert sim.export_telemetry() is True
+            registry = sess.registry
+            assert registry.counter("sim/batch_steps").value == 2.0
+            assert registry.counter("sim/batch_size").value == 16.0
+            assert registry.counter("sim/batch_rounds").value > 0.0
+            assert registry.counter("sim/batch_events").value > 0.0
+        # Export drained the accumulators: a second export is a no-op.
+        with obs.session(tmp_path / "second") as sess:
+            assert sim.export_telemetry() is False
+
+    def test_export_without_session_is_noop(self):
+        sim = BatchedSimulator(_config(), 2)
+        sim.step_second(np.full((2, 3), 3))
+        assert sim.export_telemetry() is False

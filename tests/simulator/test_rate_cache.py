@@ -68,3 +68,28 @@ class TestRateCacheEquivalence:
         plain = IONetworkSimulator(_config(), cache_rates=False)
         replay = [plain.step_second((n, n, n)).throughputs for n in range(1, 11)]
         assert results == replay
+
+    def test_eviction_is_fifo_not_clear(self):
+        """Overflow drops only the oldest entry, keeping recent hot triples.
+
+        Regression test for the original behaviour, where hitting the cap
+        ``clear()``-ed the whole cache: a sweep of cold triples would then
+        evict the hot working set inserted just before it.
+        """
+        sim = IONetworkSimulator(_config(), cache_rates=True)
+        cap = 6
+        sim._RATE_CACHE_MAX = cap
+        # Fill to one below the cap, ending with the "hot" triple.
+        for n in range(1, cap - 1):
+            sim.step_second((n, n, n))
+        hot = (20, 20, 20)
+        sim.step_second(hot)
+        assert len(sim._rate_cache) == cap - 1
+        # Sweep several cold triples past the cap.
+        for n in range(cap, cap + 4):
+            sim.step_second((n, n, n))
+        # The hot triple survived; the cache stayed at the cap; only the
+        # oldest entries were dropped, in insertion order.
+        assert hot in sim._rate_cache
+        assert len(sim._rate_cache) == cap
+        assert (1, 1, 1) not in sim._rate_cache
