@@ -1,0 +1,97 @@
+"""Bounded residual corrector: small thread-count deltas on a frozen policy.
+
+The hybrid-RL literature this issue draws on (offline policy + online
+correction) keeps the online part deliberately tiny: the frozen policy
+stays the driver and the corrector only adds a *residual* — a per-stage
+thread delta — bounded by the :class:`~repro.adapt.envelope.SafetyEnvelope`
+and vetted by shadow evaluation before it is ever applied.
+
+The search is a deterministic coordinate hill-climb over the residual cube
+``[-max_residual, +max_residual]³``, scored against the shadow model's
+utility (:meth:`repro.adapt.shadow.ShadowEvaluator.score`).  No RNG: the
+same window and base triple always produce the same residual, which is what
+makes same-seed soak fingerprints reproducible.
+"""
+
+from __future__ import annotations
+
+from repro.utils.config import require_positive
+
+__all__ = ["ResidualCorrector"]
+
+
+class ResidualCorrector:
+    """Deterministic bounded residual search over thread triples."""
+
+    def __init__(self, *, max_residual: int = 8, max_rounds: int = 12) -> None:
+        require_positive(max_residual, "max_residual")
+        require_positive(max_rounds, "max_rounds")
+        self.max_residual = int(max_residual)
+        self.max_rounds = int(max_rounds)
+        self.residual: tuple[int, int, int] = (0, 0, 0)
+        self.armed = False
+
+    def search(
+        self,
+        evaluator,
+        model,
+        base: tuple[int, int, int],
+        envelope,
+    ) -> tuple[tuple[int, int, int], float, float]:
+        """Best residual for ``base`` under ``model``; returns (residual, base_score, best_score).
+
+        Coordinate hill-climb: repeatedly try ±1 on each stage's residual,
+        keep any strictly-better move, stop when a full round improves
+        nothing.  Candidates outside the envelope's hard rails are skipped
+        (the per-interval delta cap is enforced later at apply time —
+        promotion walks there over a few intervals).
+        """
+        base_score = evaluator.score(model, base)
+        best = (0, 0, 0)
+        best_score = base_score
+
+        def triple_for(residual: tuple[int, int, int]) -> tuple[int, int, int] | None:
+            triple = tuple(base[i] + residual[i] for i in range(3))
+            for i in range(3):
+                if not envelope.min_threads[i] <= triple[i] <= envelope.max_threads[i]:
+                    return None
+            return (triple[0], triple[1], triple[2])
+
+        for _ in range(self.max_rounds):
+            improved = False
+            for stage in range(3):
+                for step in (1, -1):
+                    candidate = list(best)
+                    candidate[stage] += step
+                    if abs(candidate[stage]) > self.max_residual:
+                        continue
+                    residual = (candidate[0], candidate[1], candidate[2])
+                    triple = triple_for(residual)
+                    if triple is None:
+                        continue
+                    score = evaluator.score(model, triple)
+                    if score > best_score:
+                        best, best_score, improved = residual, score, True
+            if not improved:
+                break
+        return best, base_score, best_score
+
+    def arm(self, residual: tuple[int, int, int]) -> None:
+        """Start applying ``residual`` (after shadow promotion)."""
+        self.residual = (int(residual[0]), int(residual[1]), int(residual[2]))
+        self.armed = True
+
+    def disarm(self) -> None:
+        """Zero the residual immediately (rollback or regime re-baseline)."""
+        self.residual = (0, 0, 0)
+        self.armed = False
+
+    def apply(self, base: tuple[int, int, int]) -> tuple[int, int, int]:
+        """Base proposal plus the armed residual (identity when disarmed)."""
+        if not self.armed:
+            return base
+        return (
+            base[0] + self.residual[0],
+            base[1] + self.residual[1],
+            base[2] + self.residual[2],
+        )

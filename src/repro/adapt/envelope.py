@@ -1,0 +1,80 @@
+"""Safety envelope clamping every adaptive concurrency move.
+
+The corrector (:class:`repro.adapt.corrector.ResidualCorrector`) proposes
+residual thread deltas on top of the frozen policy; the envelope is the
+hard boundary those proposals can never cross:
+
+* **per-interval delta cap** — no stage's thread count may move by more
+  than ``max_delta_per_interval`` between consecutive proposals (WAN
+  transfers punish thrash: see the over-concurrency degradation knee);
+* **hard floors and ceilings** — every stage stays in
+  ``[min_threads, max_threads]``, with the ceiling taken from the testbed's
+  configured limits via :meth:`SafetyEnvelope.from_testbed_config`.
+
+Every clamp is counted per stage so incident reports can show how often the
+corrector leaned on the rails.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.config import require_positive
+
+__all__ = ["SafetyEnvelope"]
+
+_STAGES = ("read", "network", "write")
+
+
+@dataclass(frozen=True)
+class SafetyEnvelope:
+    """Hard limits on adaptive concurrency moves."""
+
+    max_threads: tuple[int, int, int] = (30, 30, 30)
+    min_threads: tuple[int, int, int] = (1, 1, 1)
+    max_delta_per_interval: int = 2
+
+    def __post_init__(self) -> None:
+        require_positive(self.max_delta_per_interval, "max_delta_per_interval")
+        for lo, hi in zip(self.min_threads, self.max_threads):
+            if lo < 1:
+                raise ValueError(f"min_threads must be >= 1, got {self.min_threads}")
+            if hi < lo:
+                raise ValueError(
+                    f"max_threads {self.max_threads} below min_threads {self.min_threads}"
+                )
+
+    @classmethod
+    def from_testbed_config(
+        cls, testbed_config, *, max_delta_per_interval: int = 2
+    ) -> SafetyEnvelope:
+        """Derive ceilings from a :class:`~repro.emulator.testbed.TestbedConfig`."""
+        limit = int(getattr(testbed_config, "max_threads", 30))
+        return cls(
+            max_threads=(limit, limit, limit),
+            max_delta_per_interval=max_delta_per_interval,
+        )
+
+    def clamp(
+        self,
+        proposal: tuple[int, int, int],
+        previous: tuple[int, int, int] | None,
+        counts: dict[str, int] | None = None,
+    ) -> tuple[int, int, int]:
+        """Clamp ``proposal`` against the rails and the last applied triple.
+
+        ``counts`` (stage name → clamp count) is incremented in place for
+        each stage whose proposal had to be altered.
+        """
+        clamped = []
+        for i, stage in enumerate(_STAGES):
+            value = int(proposal[i])
+            if previous is not None:
+                lo_step = previous[i] - self.max_delta_per_interval
+                hi_step = previous[i] + self.max_delta_per_interval
+                value = min(max(value, lo_step), hi_step)
+            value = min(max(value, self.min_threads[i]), self.max_threads[i])
+            if counts is not None and value != int(proposal[i]):
+                counts[stage] = counts.get(stage, 0) + 1
+            clamped.append(value)
+        return (clamped[0], clamped[1], clamped[2])

@@ -45,6 +45,22 @@ class FinetuneComparison:
         return self.tuned_mean_reward / self.base_mean_reward - 1.0
 
 
+def promote_if_better(
+    incumbent_score: float, candidate_score: float, *, margin: float = 0.0
+) -> bool:
+    """§V-C deployment gate: promote the candidate only if it beats the incumbent.
+
+    ``margin`` is a fractional hurdle on the incumbent's score magnitude — a
+    candidate must win by more than ``|incumbent| · margin`` to displace a
+    proven policy (0.0 reproduces the paper's plain comparison).  Shared by
+    offline fine-tuning below and the online shadow evaluator
+    (:class:`repro.adapt.shadow.ShadowEvaluator`).
+    """
+    if margin < 0.0:
+        raise ValueError(f"margin must be non-negative, got {margin}")
+    return candidate_score >= incumbent_score + abs(incumbent_score) * margin
+
+
 def evaluate_policy(
     agent: PPOAgent, env: TestbedEnv, *, episodes: int = 10, deterministic: bool = True
 ) -> tuple[float, float]:
@@ -121,7 +137,7 @@ def _finetune(
     # least as well as the incumbent offline model.
     agent.load_state_dict(result.best_state)
     tuned_reward, tuned_concurrency = evaluate_policy(agent, env, episodes=eval_episodes)
-    if tuned_reward < base_reward:
+    if not promote_if_better(base_reward, tuned_reward):
         agent.load_state_dict(base_snapshot)
         tuned_reward, tuned_concurrency = evaluate_policy(agent, env, episodes=eval_episodes)
     return FinetuneComparison(

@@ -14,6 +14,7 @@ sim-to-real gap.
 from repro.emulator.buffers import StagingBuffer
 from repro.emulator.calibration import testbed_for_optimal
 from repro.emulator.faults import (
+    BandwidthRamp,
     DataCorruption,
     FaultSchedule,
     FaultWindow,
@@ -22,11 +23,12 @@ from repro.emulator.faults import (
     ReceiverRestart,
     ReportLoss,
     SilentTruncation,
+    StepChange,
     StorageStall,
     TornWrite,
 )
 from repro.emulator.network import NetworkConfig, NetworkPath
-from repro.emulator.noise import BackgroundTraffic, MultiplicativeNoise
+from repro.emulator.noise import BackgroundTraffic, LinearDrift, MultiplicativeNoise
 from repro.emulator.presets import (
     cloudlab_1g,
     fabric_brist_indi,
@@ -41,6 +43,7 @@ from repro.emulator.testbed import StageFlows, Testbed, TestbedConfig
 
 __all__ = [
     "StagingBuffer",
+    "BandwidthRamp",
     "DataCorruption",
     "FaultSchedule",
     "FaultWindow",
@@ -49,11 +52,13 @@ __all__ = [
     "ReceiverRestart",
     "ReportLoss",
     "SilentTruncation",
+    "StepChange",
     "StorageStall",
     "TornWrite",
     "NetworkConfig",
     "NetworkPath",
     "BackgroundTraffic",
+    "LinearDrift",
     "MultiplicativeNoise",
     "StorageConfig",
     "StorageDevice",

@@ -24,6 +24,11 @@ Fault classes
   (counter scrape failures), exercising controller input sanitation.
 * :class:`ReportLoss` — the receiver's RPC buffer report is dropped for a
   window; the sender keeps acting on the last report it received.
+* :class:`BandwidthRamp` / :class:`StepChange` — *condition drift*: a
+  stage's throughput ramps (or jumps) to a new persistent level — rising
+  RTT, a re-route, a new throttle.  Not an outage: the data plane keeps
+  flowing at the new operating point, which is exactly the regime the
+  :mod:`repro.adapt` drift detectors and bounded corrector target.
 
 Data-plane faults (consumed by :mod:`repro.transfer.integrity`, which maps
 byte flows onto checksummed chunks) corrupt *content* without changing any
@@ -176,6 +181,77 @@ class SilentTruncation:
         require_positive(self.chunks, "chunks")
 
 
+_DRIFT_STAGES = ("read", "network", "write")
+
+
+@dataclass(frozen=True)
+class BandwidthRamp(FaultWindow):
+    """Slow condition drift: a stage's throughput ramps to ``to_scale``.
+
+    Models the WAN drift the adaptation layer (:mod:`repro.adapt`) must
+    survive: over ``[start, end)`` the stage's rate multiplier moves
+    *linearly* from 1.0 to ``to_scale``; with ``hold`` (the default) the
+    drifted level persists after the window — a new operating point, not an
+    outage.  ``to_scale`` may also be > 1 (conditions improving).
+
+    ``per_stream=True`` (default) scales the stage's *per-stream* throughput
+    before the capacity cap — the shape of a rising RTT on a TCP path
+    (per-stream goodput ~ 1/RTT), where opening more streams can win the
+    rate back.  ``per_stream=False`` scales the stage's *aggregate* output
+    instead (capacity loss), which no amount of extra concurrency recovers.
+    """
+
+    to_scale: float = 0.5
+    stage: str = "network"
+    hold: bool = True
+    per_stream: bool = True
+
+    kind: ClassVar[str] = "bandwidth_ramp"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        require_positive(self.to_scale, "to_scale")
+        if self.stage not in _DRIFT_STAGES:
+            raise ValueError(f"stage must be one of {_DRIFT_STAGES}, got {self.stage!r}")
+
+    def scale_at(self, t: float) -> float:
+        """The stage multiplier at virtual time ``t``."""
+        if t < self.start:
+            return 1.0
+        if t >= self.end:
+            return self.to_scale if self.hold else 1.0
+        fraction = (t - self.start) / self.duration
+        return 1.0 + (self.to_scale - 1.0) * fraction
+
+
+@dataclass(frozen=True)
+class StepChange(FaultWindow):
+    """Abrupt persistent drift: the stage multiplier jumps to ``to_scale``.
+
+    The step lands at ``start`` and *stays* — a route change, a new
+    sysadmin throttle, a peering shift.  ``duration`` exists only for
+    schedule uniformity (the window marks the change as "active" for
+    incident attribution); the multiplier never reverts.  Semantics of
+    ``per_stream`` match :class:`BandwidthRamp`.
+    """
+
+    to_scale: float = 0.5
+    stage: str = "network"
+    per_stream: bool = True
+
+    kind: ClassVar[str] = "step_change"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        require_positive(self.to_scale, "to_scale")
+        if self.stage not in _DRIFT_STAGES:
+            raise ValueError(f"stage must be one of {_DRIFT_STAGES}, got {self.stage!r}")
+
+    def scale_at(self, t: float) -> float:
+        """The stage multiplier at virtual time ``t`` (a held step)."""
+        return self.to_scale if t >= self.start else 1.0
+
+
 @dataclass(frozen=True)
 class ReceiverRestart:
     """Receiver daemon restart at instant ``at``: staged bytes are lost."""
@@ -212,6 +288,11 @@ class FaultSchedule:
         self.events: tuple[FaultEventSpec, ...] = tuple(events)
         self._restarts = [e for e in self.events if isinstance(e, ReceiverRestart)]
         self._windows = [e for e in self.events if isinstance(e, FaultWindow)]
+        #: Condition-drift events (ramps and steps); split per application
+        #: point so the testbed pays nothing when a schedule has none.
+        drifts = [e for e in self.events if isinstance(e, (BandwidthRamp, StepChange))]
+        self._tpt_drifts = [e for e in drifts if e.per_stream]
+        self._aggregate_drifts = [e for e in drifts if not e.per_stream]
         #: Fire-once data-plane instants: torn writes, silent truncations, and
         #: at-rest corruption (which strikes at its window's start instant).
         self._data_instants: list[tuple[float, FaultEventSpec]] = sorted(
@@ -239,6 +320,9 @@ class FaultSchedule:
             )
             if down:
                 scale *= 1.0 - event.severity
+        for event in self._aggregate_drifts:
+            if event.stage == "network":
+                scale *= event.scale_at(t)
         return scale
 
     def storage_scale(self, stage: str, t: float) -> float:
@@ -247,6 +331,28 @@ class FaultSchedule:
         for event in self._windows:
             if isinstance(event, StorageStall) and event.stage == stage and event.active(t):
                 scale *= event.factor
+        for event in self._aggregate_drifts:
+            if event.stage == stage:
+                scale *= event.scale_at(t)
+        return scale
+
+    @property
+    def has_tpt_drift(self) -> bool:
+        """Whether any per-stream drift event exists (testbed fast-path gate)."""
+        return bool(self._tpt_drifts)
+
+    def tpt_scale(self, stage: str, t: float) -> float:
+        """Per-stream throughput multiplier for ``stage`` at virtual time ``t``.
+
+        Only per-stream drift events (:class:`BandwidthRamp` /
+        :class:`StepChange` with ``per_stream=True``) contribute; the
+        multiplier applies *before* the stage's capacity cap, so extra
+        concurrency can compensate — the lever the adaptation layer pulls.
+        """
+        scale = 1.0
+        for event in self._tpt_drifts:
+            if event.stage == stage:
+                scale *= event.scale_at(t)
         return scale
 
     def probe_dropout(self, t: float) -> bool:
@@ -373,6 +479,22 @@ class FaultSchedule:
                     events.append(TornWrite(at=start))
                 elif kind == "silent_truncation":
                     events.append(SilentTruncation(at=start, chunks=1 + int(rng.integers(3))))
+                elif kind == "bandwidth_ramp":
+                    stage = ("read", "network", "write")[int(rng.integers(3))]
+                    events.append(
+                        BandwidthRamp(
+                            start, duration,
+                            to_scale=float(rng.uniform(0.3, 0.7)), stage=stage,
+                        )
+                    )
+                elif kind == "step_change":
+                    stage = ("read", "network", "write")[int(rng.integers(3))]
+                    events.append(
+                        StepChange(
+                            start, duration,
+                            to_scale=float(rng.uniform(0.3, 0.7)), stage=stage,
+                        )
+                    )
                 else:
                     raise ValueError(f"unknown fault kind {kind!r}")
         events.sort(key=lambda e: e.start if isinstance(e, FaultWindow) else e.at)

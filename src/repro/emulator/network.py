@@ -116,10 +116,20 @@ class NetworkPath:
             return 1.0
         return 1.0 / (1.0 + self.config.degradation_alpha * excess**1.5)
 
-    def aggregate_rate(self, streams: float, t: float, *, file_efficiency: float = 1.0) -> float:
-        """Aggregate goodput (Mbps) of ``streams`` flows at virtual time ``t``."""
+    def aggregate_rate(
+        self, streams: float, t: float, *, file_efficiency: float = 1.0, tpt_scale: float = 1.0
+    ) -> float:
+        """Aggregate goodput (Mbps) of ``streams`` flows at virtual time ``t``.
+
+        ``tpt_scale`` is the per-stream drift multiplier
+        (:meth:`repro.emulator.faults.FaultSchedule.tpt_scale`) — it reduces
+        per-stream speed before the capacity cap, so adding streams can win
+        back goodput.  The congestion knee stays a config property: drift
+        changes per-stream speed, not the path's fair-share breakdown point
+        (a deliberate simplification).
+        """
         if streams <= 0.0:
             return 0.0
         available = max(0.0, self.config.capacity - self.background.level_at(t))
-        raw = min(streams * self.config.tpt, available)
+        raw = min(streams * self.config.tpt * tpt_scale, available)
         return raw * self.congestion_efficiency(streams) * file_efficiency

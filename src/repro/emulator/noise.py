@@ -6,6 +6,11 @@
 * :class:`BackgroundTraffic` — piecewise-constant competing load on the
   network path, modelling the "background network traffic" the paper lists
   among the dynamic factors.
+* :class:`LinearDrift` — deterministic multiplicative drift: the factor
+  ramps linearly from 1.0 to ``to_scale`` over ``[start, start+duration)``
+  and holds.  The time-indexed twin of
+  :class:`repro.emulator.faults.BandwidthRamp`, used to synthesise drifting
+  signals for the :mod:`repro.adapt` detector property tests.
 """
 
 from __future__ import annotations
@@ -58,6 +63,43 @@ class MultiplicativeNoise:
     def reset(self) -> None:
         """Return the factor to 1.0."""
         self._value = 1.0
+
+
+class LinearDrift:
+    """Deterministic multiplicative drift factor over virtual time.
+
+    ``value_at(t)`` is 1.0 before ``start``, ramps linearly to ``to_scale``
+    across ``duration`` seconds, then holds ``to_scale`` forever (set
+    ``hold=False`` to revert after the ramp).  Stateless and pure, so the
+    same object can be queried in any time order.
+    """
+
+    def __init__(
+        self,
+        to_scale: float,
+        *,
+        start: float = 0.0,
+        duration: float = 1.0,
+        hold: bool = True,
+    ) -> None:
+        require_non_negative(start, "start")
+        if to_scale <= 0.0:
+            raise ValueError(f"to_scale must be positive, got {to_scale}")
+        if duration <= 0.0:
+            raise ValueError(f"duration must be positive, got {duration}")
+        self.to_scale = float(to_scale)
+        self.start = float(start)
+        self.duration = float(duration)
+        self.hold = bool(hold)
+
+    def value_at(self, t: float) -> float:
+        """The drift factor at virtual time ``t``."""
+        if t < self.start:
+            return 1.0
+        if t >= self.start + self.duration:
+            return self.to_scale if self.hold else 1.0
+        fraction = (t - self.start) / self.duration
+        return 1.0 + (self.to_scale - 1.0) * fraction
 
 
 class BackgroundTraffic:

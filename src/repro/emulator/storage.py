@@ -83,13 +83,20 @@ class StorageDevice:
             return 1.0
         return 1.0 / (1.0 + self.config.degradation_alpha * excess**1.5)
 
-    def aggregate_rate(self, threads: int, *, file_efficiency: float = 1.0) -> float:
+    def aggregate_rate(
+        self, threads: int, *, file_efficiency: float = 1.0, tpt_scale: float = 1.0
+    ) -> float:
         """Aggregate Mbps achieved by ``threads`` concurrent I/O threads.
 
         ``file_efficiency`` folds in the per-file-cost factor computed by the
         dataset (see :meth:`repro.transfer.files.Dataset.stage_efficiency`).
+        ``tpt_scale`` is the per-thread drift multiplier
+        (:meth:`repro.emulator.faults.FaultSchedule.tpt_scale`): it lowers
+        the per-thread speed *before* the device ceiling, so extra threads
+        can win back the aggregate — over-concurrency degradation (the knee
+        is a device property, unchanged by drift) still punishes going far.
         """
         if threads <= 0:
             return 0.0
-        raw = min(threads * self.config.tpt, self.config.bandwidth)
+        raw = min(threads * self.config.tpt * tpt_scale, self.config.bandwidth)
         return raw * self.efficiency(threads) * file_efficiency

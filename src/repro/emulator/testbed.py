@@ -261,6 +261,12 @@ class Testbed:
         write_rate = mbps_to_bytes_per_sec(write_rate * noise[2])
 
         faults = self.faults
+        # Per-stream drift changes the tpt feeding min(n·tpt, cap), so the
+        # hoisted read/write rates must be recomputed each substep.  The
+        # gate keeps drift-free schedules on the exact pre-existing code
+        # path (hoisted rates, no tpt_scale kwarg) for bit-identity.
+        tpt_drift = faults is not None and faults.has_tpt_drift
+        net_tpt_scale = 1.0
         for _ in range(steps):
             f_read = f_net = f_write = 1.0
             if faults is not None:
@@ -273,9 +279,26 @@ class Testbed:
                     # Receiver daemon restart: staged-but-unwritten bytes die
                     # with it and must be re-sent by a supervised retry.
                     self.receiver_buffer.reset()
+            if tpt_drift:
+                read_rate = self._source.aggregate_rate(
+                    n[0],
+                    file_efficiency=file_efficiency[0],
+                    tpt_scale=faults.tpt_scale("read", self._now),
+                )
+                read_rate = mbps_to_bytes_per_sec(read_rate * noise[0])
+                write_rate = self._destination.aggregate_rate(
+                    n[2],
+                    file_efficiency=file_efficiency[2],
+                    tpt_scale=faults.tpt_scale("write", self._now),
+                )
+                write_rate = mbps_to_bytes_per_sec(write_rate * noise[2])
+                net_tpt_scale = faults.tpt_scale("network", self._now)
             streams = self._network.advance_ramp(n[1], dt)
             net_rate = self._network.aggregate_rate(
-                streams, self._now, file_efficiency=file_efficiency[1]
+                streams,
+                self._now,
+                file_efficiency=file_efficiency[1],
+                tpt_scale=net_tpt_scale,
             )
             net_rate = min(
                 mbps_to_bytes_per_sec(net_rate * noise[1]) * f_net, self.rate_cap

@@ -103,6 +103,7 @@ class FleetJob:
         stall_intervals: int,
         run_dir: str | Path,
         faults: JobFaultProfile | None = None,
+        adapt: bool = False,
     ) -> None:
         self.job_id = job_id
         self.request = request
@@ -113,6 +114,10 @@ class FleetJob:
         self.stall_intervals = int(stall_intervals)
         self.run_dir = Path(run_dir)
         self.fault_profile = faults or JobFaultProfile()
+        self.adapt = bool(adapt)
+        #: The job's :class:`~repro.adapt.controller.AdaptiveController`
+        #: when ``adapt`` is on (None otherwise, and until first dispatch).
+        self.controller = None
 
         self.verified: VerifiedTransfer | None = None
         self.testbed: Testbed | None = None
@@ -183,10 +188,22 @@ class FleetJob:
         dataset = uniform_dataset(
             files, gigabytes * 1e9 / files, name=self.request.name or f"job{self.job_id:04d}"
         )
+        controller = StaticController(self.testbed_config.optimal_threads())
+        if self.adapt:
+            from repro.adapt import AdaptConfig, AdaptiveController, SafetyEnvelope
+
+            self.controller = AdaptiveController(
+                controller,
+                AdaptConfig(
+                    envelope=SafetyEnvelope.from_testbed_config(self.testbed_config)
+                ),
+                name=f"job{self.job_id:04d}",
+            )
+            controller = self.controller
         engine = ModularTransferEngine(
             self.testbed,
             dataset,
-            StaticController(self.testbed_config.optimal_threads()),
+            controller,
             EngineConfig(max_seconds=self.horizon, seed=spawn_key(self.seed, (3,))),
         )
         supervisor = TransferSupervisor(

@@ -118,6 +118,12 @@ class FleetConfig:
     #: Purely observational — scheduling decisions and, when off, the
     #: report fingerprint are unchanged.
     cosim: bool = False
+    #: Opt-in online adaptation: wrap every job's frozen policy in an
+    #: :class:`~repro.adapt.controller.AdaptiveController` (drift detection,
+    #: shadow-evaluated correction, automatic rollback) and attach each
+    #: job's adaptation report under ``report["jobs"][i]["adapt"]``.  When
+    #: off, the controller stack and the report fingerprint are unchanged.
+    adapt: bool = False
 
     def __post_init__(self) -> None:
         if not self.tenants:
@@ -325,6 +331,7 @@ class FleetScheduler:
                 stall_intervals=self.config.stall_intervals,
                 run_dir=self.run_dir / f"job{job_id:04d}",
                 faults=self.config.faults,
+                adapt=self.config.adapt,
             )
             entry = _Entry(
                 job,
@@ -560,6 +567,10 @@ class FleetScheduler:
                     "transitions": [tr.to_dict() for tr in entry.breaker.transitions],
                 },
             })
+            # Only attached when adaptation is on: the report fingerprint
+            # with ``adapt=False`` must stay byte-identical to older runs.
+            if self.config.adapt and entry.job.controller is not None:
+                jobs[-1]["adapt"] = entry.job.controller.report()
         duration = max(self.clock, 1e-9)
         tenants = {}
         for spec in self.config.tenants:

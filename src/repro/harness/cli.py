@@ -11,6 +11,8 @@ Commands::
     automdt train --preset fig5-read [--episodes 4000] --out ckpt
     automdt transfer --preset fig5-read --checkpoint ckpt [--gb 25] [--mixed]
     automdt soak [--quick] [--cases 8] [--seed 0] [--out DIR]   # chaos soak
+    automdt soak --drift [--quick] [--latency-bound 30]         # drift/adaptation soak
+    automdt run adapt_drift --adapt                # drift experiment, adaptation on
     automdt fleet [--tenants 4] [--transfers 32] [--seed 0] [--out DIR]
     automdt fleet --soak [--quick] [--cases 4]     # multi-tenant fleet chaos soak
     automdt verify RUN_DIR                         # offline integrity check
@@ -72,6 +74,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="process-pool size for --seeds sweeps (0 = all cores)",
     )
     run.add_argument("--out", default=None, help="directory for JSON result dumps")
+    run.add_argument(
+        "--adapt", action="store_true",
+        help="enable safe online adaptation (drift detection + shadow-evaluated "
+             "correction + rollback) in experiments that support it",
+    )
     run.add_argument(
         "--obs", default=None, metavar="DIR",
         help="record a telemetry event log into DIR (see 'automdt obs')",
@@ -148,6 +155,15 @@ def build_parser() -> argparse.ArgumentParser:
     soak.add_argument(
         "--quick", action="store_true",
         help="CI smoke preset: 3 small cases, corruption + crash faults",
+    )
+    soak.add_argument(
+        "--drift", action="store_true",
+        help="run the drift soak instead: seeded bandwidth drift × adaptation "
+             "invariants (detection latency, legal rollback, zero data loss)",
+    )
+    soak.add_argument(
+        "--latency-bound", type=float, default=30.0,
+        help="--drift: max allowed detection delay after drift onset (s)",
     )
     soak.add_argument("--no-crashes", action="store_true", help="disable simulated crashes")
     soak.add_argument(
@@ -239,15 +255,68 @@ def _cmd_list() -> int:
     return 0
 
 
-def _transfer_failed(summary: dict) -> bool:
-    """Whether an experiment summary reports a failed supervised/verified transfer.
+#: Exit code for a supervised transfer abandoned on its wall-clock retry
+#: budget (distinct from 1 = stall/retry failure, 2 = usage error).
+EXIT_BUDGET_EXHAUSTED = 3
 
-    A bare-engine ``unsupervised_completed=False`` is an expected
-    demonstration (that is the point of the fault experiments); the CLI
-    only fails when the *supervised* transfer ultimately did not complete,
-    or a verified transfer did not verify.
+
+def _failure_mode(summary: dict) -> str | None:
+    """Classify an experiment summary's transfer outcome.
+
+    Returns ``None`` (healthy), ``"budget_exhausted"`` (the supervisor
+    abandoned the transfer because the next resume would land past its
+    wall-clock ``max_elapsed`` budget — a capacity-planning signal, not a
+    stall) or ``"failed"`` (stall timeout / retry exhaustion / failed
+    verification).  A bare-engine ``unsupervised_completed=False`` is an
+    expected demonstration (that is the point of the fault experiments);
+    only the *supervised* transfer's outcome counts.
     """
-    return summary.get("supervised_completed") is False or summary.get("verified") is False
+    if summary.get("supervised_completed") is False:
+        if summary.get("supervised_budget_exhausted") is True:
+            return "budget_exhausted"
+        return "failed"
+    if summary.get("verified") is False:
+        return "failed"
+    return None
+
+
+def _transfer_failed(summary: dict) -> bool:
+    """Whether an experiment summary reports a failed supervised/verified transfer."""
+    return _failure_mode(summary) is not None
+
+
+def _report_failure(name: str, mode: str) -> None:
+    if mode == "budget_exhausted":
+        print(
+            f"BUDGET EXHAUSTED {name}: the supervisor abandoned the transfer at its "
+            "wall-clock retry budget (max_elapsed) — raise the budget or provision "
+            "more capacity; this is not a stall timeout",
+            file=sys.stderr,
+        )
+    else:
+        print(f"FAILED {name}: the supervised transfer did not complete", file=sys.stderr)
+
+
+def _experiment_fn(name: str, args):
+    """The experiment callable, with ``--adapt`` applied where supported."""
+    fn = EXPERIMENTS[name]
+    if getattr(args, "adapt", False):
+        import functools
+        import inspect
+
+        if "adapt" in inspect.signature(fn).parameters:
+            fn = functools.partial(fn, adapt=True)
+        else:
+            print(f"note: {name} does not support --adapt; running as-is",
+                  file=sys.stderr)
+    return fn
+
+
+def _merge_exit(current: int, mode: str) -> int:
+    """Fold one failure mode into the run exit code (generic 1 wins over 3)."""
+    if mode == "budget_exhausted":
+        return current if current == 1 else EXIT_BUDGET_EXHAUSTED
+    return 1
 
 
 def _cmd_run(args) -> int:
@@ -260,30 +329,30 @@ def _cmd_run(args) -> int:
     exit_code = 0
     for name in names:
         started = time.perf_counter()
+        fn = _experiment_fn(name, args)
         if args.seeds:
             from repro.harness.grid import parse_seeds
             from repro.harness.multirun import run_seeded
 
             seeds = parse_seeds(args.seeds)
-            aggregate = run_seeded(
-                EXPERIMENTS[name], seeds, workers=args.workers, fast=not args.full
-            )
+            aggregate = run_seeded(fn, seeds, workers=args.workers, fast=not args.full)
             print(aggregate.table())
-            if any(_transfer_failed(run.summary) for run in aggregate.runs):
-                print(f"FAILED {name}: a supervised transfer did not complete",
-                      file=sys.stderr)
-                exit_code = 1
+            modes = [_failure_mode(run.summary) for run in aggregate.runs]
+            for mode in (m for m in modes if m):
+                exit_code = _merge_exit(exit_code, mode)
+            if any(modes):
+                _report_failure(name, next(m for m in modes if m))
             if args.out:
                 for run in aggregate.runs:
                     run.name = f"{run.name}_seed{run.summary.get('seed', '')}"
         else:
             wall_start = time.time()
-            result = EXPERIMENTS[name](fast=not args.full, seed=args.seed)
+            result = fn(fast=not args.full, seed=args.seed)
             print(result.render())
-            if _transfer_failed(result.summary):
-                print(f"FAILED {name}: the supervised transfer did not complete",
-                      file=sys.stderr)
-                exit_code = 1
+            mode = _failure_mode(result.summary)
+            if mode:
+                _report_failure(name, mode)
+                exit_code = _merge_exit(exit_code, mode)
             if args.out:
                 print(f"saved {result.save(args.out)}")
 
@@ -294,7 +363,13 @@ def _cmd_run(args) -> int:
                 "experiment",
                 name,
                 seed=args.seed,
-                config=experiment_config(name, fast=not args.full),
+                # ``adapt`` joins the cell identity only when on, so runs
+                # without --adapt keep their pre-adaptation fingerprints.
+                config=experiment_config(
+                    name,
+                    fast=not args.full,
+                    **({"adapt": True} if getattr(args, "adapt", False) else {}),
+                ),
                 metrics=flatten_summary(result.summary),
                 started=wall_start,
             )
@@ -439,6 +514,28 @@ def _cmd_transfer(args) -> int:
 
 def _cmd_soak(args) -> int:
     from repro.harness.soak import SoakConfig, render_soak_report, run_soak
+
+    if args.drift:
+        import dataclasses
+
+        from repro.harness.drift import (
+            DriftSoakConfig,
+            render_drift_soak_report,
+            run_drift_soak,
+        )
+
+        if args.quick:
+            config = DriftSoakConfig.quick(root_seed=args.seed)
+        else:
+            config = DriftSoakConfig(
+                cases=args.cases, root_seed=args.seed, workers=args.workers
+            )
+        config = dataclasses.replace(config, latency_bound_s=args.latency_bound)
+        report = run_drift_soak(config, out_dir=args.out)
+        print(render_drift_soak_report(report), end="")
+        if args.out:
+            print(f"report saved to {report['report_path']}")
+        return 0 if report["all_passed"] else 1
 
     if args.quick:
         config = SoakConfig.quick(root_seed=args.seed)

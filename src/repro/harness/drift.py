@@ -1,0 +1,377 @@
+"""Deterministic drift-soak harness: seeded drift × adaptation invariants.
+
+Each drift-soak **case** derives its whole scenario — drift kind, onset,
+severity — from ``derive_seed(root_seed, case_index)``, runs one verified,
+supervised transfer under an :class:`~repro.adapt.AdaptiveController`, and
+asserts the safe-adaptation invariants:
+
+* **detected** — the drift monitor moves the guard to DRIFT_SUSPECTED
+  within ``latency_bound_s`` of the injected drift's onset;
+* **acted** — the expected adaptation happened: a shadow-promoted
+  correction for correctable (per-stream) drift, a rollback for the
+  scenario that hard-stalls the pipeline mid-correction;
+* **transitions_legal** — the :class:`~repro.adapt.guard.RollbackGuard`
+  audit log re-validates against the legal-transition set;
+* **no_data_loss** — the transfer completes verified with zero
+  unrecovered chunks (rollback restores guarded-controller service);
+* **restored** — the guard ends the case in NOMINAL or CORRECTING, never
+  stuck in DRIFT_SUSPECTED or ROLLED_BACK;
+* **deterministic** — the case runs twice and both runs produce an
+  identical report fingerprint (same-seed reproducibility).
+
+Scenario kinds cycle with the case index:
+
+0. ``network_ramp`` — per-stream bandwidth ramp on the network path; more
+   streams can compensate, so the corrector is expected to promote.
+1. ``read_step`` — per-stream step change on the read stage; more read
+   threads compensate.
+2. ``rollback`` — the network ramp *plus* a total read+write stall landing
+   inside the correction window; no thread count helps, so the adaptive
+   stall watchdog must roll back to guarded control (three intervals,
+   before the supervisor's five-interval stall detector).
+
+Cases fan out over :class:`~repro.parallel.pool.ParallelMap`; seeds are a
+pure function of ``(root_seed, case_index)``, so parallel results are
+bit-identical to serial ones.  ``automdt soak --drift`` is the CLI entry
+point and exits non-zero when any invariant fails.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.adapt import (
+    CORRECTING,
+    DRIFT_SUSPECTED,
+    NOMINAL,
+    AdaptConfig,
+    AdaptiveController,
+    SafetyEnvelope,
+    transitions_legal,
+)
+from repro.baselines import StaticController
+from repro.emulator.faults import BandwidthRamp, FaultSchedule, StepChange, StorageStall
+from repro.emulator.presets import fig5_read_bottleneck
+from repro.emulator.testbed import Testbed
+from repro.harness.soak import _record_soak_report
+from repro.parallel.pool import ParallelMap
+from repro.parallel.seeds import derive_seed, spawn_key
+from repro.transfer.engine import EngineConfig, ModularTransferEngine
+from repro.transfer.files import uniform_dataset
+from repro.transfer.integrity import IntegrityConfig, VerifiedTransfer
+from repro.transfer.supervisor import SupervisorConfig, TransferSupervisor
+from repro.utils.config import dump_json, require_positive
+
+__all__ = [
+    "DriftSoakConfig",
+    "render_drift_soak_report",
+    "run_drift_soak",
+]
+
+_SCENARIOS = ("network_ramp", "read_step", "rollback")
+
+
+@dataclass(frozen=True)
+class DriftSoakConfig:
+    """Drift-soak knobs; every case is a pure function of its derived seed."""
+
+    cases: int = 6
+    root_seed: int = 0
+    gigabytes: float = 4.0  # dataset size per case — must outlast onset + correction
+    chunk_size: float = 32e6
+    max_seconds: float = 900.0
+    latency_bound_s: float = 30.0  # max detection delay after drift onset
+    determinism_check: bool = True
+    workers: int = 1  # ParallelMap fan-out (1 = serial)
+
+    def __post_init__(self) -> None:
+        require_positive(self.cases, "cases")
+        require_positive(self.gigabytes, "gigabytes")
+        require_positive(self.chunk_size, "chunk_size")
+        require_positive(self.max_seconds, "max_seconds")
+        require_positive(self.latency_bound_s, "latency_bound_s")
+
+    @classmethod
+    def quick(cls, root_seed: int = 0) -> "DriftSoakConfig":
+        """The CI smoke preset: one case of each scenario kind."""
+        return cls(cases=3, root_seed=root_seed)
+
+
+def _case_scenario(index: int, seed: int) -> dict:
+    """The case's seeded drift scenario (pure function of the seed)."""
+    rng = np.random.default_rng(spawn_key(seed, (1,)))
+    kind = _SCENARIOS[index % len(_SCENARIOS)]
+    # The rollback scenario needs headroom after its stall window, so its
+    # drift starts early; correctable drift can start anywhere that leaves
+    # the detectors their warmup.
+    onset = (
+        float(rng.uniform(14.0, 16.0))
+        if kind == "rollback"
+        else float(rng.uniform(14.0, 22.0))
+    )
+    severity = float(rng.uniform(0.35, 0.5))  # surviving fraction of tpt
+    events: list = []
+    if kind == "network_ramp":
+        events.append(
+            BandwidthRamp(
+                start=onset,
+                duration=float(rng.uniform(6.0, 10.0)),
+                to_scale=severity,
+                stage="network",
+                per_stream=True,
+            )
+        )
+    elif kind == "read_step":
+        events.append(
+            StepChange(
+                start=onset, duration=1.0, to_scale=severity, stage="read", per_stream=True
+            )
+        )
+    else:  # rollback: correctable ramp, then a hard stall mid-correction.
+        events.append(
+            BandwidthRamp(
+                start=onset,
+                duration=8.0,
+                to_scale=severity,
+                stage="network",
+                per_stream=True,
+            )
+        )
+        # The shadow evaluation cadence puts promotion ~12-15s after onset
+        # (warmup + suspicion + shadow_every); the stall opens inside the
+        # correction-hold window and outlasts the rollback watchdog's
+        # three intervals.
+        stall_start = onset + 18.0
+        for stage in ("read", "write"):
+            events.append(
+                StorageStall(start=stall_start, duration=14.0, factor=0.0, stage=stage)
+            )
+    return {"kind": kind, "onset": onset, "severity": round(severity, 4), "events": events}
+
+
+def _fingerprint(record: dict) -> str:
+    """sha256 over the stable, physics-determined fields of a case record."""
+    stable = {
+        key: record[key]
+        for key in (
+            "scenario",
+            "onset",
+            "completed",
+            "verified",
+            "transitions",
+            "detections",
+            "promotions",
+            "rollbacks",
+            "residual",
+            "supervisor_retries",
+            "completion_time_s",
+            "total_bytes",
+        )
+    }
+    payload = json.dumps(stable, sort_keys=True).encode()
+    return hashlib.sha256(payload).hexdigest()
+
+
+def _run_once(index: int, config: DriftSoakConfig, case_dir: Path) -> dict:
+    """One seeded drift case (no invariants yet); returns a JSON-able record."""
+    seed = derive_seed(config.root_seed, index)
+    scenario = _case_scenario(index, seed)
+    case_dir.mkdir(parents=True, exist_ok=True)
+
+    testbed_config = fig5_read_bottleneck()
+    testbed = Testbed(
+        testbed_config,
+        rng=spawn_key(seed, (3,)),
+        faults=FaultSchedule(scenario["events"]),
+    )
+    dataset = uniform_dataset(
+        max(1, round(config.gigabytes * 4)), 0.25e9, name=f"drift-{index:03d}"
+    )
+    adaptive = AdaptiveController(
+        StaticController(testbed_config.optimal_threads()),
+        AdaptConfig(envelope=SafetyEnvelope.from_testbed_config(testbed_config)),
+        name=f"drift-{index:03d}",
+    )
+    engine = ModularTransferEngine(
+        testbed,
+        dataset,
+        adaptive,
+        EngineConfig(max_seconds=config.max_seconds, seed=spawn_key(seed, (4,))),
+    )
+    supervisor = TransferSupervisor(engine, SupervisorConfig(seed=spawn_key(seed, (5,))))
+    verified = VerifiedTransfer.for_supervisor(
+        supervisor,
+        case_dir,
+        IntegrityConfig(
+            chunk_size=config.chunk_size,
+            seed=spawn_key(seed, (6,)),
+            content_seed=seed,
+            journal_flush_every=8,
+        ),
+    )
+    result = verified.run()
+    verified.journal.close()
+
+    adapt_report = adaptive.report()
+    suspects = [
+        tr["t"]
+        for tr in adapt_report["transitions"]
+        if tr["dst"] == DRIFT_SUSPECTED and tr["t"] >= scenario["onset"]
+    ]
+    detection_latency = suspects[0] - scenario["onset"] if suspects else None
+    record = {
+        "case": index,
+        "seed": seed,
+        "dir": str(case_dir),
+        "scenario": scenario["kind"],
+        "onset": round(scenario["onset"], 3),
+        "severity": scenario["severity"],
+        "completed": result.completed,
+        "verified": result.verified,
+        "unrecovered_chunks": list(result.unrecovered_chunk_ids),
+        "detection_latency_s": (
+            round(detection_latency, 3) if detection_latency is not None else None
+        ),
+        "detections": adapt_report["detections"],
+        "promotions": adapt_report["promotions"],
+        "rollbacks": adapt_report["rollbacks"],
+        "transitions": adapt_report["transitions"],
+        "final_state": adapt_report["state"],
+        "residual": adapt_report["residual"],
+        "clamps": adapt_report["clamps"],
+        "events": adapt_report["events"],
+        "supervisor_retries": result.supervised.retries_used,
+        "completion_time_s": round(result.supervised.completion_time, 1),
+        "effective_mbps": round(result.supervised.effective_throughput, 1),
+        "total_bytes": result.supervised.total_bytes,
+    }
+    record["fingerprint"] = _fingerprint(record)
+    return record
+
+
+def _run_case(index: int, config: DriftSoakConfig, out_dir: str | None) -> dict:
+    """One drift case with invariants (and the optional determinism replay)."""
+    case_dir = (
+        Path(out_dir) / f"drift{index:03d}"
+        if out_dir
+        else Path(tempfile.mkdtemp(prefix=f"drift-case{index:03d}-"))
+    )
+    record = _run_once(index, config, case_dir / "run0")
+
+    deterministic = True
+    if config.determinism_check:
+        replay = _run_once(index, config, case_dir / "run1")
+        deterministic = replay["fingerprint"] == record["fingerprint"]
+
+    expect_rollback = record["scenario"] == "rollback"
+    invariants = {
+        "detected": (
+            record["detection_latency_s"] is not None
+            and record["detection_latency_s"] <= config.latency_bound_s
+        ),
+        "acted": (
+            record["rollbacks"] >= 1 if expect_rollback else record["promotions"] >= 1
+        ),
+        "transitions_legal": transitions_legal(
+            [(tr["src"], tr["dst"]) for tr in record["transitions"]]
+        ),
+        "no_data_loss": bool(
+            record["completed"]
+            and record["verified"]
+            and not record["unrecovered_chunks"]
+        ),
+        "restored": record["final_state"] in (NOMINAL, CORRECTING),
+        "deterministic": deterministic,
+    }
+    record["invariants"] = invariants
+    record["passed"] = all(invariants.values())
+    dump_json(record, case_dir / "case.json")
+    return record
+
+
+def run_drift_soak(
+    config: DriftSoakConfig | None = None, *, out_dir: str | Path | None = None
+) -> dict:
+    """Run the whole drift soak; returns (and optionally writes) the report."""
+    config = config or DriftSoakConfig()
+    out = str(out_dir) if out_dir is not None else None
+    pool = ParallelMap(
+        lambda index: _run_case(index, config, out), workers=max(1, config.workers)
+    )
+    cases = pool.map_values(list(range(config.cases)))
+
+    failures = [c["case"] for c in cases if not c["passed"]]
+    latencies = [
+        c["detection_latency_s"] for c in cases if c["detection_latency_s"] is not None
+    ]
+    report = {
+        "config": {
+            "cases": config.cases,
+            "root_seed": config.root_seed,
+            "gigabytes": config.gigabytes,
+            "chunk_size": config.chunk_size,
+            "latency_bound_s": config.latency_bound_s,
+            "determinism_check": config.determinism_check,
+            "workers": config.workers,
+        },
+        "cases": cases,
+        "all_passed": not failures,
+        "failed_cases": failures,
+        "total_detections": sum(c["detections"] for c in cases),
+        "total_promotions": sum(c["promotions"] for c in cases),
+        "total_rollbacks": sum(c["rollbacks"] for c in cases),
+        "max_detection_latency_s": max(latencies) if latencies else None,
+    }
+    if out_dir is not None:
+        path = Path(out_dir) / "drift_soak_report.json"
+        dump_json(report, path)
+        report["report_path"] = str(path)
+    _record_soak_report("drift_soak", report, config.root_seed)
+    return report
+
+
+def render_drift_soak_report(report: dict) -> str:
+    """Human-readable drift-soak summary for the CLI."""
+    from repro.utils.tables import render_table
+
+    rows = [
+        [
+            c["case"],
+            "PASS" if c["passed"] else "FAIL",
+            c["scenario"],
+            "-" if c["detection_latency_s"] is None else f"{c['detection_latency_s']:.1f}s",
+            c["promotions"],
+            c["rollbacks"],
+            c["final_state"],
+            "".join(
+                flag if passed else flag.upper()
+                for flag, passed in zip("dalsrf", c["invariants"].values())
+            ),
+        ]
+        for c in report["cases"]
+    ]
+    table = render_table(
+        ["case", "result", "scenario", "latency", "promos", "rollbacks", "state", "inv"],
+        rows,
+        title=(
+            f"drift soak — {len(report['cases'])} case(s), "
+            f"root seed {report['config']['root_seed']}"
+        ),
+    )
+    verdict = (
+        "ALL INVARIANTS HELD"
+        if report["all_passed"]
+        else f"FAILED cases: {report['failed_cases']}"
+    )
+    return (
+        f"{table}\n"
+        "inv flags: d=detected a=acted l=transitions_legal s=no_data_loss "
+        "r=restored f=deterministic (uppercase = violated)\n"
+        f"{verdict}\n"
+    )

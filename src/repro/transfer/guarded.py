@@ -26,6 +26,7 @@ from __future__ import annotations
 import math
 from dataclasses import replace
 
+from repro import obs as telemetry
 from repro.transfer.engine import Controller, Observation
 from repro.utils.config import require_positive
 
@@ -181,6 +182,14 @@ class GuardedController:
         self._degraded = True
         self._clean_streak = 0
         self.events.append((obs.elapsed, f"degraded:{reason}"))
+        # Labelled incident metric: ingested by the results store on session
+        # close so `automdt report` can count degradations per run by cause.
+        session = telemetry.active()
+        if session is not None:
+            session.registry.counter(
+                "guard/degraded_total", label_names=("reason",)
+            ).labels(reason=reason).inc()
+        telemetry.event("guard/degraded", t=obs.elapsed, reason=reason)
         # The fallback starts from a known state, not mid-climb.
         self.fallback.reset()
 

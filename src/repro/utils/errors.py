@@ -37,6 +37,10 @@ class BreakerTransitionError(ReproError):
     """A circuit breaker attempted an illegal state transition."""
 
 
+class GuardTransitionError(ReproError):
+    """The adaptation rollback guard attempted an illegal state transition."""
+
+
 class StoreError(ReproError):
     """The experiment results store is unusable or inconsistent."""
 

@@ -1,0 +1,122 @@
+"""Seeded property tests for the drift detectors.
+
+The bounds here are the contract the adaptation loop relies on: under
+stationary noise the monitor must stay quiet (bounded false-positive
+rate over 1k-draw sweeps), under an injected ramp it must fire within a
+small latency, and results must be invariant to the worker-pool size
+(seeds are a pure function of ``spawn_key``).
+"""
+
+import numpy as np
+import pytest
+
+from repro.adapt import DriftMonitor, DriftMonitorConfig, PageHinkley, WindowedCusum
+from repro.parallel.pool import ParallelMap
+from repro.parallel.seeds import spawn_key
+
+ROOT_SEED = 1234
+SWEEP_CASES = 100
+DRAWS = 1000
+REL_NOISE = 0.05  # relative throughput noise, same order as the emulator's
+
+
+def _stationary_fired(case: int) -> bool:
+    """One 1k-draw stationary sweep; True if the monitor false-fires."""
+    rng = np.random.default_rng(spawn_key(ROOT_SEED, (case,)))
+    monitor = DriftMonitor()
+    for _ in range(DRAWS):
+        throughput = float(rng.normal(1000.0, 1000.0 * REL_NOISE))
+        if monitor.update(throughput=throughput, stalled=False, retried=False).drifted:
+            return True
+    return False
+
+
+def _ramp_latency(case: int) -> int | None:
+    """Samples from ramp onset to alarm (None = never fired)."""
+    rng = np.random.default_rng(spawn_key(ROOT_SEED, (1, case)))
+    monitor = DriftMonitor()
+    onset, ramp = 20, 8
+    for i in range(onset + 60):
+        scale = 1.0 if i < onset else max(0.5, 1.0 - 0.5 * (i - onset) / ramp)
+        throughput = float(rng.normal(1000.0 * scale, 1000.0 * REL_NOISE))
+        if monitor.update(throughput=throughput, stalled=False, retried=False).drifted:
+            return i - onset
+    return None
+
+
+def test_false_positive_rate_bounded_under_stationary_noise():
+    fired = sum(_stationary_fired(case) for case in range(SWEEP_CASES))
+    assert fired / SWEEP_CASES <= 0.05, f"{fired}/{SWEEP_CASES} stationary sweeps false-fired"
+
+
+def test_detection_latency_bounded_under_ramps():
+    latencies = [_ramp_latency(case) for case in range(SWEEP_CASES)]
+    assert all(lat is not None for lat in latencies), "a ramp went undetected"
+    assert max(latencies) <= 30, f"worst detection latency {max(latencies)} samples"
+
+
+@pytest.mark.parametrize("workers", [2, 4])
+def test_sweep_results_invariant_to_pool_size(workers):
+    serial = [_ramp_latency(case) for case in range(8)]
+    pooled = ParallelMap(_ramp_latency, workers=workers).map_values(list(range(8)))
+    assert pooled == serial
+
+
+def test_page_hinkley_ignores_non_finite_samples():
+    ph = PageHinkley()
+    for _ in range(20):
+        ph.update(1000.0)
+    assert ph.update(float("nan")) is False
+    for _ in range(20):
+        assert not ph.update(1000.0)
+
+
+def test_page_hinkley_direction_up():
+    ph = PageHinkley(direction="up")
+    for _ in range(10):
+        ph.update(100.0)
+    for _ in range(10):
+        ph.update(300.0)
+    assert ph.fired and ph.fired_at_sample is not None
+
+
+def test_cusum_fires_on_indicator_step_and_records_sample():
+    cusum = WindowedCusum(threshold=4.0, drift=0.5, reference_window=8, direction="up")
+    for _ in range(8):
+        cusum.update(0.0)
+    for i in range(8):
+        if cusum.update(1.0):
+            break
+    assert cusum.fired
+    assert cusum.fired_at_sample is not None and cusum.fired_at_sample <= 16
+
+
+def test_monitor_counts_rising_edges_not_alarm_intervals():
+    monitor = DriftMonitor(DriftMonitorConfig(warmup=4))
+    for _ in range(4):
+        monitor.update(throughput=1000.0, stalled=False, retried=False)
+    for _ in range(30):
+        monitor.update(throughput=200.0, stalled=False, retried=False)
+    assert monitor.detections == 1
+
+
+def test_rebaseline_rearms_against_current_regime():
+    monitor = DriftMonitor(DriftMonitorConfig(warmup=4))
+    for _ in range(4):
+        monitor.update(throughput=1000.0, stalled=False, retried=False)
+    for _ in range(30):
+        monitor.update(throughput=200.0, stalled=False, retried=False)
+    monitor.rebaseline()
+    assert monitor.rebaselines == 1
+    for _ in range(30):
+        signal = monitor.update(throughput=200.0, stalled=False, retried=False)
+    assert not signal.drifted, "rebaselined monitor re-fired on the old drift"
+
+
+def test_detector_config_validation():
+    with pytest.raises(ValueError):
+        PageHinkley(direction="sideways")
+    with pytest.raises(ValueError):
+        PageHinkley(delta=-0.1)
+    with pytest.raises(ValueError):
+        WindowedCusum(direction="diagonal")

@@ -1,0 +1,133 @@
+"""Drift faults: ramp/step math, per-stream vs aggregate routing, bit-identity."""
+
+import pytest
+
+from repro.emulator import (
+    BandwidthRamp,
+    FaultSchedule,
+    StepChange,
+    Testbed,
+    TestbedConfig,
+)
+from repro.emulator.noise import LinearDrift
+
+
+# ----------------------------------------------------------------- windows
+def test_bandwidth_ramp_scale_is_linear_then_held():
+    ramp = BandwidthRamp(start=10.0, duration=10.0, to_scale=0.5)
+    assert ramp.scale_at(0.0) == 1.0
+    assert ramp.scale_at(10.0) == 1.0
+    assert ramp.scale_at(15.0) == pytest.approx(0.75)
+    assert ramp.scale_at(20.0) == 0.5
+    assert ramp.scale_at(1000.0) == 0.5  # hold: a new operating point
+
+
+def test_bandwidth_ramp_without_hold_reverts():
+    ramp = BandwidthRamp(start=10.0, duration=10.0, to_scale=0.5, hold=False)
+    assert ramp.scale_at(25.0) == 1.0
+
+
+def test_bandwidth_ramp_can_improve_conditions():
+    ramp = BandwidthRamp(start=0.0, duration=10.0, to_scale=2.0)
+    assert ramp.scale_at(5.0) == pytest.approx(1.5)
+    assert ramp.scale_at(20.0) == 2.0
+
+
+def test_step_change_jumps_and_never_reverts():
+    step = StepChange(start=10.0, duration=1.0, to_scale=0.4)
+    assert step.scale_at(9.999) == 1.0
+    assert step.scale_at(10.0) == 0.4
+    assert step.scale_at(1000.0) == 0.4
+
+
+@pytest.mark.parametrize("cls", [BandwidthRamp, StepChange])
+def test_drift_stage_and_scale_validation(cls):
+    with pytest.raises(ValueError):
+        cls(start=0.0, duration=1.0, stage="gpu")
+    with pytest.raises(Exception):
+        cls(start=0.0, duration=1.0, to_scale=0.0)
+
+
+def test_linear_drift_noise_model():
+    drift = LinearDrift(start=5.0, duration=10.0, to_scale=0.5)
+    assert drift.value_at(0.0) == 1.0
+    assert drift.value_at(10.0) == pytest.approx(0.75)
+    assert drift.value_at(100.0) == 0.5
+    revert = LinearDrift(start=5.0, duration=10.0, to_scale=0.5, hold=False)
+    assert revert.value_at(100.0) == 1.0
+
+
+# ---------------------------------------------------------------- schedule
+def test_per_stream_drift_routes_to_tpt_scale_only():
+    schedule = FaultSchedule(
+        [BandwidthRamp(start=0.0, duration=10.0, to_scale=0.5, stage="network")]
+    )
+    assert schedule.has_tpt_drift
+    assert schedule.tpt_scale("network", 5.0) == pytest.approx(0.75)
+    assert schedule.tpt_scale("read", 5.0) == 1.0
+    assert schedule.network_scale(5.0) == 1.0  # aggregate path untouched
+
+
+def test_aggregate_drift_routes_to_stage_scales():
+    schedule = FaultSchedule(
+        [
+            BandwidthRamp(
+                start=0.0, duration=10.0, to_scale=0.5, stage="network", per_stream=False
+            ),
+            StepChange(
+                start=0.0, duration=1.0, to_scale=0.8, stage="read", per_stream=False
+            ),
+        ]
+    )
+    assert not schedule.has_tpt_drift
+    assert schedule.network_scale(5.0) == pytest.approx(0.75)
+    assert schedule.storage_scale("read", 5.0) == pytest.approx(0.8)
+    assert schedule.tpt_scale("network", 5.0) == 1.0
+
+
+def test_multiple_drifts_on_one_stage_compound():
+    schedule = FaultSchedule(
+        [
+            StepChange(start=0.0, duration=1.0, to_scale=0.5, stage="write"),
+            StepChange(start=2.0, duration=1.0, to_scale=0.5, stage="write"),
+        ]
+    )
+    assert schedule.tpt_scale("write", 1.0) == 0.5
+    assert schedule.tpt_scale("write", 3.0) == 0.25
+
+
+# ------------------------------------------------------------ bit-identity
+def _advance_trace(faults):
+    testbed = Testbed(TestbedConfig(), rng=7, faults=faults)
+    trace = []
+    total = 0.0
+    for _ in range(30):
+        flows = testbed.advance((4, 4, 4), 1.0)
+        total += flows.bytes_written
+        trace.append(
+            (total, flows.throughput_read, flows.throughput_network, flows.throughput_write)
+        )
+    return trace
+
+
+def test_advance_without_drift_is_bit_identical_to_no_faults():
+    """The drift-gated recompute path must not perturb undrifted runs."""
+    baseline = _advance_trace(None)
+    empty = _advance_trace(FaultSchedule([]))
+    assert empty == baseline
+    # A unity-scale drift exercises the per-substep recompute path with
+    # scale 1.0 — multiplying by 1.0 is IEEE-exact, so still identical.
+    unity = _advance_trace(
+        FaultSchedule([StepChange(start=0.0, duration=1.0, to_scale=1.0)])
+    )
+    assert unity == baseline
+
+
+def test_per_stream_network_drift_slows_transfer():
+    baseline = _advance_trace(None)
+    drifted = _advance_trace(
+        FaultSchedule(
+            [BandwidthRamp(start=5.0, duration=5.0, to_scale=0.4, stage="network")]
+        )
+    )
+    assert drifted[-1][0] < baseline[-1][0]

@@ -1,0 +1,51 @@
+"""FleetConfig.adapt: opt-in adaptive jobs, fingerprint-neutral when off."""
+
+from repro.adapt import AdaptiveController
+from repro.fleet import FleetConfig, FleetScheduler, JobFaultProfile, TenantSpec, TransferRequest
+
+QUIET = JobFaultProfile(stalls=False, corruption=False, crashes=False)
+
+
+def run_fleet(tmp_path, *, adapt, seed=5):
+    config = FleetConfig(
+        tenants=(TenantSpec("t0", max_concurrency=4),),
+        seed=seed,
+        quantum=10.0,
+        faults=QUIET,
+        adapt=adapt,
+    )
+    requests = [
+        TransferRequest(tenant="t0", gigabytes=0.25, name=f"r{i}") for i in range(3)
+    ]
+    return FleetScheduler(config, requests, tmp_path / "jobs").run()
+
+
+def test_adapt_off_attaches_nothing(tmp_path):
+    report = run_fleet(tmp_path, adapt=False)
+    assert all("adapt" not in j for j in report["jobs"])
+
+
+def test_adapt_off_fingerprint_is_deterministic(tmp_path):
+    one = run_fleet(tmp_path / "a", adapt=False)
+    two = run_fleet(tmp_path / "b", adapt=False)
+    assert one["fingerprint"] == two["fingerprint"]
+
+
+def test_adapt_on_wraps_jobs_and_reports(tmp_path):
+    report = run_fleet(tmp_path, adapt=True)
+    assert report["all_passed"]
+    for j in report["jobs"]:
+        assert j["state"] == "completed"
+        adapt = j["adapt"]
+        assert adapt["state"] == "nominal"  # quiet fleet: no drift to find
+        assert adapt["rollbacks"] == 0
+
+
+def test_adapt_on_builds_adaptive_controllers(tmp_path):
+    config = FleetConfig(tenants=(TenantSpec("t0"),), faults=QUIET, adapt=True)
+    requests = [TransferRequest(tenant="t0", gigabytes=0.25, name="r0")]
+    scheduler = FleetScheduler(config, requests, tmp_path / "jobs")
+    scheduler.run()
+    job = scheduler.entries[0].job
+    assert isinstance(job.controller, AdaptiveController)
+    assert job.controller.config.enabled

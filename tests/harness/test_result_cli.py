@@ -46,7 +46,7 @@ class TestRegistry:
             "baselines_read", "baselines_network", "baselines_write",
             "faults_link_flap", "faults_storage_stall", "faults_receiver_restart",
             "faults_probe_dropout", "faults_report_loss", "faults_random",
-            "integrity_corruption",
+            "adapt_drift", "integrity_corruption",
         }
         assert expected == set(EXPERIMENTS)
 

@@ -196,3 +196,43 @@ class TestLifecycle:
             GuardedController(SpyController([(1, 1, 1)]), max_threads=0)
         with pytest.raises(ConfigError):
             GuardedController(SpyController([(1, 1, 1)]), recovery_intervals=0)
+
+
+class TestDegradedMetric:
+    def test_degraded_entry_increments_labelled_counter(self, tmp_path):
+        from repro import obs
+
+        with obs.session(tmp_path) as sess:
+            guard, _ = guarded(proposals=[(NAN, 1, 1)])
+            guard.propose(make_obs())
+            assert guard.degraded
+            snapshot = sess.registry.snapshot()
+        entries = snapshot["guard/degraded_total"]
+        assert entries == [
+            {
+                "kind": "counter",
+                "labels": {"reason": "malformed_proposal"},
+                "value": 1.0,
+            }
+        ]
+
+    def test_distinct_reasons_get_distinct_label_rows(self, tmp_path):
+        from repro import obs
+
+        with obs.session(tmp_path) as sess:
+            first, _ = guarded(proposals=[(NAN, 1, 1)])
+            first.propose(make_obs())
+            swings = [(1, 1, 1), (15, 15, 15), (1, 1, 1), (15, 15, 15)]
+            second, _ = guarded(
+                proposals=swings, thrash_threshold=12, thrash_window=3
+            )
+            for _ in range(4):
+                second.propose(make_obs())
+            snapshot = sess.registry.snapshot()
+        reasons = {e["labels"]["reason"] for e in snapshot["guard/degraded_total"]}
+        assert reasons == {"malformed_proposal", "thrashing"}
+
+    def test_no_session_degrades_without_metrics(self):
+        guard, _ = guarded(proposals=[(NAN, 1, 1)])
+        guard.propose(make_obs())  # must not raise with telemetry disabled
+        assert guard.degraded
