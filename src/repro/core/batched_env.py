@@ -161,12 +161,8 @@ class BatchedEnv:
         metrics = self.simulator.step_second(threads)
         self._step_count += 1
         done = self._step_count >= self.episode_steps
-        throughputs = metrics.throughputs
-        utilities = np.array(
-            [
-                self.utility(throughputs[i], metrics.threads[i])
-                for i in range(self.batch)
-            ]
-        )
+        # One vectorized utility evaluation for all columns, bit-identical
+        # to the per-column scalar calls (see UtilityFunction.batch).
+        utilities = self.utility.batch(metrics.throughputs, metrics.threads)
         rewards = utilities / self.max_reward if self.normalize_reward else utilities
         return self._states(metrics), rewards, done, metrics

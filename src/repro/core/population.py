@@ -115,20 +115,25 @@ def _train_population_batched(
     Replays ``_train_member``'s exact call sequence per member — same
     derived seed streams, same per-episode act/store/update cadence, same
     convergence bookkeeping — with the K scalar ``step_second`` loops
-    fused into one :class:`BatchedEnv` call per step.  Members that stop
-    early (converged + stagnant) keep their column idle: no further RNG
-    draws, no stored transitions.
+    fused into one :class:`BatchedEnv` call per step and the K per-member
+    networks fused into one :class:`~repro.nn.stacked.StackedPPOAgent`
+    (one ``np.matmul`` per layer for the whole population's acting *and*
+    updating, bit-identical per member — see DESIGN §17).  Members that
+    stop early (converged + stagnant) keep their column idle: no further
+    RNG draws, no stored transitions.
     """
     from repro.core.batched_env import BatchedEnv
+    from repro.nn.stacked import StackedPPOAgent
 
     n = len(variants)
     cfg = training_config
     seeds = [derive_seed(root_seed, i) for i in range(n)]
     env = BatchedEnv(variants, rngs=[derive_seed(s, 0) for s in seeds])
-    agents = [
-        PPOAgent(env.state_dim, env.action_dim, ppo_config, rng=derive_seed(s, 1))
-        for s in seeds
-    ]
+    stacked = StackedPPOAgent(
+        env.state_dim, env.action_dim, ppo_config,
+        rngs=[derive_seed(s, 1) for s in seeds],
+    )
+    agents = stacked.members
     r_max = float(cfg.steps_per_episode)
     target = cfg.convergence_threshold * r_max
 
@@ -155,8 +160,12 @@ def _train_population_batched(
         member_actions: list = [None] * n
         log_probs = [0.0] * n
         for _ in range(steps):
+            # One stacked forward for the whole population; inactive rows
+            # are discarded (no RNG draws happen for them).
+            acts, lps = stacked.act_all(states, active=active)
             for i in np.flatnonzero(active):
-                member_actions[i], log_probs[i] = agents[i].act(states[i])
+                member_actions[i] = acts[i].copy()
+                log_probs[i] = float(lps[i])
                 actions[i] = member_actions[i]
             next_states, step_rewards, _done, _info = env.step_all(actions)
             for i in np.flatnonzero(active):
@@ -169,9 +178,10 @@ def _train_population_batched(
         for i in np.flatnonzero(active):
             agents[i].memory.end_episode(agents[i].config.gamma)
         if (episode + 1) % cfg.episodes_per_update == 0:
-            for i in np.flatnonzero(active):
-                agents[i].set_lr_progress(episode / cfg.max_episodes)
-                agents[i].update()
+            stacked.set_lr_progress(episode / cfg.max_episodes)
+            idx = np.flatnonzero(active)
+            stacked.update_all(idx)
+            for i in idx:
                 agents[i].memory.clear()
         for i in np.flatnonzero(active):
             episode_reward = float(episode_rewards[i])
@@ -222,8 +232,8 @@ def _train_population_batched(
     for _ in range(int(eval_episodes)):
         states = eval_env.reset_all()
         for _ in range(eval_env.episode_steps):
-            for i in range(n):
-                actions[i], _lp = agents[i].act(states[i], deterministic=True)
+            acts, _lps = stacked.act_all(states, deterministic=True)
+            actions[:] = acts
             states, step_rewards, done, _info = eval_env.step_all(actions)
             totals += step_rewards
             if done:

@@ -28,14 +28,16 @@ Deviations exposed as configuration (see EXPERIMENTS.md for the study):
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro import obs
-from repro.autograd.tensor import Tensor, clip, minimum, no_grad
+from repro.autograd.tensor import Tensor, clip, exp, minimum, no_grad
 from repro.core.networks import PolicyNetwork, ValueNetwork
 from repro.nn.optim import Adam, clip_grad_norm
+from repro.nn.plan import PolicyPlan, ValuePlan
 from repro.utils.config import require_in_range, require_positive
 from repro.utils.rng import as_generator
 
@@ -127,11 +129,42 @@ class RolloutMemory:
         )
 
 
+#: Smallest positive normal float64 — the vectorized-returns exactness guard.
+_MIN_NORMAL = float(np.finfo(np.float64).tiny)
+
+
 def discounted_returns(rewards: np.ndarray, gamma: float) -> np.ndarray:
-    """``G_t = r_t + γ G_{t+1}`` computed right-to-left (vectorized tail)."""
+    """``G_t = r_t + γ G_{t+1}`` computed right-to-left (vectorized tail).
+
+    For a power-of-two ``gamma`` (the default 0.5 included) the recursion
+    vectorizes *exactly*: with ``γ = 2^k``, scaling by ``γ^j`` is a pure
+    exponent shift, so ``G_t = γ^{-t} · cumsum-from-right(γ^j r_j)`` is
+    bit-identical to the Horner loop as long as every scaled value stays
+    in the normal float range (rounding commutes with power-of-two
+    scaling there).  Guards check exactly that — pre-scale round-trip,
+    normal-or-zero partial sums, finite results — and fall back to the
+    loop oracle otherwise (non-power-of-two γ, extreme magnitudes).
+    """
+    rewards = np.asarray(rewards, dtype=float)
+    n = len(rewards)
+    g = float(gamma)
+    if n > 1 and g > 0.0:
+        mantissa, exponent = math.frexp(g)
+        k = exponent - 1
+        if mantissa == 0.5 and (n - 1) * abs(k) <= 960:
+            j = np.arange(n)
+            scale = np.ldexp(1.0, j * k)
+            inv_scale = np.ldexp(1.0, -j * k)
+            scaled = rewards * scale
+            if np.array_equal(scaled * inv_scale, rewards):
+                tails = np.cumsum(scaled[::-1])[::-1]
+                if np.all((tails == 0.0) | (np.abs(tails) >= _MIN_NORMAL)):
+                    returns = tails * inv_scale
+                    if np.all(np.isfinite(returns)):
+                        return returns
     returns = np.empty_like(rewards, dtype=float)
     running = 0.0
-    for t in range(len(rewards) - 1, -1, -1):
+    for t in range(n - 1, -1, -1):
         running = rewards[t] + gamma * running
         returns[t] = running
     return returns
@@ -176,6 +209,12 @@ class PPOAgent:
         self.memory = RolloutMemory()
         #: Completed :meth:`update` calls — the x-axis of loss curves.
         self.updates = 0
+        # Compiled zero-Tensor inference plans, built lazily on first use.
+        # They dereference ``param.data`` at call time, so in-place updates,
+        # load_state_dict, and stacked-engine row-view rebinds all stay
+        # visible without invalidation.
+        self._policy_plan: PolicyPlan | None = None
+        self._value_plan: ValuePlan | None = None
 
     def set_lr_progress(self, fraction: float) -> None:
         """Linearly anneal the learning rate; ``fraction`` in [0, 1]."""
@@ -187,9 +226,19 @@ class PPOAgent:
 
     # ----------------------------------------------------------------- acting
     def act(self, state: np.ndarray, *, deterministic: bool = False) -> tuple[np.ndarray, float]:
-        """Sample an action (Algorithm 2 lines 8–9); returns ``(action, log_prob)``."""
+        """Sample an action (Algorithm 2 lines 8–9); returns ``(action, log_prob)``.
+
+        Single states run through the compiled zero-Tensor inference plan
+        (bit-identical to the Tensor forward, see :mod:`repro.nn.plan`);
+        batched states keep the Tensor path.
+        """
+        state = np.asarray(state, dtype=float)
+        if state.ndim == 1:
+            if self._policy_plan is None:
+                self._policy_plan = PolicyPlan(self.policy)
+            return self._policy_plan.act(state, self.rng, deterministic=deterministic)
         with no_grad():
-            dist = self.policy(np.asarray(state, dtype=float))
+            dist = self.policy(state)
             if deterministic:
                 action = dist.mode()
             else:
@@ -199,8 +248,13 @@ class PPOAgent:
 
     def value_of(self, state: np.ndarray) -> float:
         """Critic estimate for one state."""
+        state = np.asarray(state, dtype=float)
+        if state.ndim == 1:
+            if self._value_plan is None:
+                self._value_plan = ValuePlan(self.value)
+            return self._value_plan(state)
         with no_grad():
-            return float(self.value(np.asarray(state, dtype=float)).data)
+            return float(self.value(state).data)
 
     # ----------------------------------------------------------------- update
     def update(self) -> dict[str, float]:
@@ -240,9 +294,7 @@ class PPOAgent:
                 advantages = (advantages - advantages.mean()) / (advantages.std() + 1e-8)
             advantages_t = Tensor(advantages)
 
-            from repro.autograd.tensor import exp as _exp
-
-            ratio = _exp(log_probs - Tensor(old_log_probs))
+            ratio = exp(log_probs - Tensor(old_log_probs))
             surr1 = ratio * advantages_t
             surr2 = clip(ratio, 1.0 - cfg.clip_epsilon, 1.0 + cfg.clip_epsilon) * advantages_t
             actor_loss = -minimum(surr1, surr2).mean()

@@ -96,3 +96,28 @@ def test_population_batched_matches_serial():
         for key in ("policy", "value"):
             for k, a in t_want.best_state[key].items():
                 assert np.array_equal(t_got.best_state[key][k], a), (key, k)
+
+
+def test_population_batched_winner_fingerprint_second_config():
+    """A second profile (more members, longer episodes, 4 epochs — the
+    stacked engine's default epoch count) picks the same winner with a
+    bit-identical checkpoint."""
+    variants = [_variant(s) for s in (1.0, 0.6, 0.9, 1.4)]
+    training = TrainingConfig(
+        max_episodes=4, steps_per_episode=8, episodes_per_update=1,
+        stagnation_episodes=3, convergence_threshold=0.9,
+    )
+    ppo = PPOConfig(hidden_dim=24, policy_blocks=2, value_blocks=2)
+    kwargs = dict(
+        root_seed=7, training_config=training, ppo_config=ppo, eval_episodes=3
+    )
+    serial = train_population(variants, workers=1, **kwargs)
+    batched = train_population(variants, batched=True, **kwargs)
+
+    assert batched.best_index == serial.best_index
+    assert batched.eval_rewards() == serial.eval_rewards()
+    for key in ("policy", "value"):
+        want_state = serial.best.training.best_state[key]
+        got_state = batched.best.training.best_state[key]
+        for k, a in want_state.items():
+            assert np.array_equal(got_state[k], a), (key, k)

@@ -30,6 +30,61 @@ class TestDiscountedReturns:
             assert g[t] == pytest.approx(r[t] + 0.5 * g[t + 1])
 
 
+def _loop_returns(rewards, gamma):
+    """The original Horner-loop oracle the vectorized path must match."""
+    returns = np.empty(len(rewards), dtype=float)
+    running = 0.0
+    for t in range(len(rewards) - 1, -1, -1):
+        running = rewards[t] + gamma * running
+        returns[t] = running
+    return returns
+
+
+class TestDiscountedReturnsVectorized:
+    """The cumsum fast path is bit-identical to the loop, or falls back."""
+
+    @pytest.mark.parametrize("gamma", [0.5, 0.25, 0.875, 1.0])
+    @pytest.mark.parametrize("n", [1, 2, 5, 50, 400])
+    def test_power_of_two_gammas_bit_identical(self, gamma, n):
+        rewards = np.random.default_rng(hash((gamma, n)) % 2**32).uniform(
+            -5.0, 5.0, n
+        )
+        np.testing.assert_array_equal(
+            discounted_returns(rewards, gamma), _loop_returns(rewards, gamma)
+        )
+
+    @pytest.mark.parametrize("gamma", [0.9, 0.99, 0.3, 0.6180339887])
+    def test_non_power_of_two_gammas_bit_identical(self, gamma):
+        rewards = np.random.default_rng(13).uniform(-2.0, 2.0, 60)
+        np.testing.assert_array_equal(
+            discounted_returns(rewards, gamma), _loop_returns(rewards, gamma)
+        )
+
+    def test_extreme_magnitudes_bit_identical(self):
+        # Near the float range edges the pre-scaled partials go subnormal
+        # or overflow; the guards must route these through the loop.
+        rewards = np.array([1e300, -1e300, 1e-310, 5.0, -1e308, 1e-320, 0.0])
+        for gamma in (0.5, 0.25, 1.0, 0.9):
+            np.testing.assert_array_equal(
+                discounted_returns(rewards, gamma), _loop_returns(rewards, gamma)
+            )
+
+    def test_nan_and_inf_propagate_like_the_loop(self):
+        rewards = np.array([1.0, np.nan, 2.0, np.inf, -3.0])
+        got = discounted_returns(rewards, 0.5)
+        want = _loop_returns(rewards, 0.5)
+        np.testing.assert_array_equal(
+            np.isnan(got), np.isnan(want)
+        )
+        mask = ~np.isnan(want)
+        np.testing.assert_array_equal(got[mask], want[mask])
+
+    def test_gamma_zero_and_empty(self):
+        rewards = np.array([3.0, -1.0, 2.0])
+        np.testing.assert_array_equal(discounted_returns(rewards, 0.0), rewards)
+        assert discounted_returns(np.array([]), 0.5).size == 0
+
+
 class TestRolloutMemory:
     def test_store_and_arrays(self):
         mem = RolloutMemory()

@@ -1,0 +1,124 @@
+"""Compiled inference plans vs the Tensor forward — exact and Tensor-free.
+
+``PolicyPlan`` / ``ValuePlan`` flatten a trained network into a raw-ndarray
+op list with preallocated buffers.  They must (a) reproduce the autograd
+forward bit-for-bit — action mean, sampling (same RNG stream), log-prob,
+value — and (b) allocate zero ``Tensor`` objects on the hot path.
+"""
+
+import importlib
+
+import numpy as np
+import pytest
+
+from repro.autograd.tensor import no_grad
+
+tensor_mod = importlib.import_module("repro.autograd.tensor")
+from repro.core.networks import PolicyNetwork, ValueNetwork
+from repro.nn.plan import PlanUnsupported, PolicyPlan, ValuePlan
+
+
+def _policy(**overrides) -> PolicyNetwork:
+    defaults = dict(hidden_dim=16, num_blocks=2, rng=3)
+    defaults.update(overrides)
+    return PolicyNetwork(8, 3, **defaults)
+
+
+def _states(n=25, seed=0):
+    return np.random.default_rng(seed).uniform(-1.0, 2.0, (n, 8))
+
+
+class TestPolicyPlan:
+    def test_sampling_matches_tensor_path_bitwise(self):
+        policy = _policy()
+        plan = PolicyPlan(policy)
+        for state in _states():
+            rng_a = np.random.default_rng(42)
+            rng_b = np.random.default_rng(42)
+            with no_grad():
+                dist = policy(state)
+                want_action = dist.sample(rng_a)
+                want_lp = float(dist.log_prob(want_action).data)
+            action, lp = plan.act(state, rng_b)
+            assert np.array_equal(action, want_action)
+            assert lp == want_lp
+
+    def test_deterministic_mode_matches_mode(self):
+        policy = _policy(num_blocks=1)
+        plan = PolicyPlan(policy)
+        for state in _states(10, seed=1):
+            with no_grad():
+                want = policy(state).mode()
+            action, _ = plan.act(state, np.random.default_rng(0), deterministic=True)
+            assert np.array_equal(action, want)
+
+    def test_reflects_in_place_weight_updates(self):
+        """Plans deref param.data at call time: updates need no recompile."""
+        policy = _policy(num_blocks=1)
+        plan = PolicyPlan(policy)
+        state = np.full(8, 0.25)
+        before, _ = plan.act(state, np.random.default_rng(0), deterministic=True)
+        for p in policy.parameters():
+            p.data -= 0.05
+        with no_grad():
+            want = policy(state).mode()
+        after, _ = plan.act(state, np.random.default_rng(0), deterministic=True)
+        assert not np.array_equal(before, after)
+        assert np.array_equal(after, want)
+
+    def test_allocates_zero_tensors(self, monkeypatch):
+        policy = _policy()
+        plan = PolicyPlan(policy)
+        state = np.zeros(8)
+        plan.act(state, np.random.default_rng(0))  # warm any lazy state
+        count = 0
+        original = tensor_mod.Tensor.__init__
+
+        def counting(self, *args, **kwargs):
+            nonlocal count
+            count += 1
+            original(self, *args, **kwargs)
+
+        monkeypatch.setattr(tensor_mod.Tensor, "__init__", counting)
+        plan.act(state, np.random.default_rng(0))
+        plan.act(state, np.random.default_rng(1), deterministic=True)
+        assert count == 0
+
+    def test_unsupported_structure_raises(self):
+        class Doubled:
+            pass
+
+        with pytest.raises(PlanUnsupported):
+            PolicyPlan(Doubled())
+
+
+class TestValuePlan:
+    def test_matches_tensor_path_bitwise(self):
+        value = ValueNetwork(8, hidden_dim=16, num_blocks=2, rng=5)
+        plan = ValuePlan(value)
+        for state in _states(25, seed=2):
+            with no_grad():
+                want = float(value(state).data)
+            assert plan(state) == want
+
+    def test_allocates_zero_tensors(self, monkeypatch):
+        value = ValueNetwork(8, hidden_dim=16, num_blocks=1, rng=5)
+        plan = ValuePlan(value)
+        count = 0
+        original = tensor_mod.Tensor.__init__
+
+        def counting(self, *args, **kwargs):
+            nonlocal count
+            count += 1
+            original(self, *args, **kwargs)
+
+        monkeypatch.setattr(tensor_mod.Tensor, "__init__", counting)
+        plan(np.zeros(8))
+        assert count == 0
+
+    def test_unsupported_structure_raises(self):
+        class Odd:
+            pass
+
+        with pytest.raises(PlanUnsupported):
+            ValuePlan(Odd())

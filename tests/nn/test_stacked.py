@@ -1,0 +1,192 @@
+"""Stacked-K engine vs the scalar PPOAgent oracle — exact, not approximate.
+
+Every assertion here is ``==`` / ``array_equal``: the stacked forward,
+hand-rolled backward, gradient clipping and Adam step must reproduce the
+scalar agents bit-for-bit (see the bit-identity argument in
+``repro/nn/stacked.py`` and DESIGN §17).  Reference agents are built with
+the same seeds, stepped through identical rollouts, and compared on every
+parameter after every update.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.ppo import PPOAgent, PPOConfig
+from repro.nn.stacked import StackedPPOAgent
+
+
+def tiny_config(**overrides) -> PPOConfig:
+    defaults = dict(hidden_dim=8, policy_blocks=1, value_blocks=1, update_epochs=2)
+    defaults.update(overrides)
+    return PPOConfig(**defaults)
+
+
+def _build(k: int, cfg: PPOConfig):
+    seeds = [1000 + 7 * i for i in range(k)]
+    reference = [PPOAgent(8, 3, cfg, rng=s) for s in seeds]
+    stacked = StackedPPOAgent(8, 3, cfg, rngs=seeds)
+    return reference, stacked
+
+
+def _rollout(reference, stacked, rng, *, steps, episodes, active=None):
+    """Feed identical transitions to both sides, asserting act equality."""
+    k = stacked.k
+    gamma = stacked.config.gamma
+    indices = list(range(k)) if active is None else list(active)
+    mask = None if active is None else np.isin(np.arange(k), indices)
+    for _ in range(episodes):
+        states = rng.uniform(0.0, 1.0, (k, 8))
+        for _ in range(steps):
+            want = {i: reference[i].act(states[i]) for i in indices}
+            acts, lps = stacked.act_all(states, active=mask)
+            rewards = rng.uniform(0.0, 1.0, k)
+            for i in indices:
+                assert np.array_equal(want[i][0], acts[i])
+                assert want[i][1] == lps[i]
+                reference[i].memory.store(states[i], want[i][0], want[i][1], rewards[i])
+                stacked.members[i].memory.store(
+                    states[i], acts[i].copy(), float(lps[i]), rewards[i]
+                )
+            states = rng.uniform(0.0, 1.0, (k, 8))
+        for i in indices:
+            reference[i].memory.end_episode(gamma)
+            stacked.members[i].memory.end_episode(gamma)
+
+
+def _assert_params_equal(reference, stacked):
+    for i, ref in enumerate(reference):
+        member = stacked.members[i]
+        for net in ("policy", "value"):
+            pairs = zip(
+                getattr(ref, net).named_parameters(),
+                getattr(member, net).named_parameters(),
+            )
+            for (name, want), (_, got) in pairs:
+                assert np.array_equal(want.data, got.data), (i, net, name)
+
+
+def _update_and_compare(reference, stacked, active):
+    want_stats = {i: reference[i].update() for i in active}
+    got_stats = stacked.update_all(np.asarray(active))
+    for row, i in enumerate(active):
+        reference[i].memory.clear()
+        stacked.members[i].memory.clear()
+        assert want_stats[i] == got_stats[row], i
+    _assert_params_equal(reference, stacked)
+
+
+@pytest.mark.parametrize("k", [1, 2, 7, 64])
+def test_stacked_update_matches_scalar_oracle(k):
+    """Forward, backward, clip and Adam agree on every parameter, K-wide."""
+    cfg = tiny_config()
+    reference, stacked = _build(k, cfg)
+    rng = np.random.default_rng(3)
+    _rollout(reference, stacked, rng, steps=4, episodes=2)
+    _update_and_compare(reference, stacked, list(range(k)))
+
+
+@pytest.mark.parametrize("batch", [1, 3, 10])
+def test_stacked_update_across_batch_sizes(batch):
+    """The stacked loss/backward handles any rollout length, including B=1."""
+    cfg = tiny_config()
+    reference, stacked = _build(3, cfg)
+    rng = np.random.default_rng(11)
+    _rollout(reference, stacked, rng, steps=batch, episodes=1)
+    _update_and_compare(reference, stacked, [0, 1, 2])
+
+
+def test_repeated_updates_keep_adam_state_identical():
+    """Moment estimates and bias-correction counts stay in lockstep."""
+    cfg = tiny_config(policy_blocks=2, update_epochs=3)
+    reference, stacked = _build(4, cfg)
+    rng = np.random.default_rng(5)
+    for _ in range(3):
+        _rollout(reference, stacked, rng, steps=5, episodes=1)
+        _update_and_compare(reference, stacked, [0, 1, 2, 3])
+
+
+def test_partial_active_gather_scatter():
+    """Deactivated members' rows are untouched; active rows update exactly."""
+    cfg = tiny_config()
+    reference, stacked = _build(5, cfg)
+    rng = np.random.default_rng(9)
+    _rollout(reference, stacked, rng, steps=4, episodes=1)
+    _update_and_compare(reference, stacked, [0, 1, 2, 3, 4])
+    frozen = {
+        i: [p.data.copy() for p in stacked.members[i].optimizer.parameters]
+        for i in (1, 4)
+    }
+    active = [0, 2, 3]
+    _rollout(reference, stacked, rng, steps=4, episodes=1, active=active)
+    _update_and_compare(reference, stacked, active)
+    for i, before in frozen.items():
+        for want, got in zip(before, stacked.members[i].optimizer.parameters):
+            assert np.array_equal(want, got.data), i
+
+
+def test_diverged_step_counts_rejected():
+    """The monotone-deactivation contract is asserted, not assumed."""
+    cfg = tiny_config()
+    reference, stacked = _build(2, cfg)
+    rng = np.random.default_rng(2)
+    _rollout(reference, stacked, rng, steps=3, episodes=1, active=[0])
+    _update_and_compare(reference, stacked, [0])
+    _rollout(reference, stacked, rng, steps=3, episodes=1)
+    with pytest.raises(RuntimeError, match="step counts"):
+        stacked.update_all(np.array([0, 1]))
+
+
+def test_deterministic_act_all_matches_members():
+    cfg = tiny_config()
+    reference, stacked = _build(3, cfg)
+    states = np.random.default_rng(0).uniform(0.0, 1.0, (3, 8))
+    acts, _ = stacked.act_all(states, deterministic=True)
+    for i, ref in enumerate(reference):
+        want, _ = ref.act(states[i], deterministic=True)
+        assert np.array_equal(want, acts[i])
+
+
+def test_state_dict_round_trip_stays_bound_to_stack():
+    """load_state_dict writes through the row views into stacked storage."""
+    cfg = tiny_config()
+    _, stacked = _build(2, cfg)
+    states = np.random.default_rng(1).uniform(0.0, 1.0, (2, 8))
+    acts, _ = stacked.act_all(states, deterministic=True)
+    stacked.members[0].load_state_dict(stacked.members[1].state_dict())
+    same_state = np.stack([states[1], states[1]])
+    swapped, _ = stacked.act_all(same_state, deterministic=True)
+    assert np.array_equal(swapped[0], swapped[1])
+    via_member, _ = stacked.members[0].act(states[1], deterministic=True)
+    assert np.array_equal(swapped[0], via_member)
+
+
+def test_set_lr_progress_matches_scalar_annealing():
+    cfg = tiny_config()
+    reference, stacked = _build(1, cfg)
+    for fraction in (0.0, 0.3, 1.0, 2.0):
+        reference[0].set_lr_progress(fraction)
+        stacked.set_lr_progress(fraction)
+        assert stacked.lr == reference[0].optimizer.lr
+
+
+def test_rejects_empty_population():
+    with pytest.raises(ValueError):
+        StackedPPOAgent(8, 3, tiny_config(), rngs=[])
+
+
+def test_wide_hidden_preserves_scalar_strides_and_bits():
+    """Regression: orthogonal() leaves wide (in < out) embed weights
+    Fortran-ordered, and BLAS results depend on operand layout.  The
+    stacked storage must keep every rebound row view on the scalar
+    array's exact strides — and stay bit-identical through updates."""
+    cfg = tiny_config(hidden_dim=32, policy_blocks=2)
+    reference, stacked = _build(3, cfg)
+    for ref, member in zip(reference, stacked.members):
+        for (name, want), (_, got) in zip(
+            ref.policy.named_parameters(), member.policy.named_parameters()
+        ):
+            assert want.data.strides == got.data.strides, name
+    rng = np.random.default_rng(21)
+    for _ in range(2):
+        _rollout(reference, stacked, rng, steps=5, episodes=1)
+        _update_and_compare(reference, stacked, [0, 1, 2])
